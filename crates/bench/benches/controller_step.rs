@@ -1,0 +1,65 @@
+//! Criterion bench for the controller itself (Fig. 2 / Table IV): the
+//! per-measurement update cost of FrameFeedback and the baselines, plus
+//! a full Fig. 2 closed-loop run per gain setting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
+use ff_core::{Controller, FrameFeedback, Measurement, PidConfig};
+use ff_device::{run_experiment, ExperimentConfig};
+use ff_workload::fig2_loss_injection;
+
+fn measurement(po: f64, t: f64) -> Measurement {
+    Measurement {
+        fs: 30.0,
+        po_achieved: po,
+        pl_achieved: 13.0,
+        timeout_rate: t,
+        heartbeat_ok: true,
+        dt_secs: 1.0,
+    }
+}
+
+fn bench_controller_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_update");
+    group.bench_function("framefeedback", |b| {
+        let mut ctl = FrameFeedback::new();
+        let mut po = 0.0;
+        b.iter(|| {
+            po = ctl.update(black_box(&measurement(po, 1.0))).po_target;
+            po
+        });
+    });
+    group.bench_function("local_only", |b| {
+        let mut ctl = LocalOnly::new();
+        b.iter(|| ctl.update(black_box(&measurement(10.0, 0.0))));
+    });
+    group.bench_function("always_offload", |b| {
+        let mut ctl = AlwaysOffload::new();
+        b.iter(|| ctl.update(black_box(&measurement(10.0, 0.0))));
+    });
+    group.bench_function("all_or_nothing", |b| {
+        let mut ctl = AllOrNothing::new();
+        b.iter(|| ctl.update(black_box(&measurement(10.0, 0.0))));
+    });
+    group.finish();
+}
+
+fn bench_fig2_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_closed_loop_60s");
+    group.sample_size(10);
+    for (kp, kd) in [(0.2, 0.26), (0.5, 0.0)] {
+        group.bench_function(format!("kp{kp}_kd{kd}"), |b| {
+            b.iter(|| {
+                let mut config = ExperimentConfig::default();
+                config.network = fig2_loss_injection();
+                config.stream.total_frames = 1_800;
+                let ctl = FrameFeedback::with_config(PidConfig::with_gains(kp, kd));
+                run_experiment(config, Box::new(ctl)).mean_throughput
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_update, bench_fig2_run);
+criterion_main!(benches);

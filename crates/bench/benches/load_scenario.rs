@@ -1,0 +1,71 @@
+//! Criterion bench for the Fig. 4 / Table VI pipeline: the server's
+//! batching hot path and the full server-load experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_core::FrameFeedback;
+use ff_device::{run_experiment, ExperimentConfig};
+use ff_models::{GpuProfile, ModelKind};
+use ff_server::{EdgeServer, Request, Submit, TenantId};
+use ff_sim::{SimDuration, SimTime};
+use ff_workload::table_vi;
+
+/// Drive the server at a fixed offered load for `n` arrivals and return
+/// completions (exercises submit + batch formation + completion).
+fn saturate_server(rate: f64, n: u64) -> u64 {
+    let mut server = EdgeServer::new(GpuProfile::default());
+    let gap = SimDuration::from_secs_f64(1.0 / rate);
+    let mut now = SimTime::ZERO;
+    let mut next_done: Option<SimTime> = None;
+    let mut completed = 0u64;
+    for tag in 0..n {
+        // Fire any completions due before this arrival.
+        while let Some(d) = next_done {
+            if d <= now {
+                let (c, _r, nd) = server.on_batch_done(d);
+                completed += c.len() as u64;
+                next_done = nd;
+            } else {
+                break;
+            }
+        }
+        let req = Request {
+            tenant: TenantId(0),
+            model: ModelKind::MobileNetV3Small,
+            submitted_at: now,
+            tag,
+        };
+        match server.submit(now, req) {
+            Submit::BatchStarted { done_at } => next_done = Some(done_at),
+            Submit::Queued => {}
+        }
+        now += gap;
+    }
+    completed
+}
+
+fn bench_server_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_batching");
+    for rate in [60.0, 150.0, 300.0] {
+        group.bench_function(format!("{rate:.0}rps_x1000"), |b| {
+            b.iter(|| black_box(saturate_server(rate, 1_000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_table_vi_133s");
+    group.sample_size(10);
+    group.bench_function("framefeedback", |b| {
+        b.iter(|| {
+            let mut config = ExperimentConfig::default();
+            config.background = table_vi();
+            config.peer_devices = 0;
+            run_experiment(config, Box::new(FrameFeedback::new())).mean_throughput
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_batching, bench_fig4_run);
+criterion_main!(benches);

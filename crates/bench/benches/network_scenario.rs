@@ -1,0 +1,52 @@
+//! Criterion bench for the Fig. 3 / Table V pipeline: the link emulator's
+//! send path and the full network-degradation experiment per controller.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_baselines::AllOrNothing;
+use ff_core::FrameFeedback;
+use ff_device::{run_experiment, ExperimentConfig};
+use ff_net::{Link, LinkConfig, NetworkConditions};
+use ff_sim::{RngFactory, SimDuration, SimTime};
+use ff_workload::table_v;
+
+fn bench_link_send(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_send");
+    for (label, loss) in [("lossless", 0.0), ("7pct_loss", 7.0)] {
+        group.bench_function(label, |b| {
+            let mut link = Link::new(
+                LinkConfig::default(),
+                NetworkConditions::new(10.0, loss),
+                RngFactory::new(1).stream("bench-link"),
+            );
+            let mut now = SimTime::ZERO;
+            b.iter(|| {
+                now += SimDuration::from_millis(33);
+                black_box(link.send(now, 25_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_table_v_133s");
+    group.sample_size(10);
+    group.bench_function("framefeedback", |b| {
+        b.iter(|| {
+            let mut config = ExperimentConfig::default();
+            config.network = table_v();
+            run_experiment(config, Box::new(FrameFeedback::new())).mean_throughput
+        });
+    });
+    group.bench_function("all_or_nothing", |b| {
+        b.iter(|| {
+            let mut config = ExperimentConfig::default();
+            config.network = table_v();
+            run_experiment(config, Box::new(AllOrNothing::new())).mean_throughput
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_link_send, bench_fig3_run);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Extension: FrameFeedback's PD control vs. TCP-style AIMD.
+//!
+//! AIMD is the obvious off-the-shelf alternative for "probe up, back off
+//! on congestion". The comparison isolates what the proportional and
+//! derivative terms buy: AIMD's fixed additive climb recovers slowly
+//! after a backoff, while the PD controller's error-proportional steps
+//! (clamped at +0.1·F_s) close large gaps quickly and its derivative
+//! term damps the hunt around capacity.
+
+use ff_baselines::Aimd;
+use ff_bench::export_json;
+use ff_core::FrameFeedback;
+use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_workload::{table_v, table_vi};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    controller: String,
+    mean_throughput: f64,
+    timeouts: u64,
+}
+
+fn run_pair(label: &str, config: &ExperimentConfig, rows: &mut Vec<Row>) -> (f64, f64) {
+    let ff = run_experiment(config.clone(), Box::new(FrameFeedback::new()));
+    let aimd = run_experiment(config.clone(), Box::new(Aimd::new()));
+    println!(
+        "{:<10} framefeedback {:>5.1} fps ({} timeouts)   aimd {:>5.1} fps ({} timeouts)",
+        label, ff.mean_throughput, ff.offload_timeouts, aimd.mean_throughput, aimd.offload_timeouts
+    );
+    let push = |rows: &mut Vec<Row>, r: &ExperimentResult| {
+        rows.push(Row {
+            scenario: label.to_string(),
+            controller: r.controller.clone(),
+            mean_throughput: r.mean_throughput,
+            timeouts: r.offload_timeouts,
+        })
+    };
+    push(rows, &ff);
+    push(rows, &aimd);
+    (ff.mean_throughput, aimd.mean_throughput)
+}
+
+fn main() {
+    println!("== PD control (FrameFeedback) vs additive-increase/multiplicative-decrease ==\n");
+    let mut rows = Vec::new();
+
+    let mut network = ExperimentConfig::default();
+    network.network = table_v();
+    let (ff_net, aimd_net) = run_pair("table5", &network, &mut rows);
+
+    let mut load = ExperimentConfig::default();
+    load.background = table_vi();
+    load.peer_devices = 0;
+    let (ff_load, aimd_load) = run_pair("table6", &load, &mut rows);
+
+    println!(
+        "\nPD advantage: {:+.1} fps on the network scenario, {:+.1} fps under server load.",
+        ff_net - aimd_net,
+        ff_load - aimd_load
+    );
+    println!(
+        "AIMD's 1 fps/s climb needs ~30 s to regain full offloading after a halving;\n\
+         the PD controller's proportional step recovers at the +3 fps/s clamp."
+    );
+
+    match export_json("aimd_vs_pd", &rows) {
+        Ok(path) => println!("rows exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,55 @@
+//! Extension **X2** (§IV-C, mentioned but not shown in the paper):
+//! combined network degradation *and* server load. "Combining both
+//! sources of end-to-end latency largely works additively to create more
+//! unsuccessful offload requests."
+
+use ff_bench::{export_json, print_phase_table, run_lineup, Phase};
+use ff_device::ExperimentConfig;
+use ff_workload::{table_v, table_vi};
+
+fn main() {
+    let mut config = ExperimentConfig::default();
+    config.network = table_v();
+    config.background = table_vi();
+    config.peer_devices = 0;
+
+    println!("== X2: combined Table V network x Table VI server load ==");
+    let results = run_lineup(&config);
+    let phases = [
+        Phase { label: "0-30", from_secs: 0.0, to_secs: 30.0 },
+        Phase { label: "30-45", from_secs: 30.0, to_secs: 45.0 },
+        Phase { label: "45-60", from_secs: 45.0, to_secs: 60.0 },
+        Phase { label: "60-90", from_secs: 60.0, to_secs: 90.0 },
+        Phase { label: "90-105", from_secs: 90.0, to_secs: 105.0 },
+        Phase { label: "105+", from_secs: 105.0, to_secs: 134.0 },
+    ];
+    print_phase_table(&results, &phases);
+    println!();
+
+    // Additivity check: timeouts under the combined stress vs the sum of
+    // the isolated stresses (always-offload makes the comparison clean
+    // because it never adapts).
+    let mut net_only = ExperimentConfig::default();
+    net_only.network = table_v();
+    net_only.peer_devices = 0;
+    let mut load_only = ExperimentConfig::default();
+    load_only.background = table_vi();
+    load_only.peer_devices = 0;
+
+    let ao = |cfg: &ExperimentConfig| {
+        ff_device::run_experiment(cfg.clone(), Box::new(ff_baselines::AlwaysOffload::new()))
+    };
+    let combined = ao(&config);
+    let net = ao(&net_only);
+    let load = ao(&load_only);
+    println!(
+        "always-offload timeouts: network-only {} + load-only {} vs combined {} \
+         (additive within a factor of ~2 is the paper's 'largely additive')",
+        net.offload_timeouts, load.offload_timeouts, combined.offload_timeouts
+    );
+
+    match export_json("combined_stress", &results) {
+        Ok(path) => println!("raw series exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

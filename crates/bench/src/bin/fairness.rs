@@ -1,0 +1,121 @@
+//! Extension: multi-tenant fairness at saturation (§II-A.3).
+//!
+//! "When the workload fully saturates the system, the system should
+//! respond by reducing offloading and distributing the available capacity
+//! fairly among clients." We saturate a nine-device fleet and compare the
+//! server's two overflow policies: the paper's implicit reject-newest and
+//! the max-min fair-share policy — with and without a greedy
+//! (always-offload) tenant in the mix.
+
+use ff_baselines::AlwaysOffload;
+use ff_bench::export_json;
+use ff_core::{Controller, FrameFeedback};
+use ff_device::{run_fleet, FleetConfig, FleetDeviceConfig, FleetResult};
+use ff_models::{DeviceKind, ModelKind};
+use ff_server::OverflowPolicy;
+use serde::Serialize;
+
+fn fleet_config(n: usize, policy: OverflowPolicy) -> FleetConfig {
+    let mut config = FleetConfig::default();
+    config.devices = (0..n)
+        .map(|_| FleetDeviceConfig {
+            device: DeviceKind::Pi4BRev12,
+            model: ModelKind::MobileNetV3Small,
+        })
+        .collect();
+    config.policy = policy;
+    config
+}
+
+fn adaptive(n: usize) -> Vec<Box<dyn Controller>> {
+    (0..n)
+        .map(|_| Box::new(FrameFeedback::new()) as Box<dyn Controller>)
+        .collect()
+}
+
+fn with_greedy(n: usize) -> Vec<Box<dyn Controller>> {
+    let mut v = adaptive(n - 1);
+    v.push(Box::new(AlwaysOffload::new()));
+    v
+}
+
+fn describe(label: &str, result: &FleetResult) {
+    println!("--- {label} ---");
+    println!(
+        "total P {:.1}  fairness (Jain over successes) {:.3}  server rejections {}",
+        result.total_mean_throughput, result.offload_fairness, result.server_stats.rejections
+    );
+    println!(
+        "{:>4} {:<16} {:>9} {:>11} {:>11} {:>11}",
+        "dev", "controller", "P", "successes", "timeouts", "rejections"
+    );
+    for (i, d) in result.devices.iter().enumerate() {
+        println!(
+            "{:>4} {:<16} {:>9.1} {:>11} {:>11} {:>11}",
+            i,
+            d.controller,
+            d.mean_throughput,
+            d.offload_successes,
+            d.offload_timeouts,
+            result.rejections_by_device[i]
+        );
+    }
+    println!();
+}
+
+#[derive(Serialize)]
+struct Summary {
+    scenario: String,
+    policy: String,
+    fairness: f64,
+    total_throughput: f64,
+    rejections_by_device: Vec<u64>,
+}
+
+fn main() {
+    const N: usize = 9; // 9 × 30 fps = 270 rps offered: well past saturation
+    println!("== fairness at saturation: {N} devices vs a ~145 rps server ==\n");
+
+    let mut summaries = Vec::new();
+    for policy in [OverflowPolicy::RejectNewest, OverflowPolicy::FairShare] {
+        for (scenario, controllers) in [
+            ("all-adaptive", adaptive(N)),
+            ("one-greedy", with_greedy(N)),
+        ] {
+            let result = run_fleet(fleet_config(N, policy), controllers);
+            describe(&format!("{policy:?} / {scenario}"), &result);
+            summaries.push(Summary {
+                scenario: scenario.to_string(),
+                policy: format!("{policy:?}"),
+                fairness: result.offload_fairness,
+                total_throughput: result.total_mean_throughput,
+                rejections_by_device: result.rejections_by_device.clone(),
+            });
+        }
+    }
+
+    // The headline comparison: with a greedy tenant, fair-share pushes the
+    // rejection burden onto the tenant that refuses to adapt.
+    let greedy_summaries: Vec<&Summary> = summaries
+        .iter()
+        .filter(|s| s.scenario == "one-greedy")
+        .collect();
+    for s in greedy_summaries {
+        let greedy = *s.rejections_by_device.last().unwrap() as f64;
+        let adaptive_mean = s.rejections_by_device[..N - 1]
+            .iter()
+            .map(|&r| r as f64)
+            .sum::<f64>()
+            / (N - 1) as f64;
+        println!(
+            "{}: greedy tenant absorbed {:.1}x the mean adaptive tenant's rejections",
+            s.policy,
+            greedy / adaptive_mean.max(1.0)
+        );
+    }
+
+    match export_json("fairness", &summaries) {
+        Ok(path) => println!("\nsummaries exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

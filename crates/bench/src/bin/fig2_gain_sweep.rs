@@ -1,0 +1,103 @@
+//! Regenerates **Figure 2**: the offloading rate `P_o` over time for
+//! controllers with different `(K_P, K_D)` coefficients, under an ideal
+//! network for the first 27 seconds and 7% packet loss afterwards.
+//!
+//! Paper expectations (shape): every variant ramps to full offloading
+//! under ideal conditions; after the loss injection, low-damping variants
+//! oscillate harder, and the paper's (0.2, 0.26) setting balances
+//! sensitivity and overcorrection.
+
+use ff_bench::{export_json, print_po_target_chart};
+use ff_core::{FrameFeedback, PidConfig};
+use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_workload::fig2_loss_injection;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepResult {
+    kp: f64,
+    kd: f64,
+    result: ExperimentResult,
+}
+
+fn main() {
+    // The paper's setting plus bracketing variants (higher/lower
+    // sensitivity, with and without damping).
+    let gains = [
+        (0.1, 0.0),
+        (0.2, 0.0),
+        (0.2, 0.26), // Table IV
+        (0.2, 0.6),
+        (0.5, 0.26),
+        (0.5, 0.0),
+    ];
+
+    let mut config = ExperimentConfig::default();
+    config.network = fig2_loss_injection();
+    config.stream.total_frames = 1_800; // 60 s, as in the figure
+
+    let mut sweep = Vec::new();
+    for &(kp, kd) in &gains {
+        let controller = FrameFeedback::with_config(PidConfig::with_gains(kp, kd));
+        let result = run_experiment(config.clone(), Box::new(controller));
+        sweep.push(SweepResult { kp, kd, result });
+    }
+
+    println!("== Figure 2: P_o target under gain variants (7% loss from t=27s) ==");
+    print!("{:>6}", "t(s)");
+    for s in &sweep {
+        print!(" {:>12}", format!("Kp{}/Kd{}", s.kp, s.kd));
+    }
+    println!();
+    let n = sweep[0].result.qos.records().len();
+    for i in 0..n {
+        print!("{:>6.0}", sweep[0].result.qos.records()[i].t_secs);
+        for s in &sweep {
+            print!(" {:>12.1}", s.result.qos.records()[i].po_target);
+        }
+        println!();
+    }
+    println!();
+
+    let labelled: Vec<(String, &ff_device::ExperimentResult)> = sweep
+        .iter()
+        .map(|s| (format!("Kp{}/Kd{}", s.kp, s.kd), &s.result))
+        .collect();
+    print_po_target_chart("== Figure 2 (terminal rendering) ==", &labelled);
+    println!();
+
+    // Stability metrics per variant: P_o standard deviation before and
+    // after the loss injection, plus mean throughput.
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "gains", "std before", "std after", "P before", "P after"
+    );
+    for s in &sweep {
+        let series = &s.result.qos;
+        let sd = |from: f64, to: f64| {
+            let recs: Vec<f64> = series
+                .records()
+                .iter()
+                .filter(|r| r.t_secs >= from && r.t_secs < to)
+                .map(|r| r.po_target)
+                .collect();
+            let mean = recs.iter().sum::<f64>() / recs.len() as f64;
+            (recs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / recs.len() as f64).sqrt()
+        };
+        let before = series.aggregate(15.0, 27.0).unwrap().mean_throughput;
+        let after = series.aggregate(30.0, 60.0).unwrap().mean_throughput;
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>10.1} {:>10.1}",
+            format!("Kp{}/Kd{}", s.kp, s.kd),
+            sd(15.0, 27.0),
+            sd(30.0, 60.0),
+            before,
+            after
+        );
+    }
+
+    match export_json("fig2_gain_sweep", &sweep) {
+        Ok(path) => println!("\nraw series exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 3** (and prints **Table V**): total inference
+//! throughput `P` for each controller under the network-degradation
+//! schedule, 4,000 frames at 30 fps.
+//!
+//! Paper expectations (shape, not absolute numbers):
+//! * all controllers ≈ equal at the extremes (ideal network / dead network),
+//! * FrameFeedback beats all-or-nothing by 50%–3× in the intermediate
+//!   phases (around t ≈ 40 s and beyond t ≈ 90 s),
+//! * always-offload is clearly suboptimal once conditions degrade.
+
+use ff_bench::{
+    export_json, print_phase_table, print_series, print_throughput_chart, run_lineup, Phase,
+};
+use ff_device::ExperimentConfig;
+use ff_workload::table_v;
+
+fn main() {
+    let mut config = ExperimentConfig::default();
+    config.network = table_v();
+
+    println!("== Table V: network schedule ==");
+    println!("{:>9} {:>17} {:>9}", "time(s)", "bandwidth(Mbps)", "loss(%)");
+    let steps = config.network.steps().to_vec();
+    for (i, (start, c)) in steps.iter().enumerate() {
+        let end = steps
+            .get(i + 1)
+            .map_or("+".to_string(), |(t, _)| format!("{t:.0}"));
+        println!(
+            "{:>4.0}-{:<4} {:>17} {:>9}",
+            start, end, c.bandwidth_mbps, c.loss_pct
+        );
+    }
+    println!();
+
+    let results = run_lineup(&config);
+
+    println!("== Figure 3: mean throughput P per network phase ==");
+    let phases = [
+        Phase { label: "0-30 (10Mbps)", from_secs: 0.0, to_secs: 30.0 },
+        Phase { label: "30-45 (4Mbps)", from_secs: 30.0, to_secs: 45.0 },
+        Phase { label: "45-60 (1Mbps)", from_secs: 45.0, to_secs: 60.0 },
+        Phase { label: "60-90 (10Mbps)", from_secs: 60.0, to_secs: 90.0 },
+        Phase { label: "90-105 (7%loss)", from_secs: 90.0, to_secs: 105.0 },
+        Phase { label: "105+ (4M,7%)", from_secs: 105.0, to_secs: 134.0 },
+    ];
+    print_phase_table(&results, &phases);
+    println!();
+
+    // The headline comparison the paper calls out: FrameFeedback vs
+    // all-or-nothing in the intermediate phases.
+    let ff = &results[0];
+    let aon = &results[3];
+    for p in [&phases[1], &phases[4], &phases[5]] {
+        let a = ff.qos.aggregate(p.from_secs, p.to_secs).unwrap().mean_throughput;
+        let b = aon.qos.aggregate(p.from_secs, p.to_secs).unwrap().mean_throughput;
+        println!(
+            "phase {:<16} framefeedback/all-or-nothing = {:.2}x ({:.1} vs {:.1})",
+            p.label,
+            a / b.max(1e-9),
+            a,
+            b
+        );
+    }
+    println!();
+
+    print_throughput_chart("== Figure 3 (terminal rendering) ==", &results);
+    println!();
+
+    println!("== Per-second series (FrameFeedback) ==");
+    print_series(ff);
+
+    match export_json("fig3_network", &results) {
+        Ok(path) => println!("\nraw series exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

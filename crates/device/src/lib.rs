@@ -1,0 +1,36 @@
+//! # ff-device — the measured edge device and the experiment runner
+//!
+//! Models the Raspberry Pi of the paper's evaluation: a 30 fps frame
+//! source, a credit-based [`FrameSplitter`] actuating the controller's
+//! offload rate, a no-buffer [`LocalEngine`] calibrated to Table II, an
+//! [`OffloadTracker`] enforcing the 250 ms end-to-end deadline with
+//! `T_n`/`T_l` cause attribution, and the [`CpuModel`] reproducing the
+//! §II-A CPU-usage observation.
+//!
+//! [`run_experiment`] wires the device, the `ff-net` uplink, the
+//! `ff-server` batching server, background tenants, and any
+//! `ff_core::Controller` into one deterministic discrete-event run — the
+//! substitution for the paper's physical testbed that every figure and
+//! table regeneration is built on.
+
+#![warn(missing_docs)]
+
+mod cpu;
+mod experiment;
+mod fleet;
+mod local;
+mod offload;
+mod quality;
+mod selector;
+mod splitter;
+mod trace;
+
+pub use cpu::{CpuModel, EnergyModel};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use fleet::{run_fleet, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult};
+pub use local::{LocalEngine, LocalOutcome};
+pub use offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};
+pub use quality::{QualityAdapter, QualityConfig};
+pub use selector::{ModelSelector, SelectorConfig};
+pub use splitter::{FrameSplitter, Route};
+pub use trace::{FrameFate, FrameRecord, FrameTrace, TraceSummary};

@@ -1,0 +1,296 @@
+//! The on-device inference engine.
+//!
+//! A single-server queue with a **one-frame latest-frame buffer**: while
+//! an inference runs, the most recently captured frame waits in a pending
+//! slot (a newer arrival replaces — skips — the older one, as real-time
+//! video pipelines do). This keeps the engine busy back to back, so its
+//! saturated throughput equals the Table II rate instead of losing time
+//! to frame-cadence quantization.
+//!
+//! Service time is `1 / P_l` with small multiplicative jitter (CPU
+//! inference time varies a few percent run to run); the mean is
+//! calibrated to the measured Table II rates via `ff-models`.
+
+use ff_models::{DeviceKind, ModelKind};
+use ff_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Outcome of offering a frame to the local engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalOutcome {
+    /// Inference started; the caller must schedule a completion event.
+    Started {
+        /// Instant at which the inference finishes.
+        done_at: SimTime,
+    },
+    /// The engine is busy; the frame waits in the pending slot.
+    Queued,
+    /// The engine is busy and the pending slot was occupied: this frame
+    /// replaced the older pending frame, which is skipped.
+    Replaced,
+}
+
+/// The local (on-device) inference engine.
+#[derive(Debug, Clone)]
+pub struct LocalEngine<R: Rng> {
+    mean_service: SimDuration,
+    jitter: f64,
+    busy_until: Option<SimTime>,
+    pending: bool,
+    rng: R,
+    /// Cumulative time spent computing, for CPU accounting.
+    busy_time: SimDuration,
+    completed: u64,
+    skipped: u64,
+}
+
+impl<R: Rng> LocalEngine<R> {
+    /// An engine calibrated to `device` running `model` (Table II rates).
+    pub fn new(device: DeviceKind, model: ModelKind, rng: R) -> Self {
+        Self::with_rate(device.local_rate_fps(model), rng)
+    }
+
+    /// An engine with an explicit service rate in frames/s.
+    pub fn with_rate(rate_fps: f64, rng: R) -> Self {
+        assert!(rate_fps > 0.0, "local rate must be positive");
+        LocalEngine {
+            mean_service: SimDuration::from_secs_f64(1.0 / rate_fps),
+            jitter: 0.05,
+            busy_until: None,
+            pending: false,
+            rng,
+            busy_time: SimDuration::ZERO,
+            completed: 0,
+            skipped: 0,
+        }
+    }
+
+    /// The engine's mean service rate in frames/s.
+    pub fn rate_fps(&self) -> f64 {
+        1.0 / self.mean_service.as_secs_f64()
+    }
+
+    /// Switch the service rate (a local-model change). Applies to
+    /// services started from now on; an in-flight inference finishes at
+    /// its old speed.
+    pub fn set_rate_fps(&mut self, rate_fps: f64) {
+        assert!(rate_fps > 0.0, "local rate must be positive");
+        self.mean_service = SimDuration::from_secs_f64(1.0 / rate_fps);
+    }
+
+    /// Whether the engine is computing at `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        self.busy_until.is_some_and(|t| t > now)
+    }
+
+    fn start_service(&mut self, now: SimTime) -> SimTime {
+        let factor = if self.jitter == 0.0 {
+            1.0
+        } else {
+            self.rng.gen_range(1.0 - self.jitter..=1.0 + self.jitter)
+        };
+        let service = self.mean_service.mul_f64(factor);
+        let done = now + service;
+        self.busy_until = Some(done);
+        self.busy_time += service;
+        done
+    }
+
+    /// Offer a frame at `now`.
+    pub fn offer(&mut self, now: SimTime) -> LocalOutcome {
+        if self.is_busy(now) {
+            return if self.pending {
+                self.skipped += 1;
+                LocalOutcome::Replaced
+            } else {
+                self.pending = true;
+                LocalOutcome::Queued
+            };
+        }
+        let done_at = self.start_service(now);
+        LocalOutcome::Started { done_at }
+    }
+
+    /// The caller's completion event fired at `now`. Returns the next
+    /// completion instant if the pending frame starts immediately.
+    pub fn complete(&mut self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(
+            self.busy_until.is_some_and(|t| t == now),
+            "completion event out of sync with engine state"
+        );
+        self.busy_until = None;
+        self.completed += 1;
+        if self.pending {
+            self.pending = false;
+            Some(self.start_service(now))
+        } else {
+            None
+        }
+    }
+
+    /// Frames inferred locally so far (services completed).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Frames skipped because both the engine and the pending slot were
+    /// occupied.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Fraction of `[0, now]` spent computing — the input to the CPU
+    /// usage model.
+    pub fn busy_fraction(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        // busy_time may exceed `now` by the tail of an in-flight inference.
+        (self.busy_time.as_secs_f64() / now.as_secs_f64()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_sim::RngFactory;
+    use rand_chacha::ChaCha8Rng;
+
+    fn engine(rate: f64) -> LocalEngine<ChaCha8Rng> {
+        LocalEngine::with_rate(rate, RngFactory::new(11).stream("local"))
+    }
+
+    /// Drive an engine with a fixed-cadence stream and return completions/s.
+    fn saturate(rate: f64, offered_fps: f64, secs: u64) -> f64 {
+        let mut e = engine(rate);
+        let dt = SimDuration::from_secs_f64(1.0 / offered_fps);
+        let horizon = SimTime::from_secs(secs);
+        let mut next_offer = SimTime::ZERO;
+        let mut next_done: Option<SimTime> = None;
+        loop {
+            match next_done {
+                Some(d) if d <= next_offer => {
+                    next_done = e.complete(d);
+                }
+                _ => {
+                    if next_offer >= horizon {
+                        break;
+                    }
+                    if let LocalOutcome::Started { done_at } = e.offer(next_offer) {
+                        next_done = Some(done_at);
+                    }
+                    next_offer += dt;
+                }
+            }
+        }
+        e.completed() as f64 / secs as f64
+    }
+
+    #[test]
+    fn calibrated_to_table_ii() {
+        let e = LocalEngine::new(
+            DeviceKind::Pi4BRev12,
+            ModelKind::MobileNetV3Small,
+            RngFactory::new(1).stream("x"),
+        );
+        assert!((e.rate_fps() - 13.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn busy_engine_queues_then_replaces() {
+        let mut e = engine(10.0); // ~100 ms service
+        let LocalOutcome::Started { done_at } = e.offer(SimTime::ZERO) else {
+            panic!("idle engine must start")
+        };
+        assert!(done_at.as_millis() >= 90 && done_at.as_millis() <= 110);
+        assert_eq!(e.offer(SimTime::from_millis(30)), LocalOutcome::Queued);
+        assert_eq!(e.offer(SimTime::from_millis(60)), LocalOutcome::Replaced);
+        assert_eq!(e.skipped(), 1);
+        // Completion immediately starts the pending frame.
+        let next = e.complete(done_at);
+        assert!(next.is_some(), "pending frame must start back to back");
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn saturated_throughput_matches_the_calibrated_rate() {
+        let fps = saturate(13.0, 30.0, 100);
+        assert!(
+            (fps - 13.0).abs() < 0.7,
+            "saturated local rate {fps:.2}, expected ~13"
+        );
+    }
+
+    #[test]
+    fn underloaded_engine_matches_the_offered_rate() {
+        let fps = saturate(13.0, 5.0, 100);
+        assert!(
+            (fps - 5.0).abs() < 0.3,
+            "underloaded rate {fps:.2}, expected ~5"
+        );
+    }
+
+    #[test]
+    fn busy_fraction_saturates_to_one() {
+        let mut e = engine(13.0);
+        let mut now = SimTime::ZERO;
+        let mut done: Option<SimTime> = None;
+        for _ in 0..300 {
+            if let Some(d) = done {
+                if d <= now {
+                    done = e.complete(d);
+                }
+            }
+            if let LocalOutcome::Started { done_at } = e.offer(now) {
+                done = Some(done_at);
+            }
+            now += SimDuration::from_secs_f64(1.0 / 30.0);
+        }
+        let f = e.busy_fraction(now);
+        assert!(f > 0.9 && f <= 1.0, "saturated busy fraction {f}");
+    }
+
+    #[test]
+    fn idle_engine_has_zero_busy_fraction() {
+        let e = engine(13.0);
+        assert_eq!(e.busy_fraction(SimTime::from_secs(10)), 0.0);
+        assert_eq!(e.busy_fraction(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn service_jitter_is_bounded() {
+        let mut e = engine(10.0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            if let LocalOutcome::Started { done_at } = e.offer(now) {
+                let ms = (done_at - now).as_millis();
+                assert!((95..=105).contains(&ms), "service {ms} ms");
+                e.complete(done_at);
+                now = done_at;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = engine(0.0);
+    }
+
+    #[test]
+    fn rate_switch_applies_to_new_services() {
+        let mut e = engine(10.0);
+        let LocalOutcome::Started { done_at } = e.offer(SimTime::ZERO) else {
+            panic!()
+        };
+        e.set_rate_fps(2.0); // 500 ms services from now on
+        // The in-flight service still completes at ~100 ms.
+        assert!(done_at.as_millis() <= 110);
+        e.complete(done_at);
+        let LocalOutcome::Started { done_at: d2 } = e.offer(done_at) else {
+            panic!()
+        };
+        let ms = (d2 - done_at).as_millis();
+        assert!((475..=525).contains(&ms), "new service {ms} ms");
+    }
+}

@@ -1,0 +1,359 @@
+//! In-flight offload bookkeeping and deadline enforcement.
+//!
+//! Every offloaded frame gets a deadline (`captured_at + 250 ms`, §II-B).
+//! The tracker records where each request is in its life cycle so that
+//! when the deadline event fires the device can decide whether the frame
+//! timed out and, if so, attribute the cause (`T_n` network vs `T_l`
+//! server load — Table I).
+
+use ff_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Cause attribution for a timeout (Table I's `T_n` / `T_l` split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutCause {
+    /// The network dropped the frame or consumed most of the deadline.
+    Network,
+    /// The server rejected the request or queued it past the deadline.
+    ServerLoad,
+}
+
+/// Life-cycle state of one in-flight offloaded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Sent; still traversing the uplink.
+    InNetwork,
+    /// The uplink dropped it; the device only learns at the deadline.
+    DroppedByNetwork,
+    /// Arrived at the server (at the recorded instant); awaiting batch.
+    AtServer { arrived_at: SimTime },
+    /// Rejected by the server's batch-overflow policy.
+    RejectedByServer,
+}
+
+/// Where a successful offload's end-to-end latency was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Capture → arrival at the server (uplink serialization, queueing,
+    /// retransmissions, propagation). `None` if the arrival stage was
+    /// never reported.
+    pub uplink: Option<SimDuration>,
+    /// Arrival at the server → response at the device (batch queueing,
+    /// execution, downlink propagation). `None` when `uplink` is `None`.
+    pub server_and_down: Option<SimDuration>,
+}
+
+/// Resolution of an offloaded frame, reported exactly once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OffloadResolution {
+    /// The response arrived with end-to-end latency within the deadline.
+    Success {
+        /// Capture-to-response latency.
+        latency: SimDuration,
+        /// Where the latency was spent.
+        breakdown: LatencyBreakdown,
+    },
+    /// The deadline passed without a (timely) response.
+    Timeout {
+        /// Attributed cause (`T_n` vs `T_l`).
+        cause: TimeoutCause,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    captured_at: SimTime,
+    stage: Stage,
+}
+
+/// Tracks all offloaded frames that have not yet been resolved.
+#[derive(Debug, Clone)]
+pub struct OffloadTracker {
+    deadline: SimDuration,
+    in_flight: HashMap<u64, InFlight>,
+    resolved_success: u64,
+    resolved_timeout: u64,
+}
+
+impl OffloadTracker {
+    /// A tracker enforcing the given end-to-end deadline.
+    pub fn new(deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        OffloadTracker {
+            deadline,
+            in_flight: HashMap::new(),
+            resolved_success: 0,
+            resolved_timeout: 0,
+        }
+    }
+
+    /// The configured end-to-end deadline.
+    pub fn deadline(&self) -> SimDuration {
+        self.deadline
+    }
+
+    /// The deadline instant for a frame captured at `captured_at`.
+    pub fn deadline_for(&self, captured_at: SimTime) -> SimTime {
+        captured_at + self.deadline
+    }
+
+    /// Register a frame the device just offloaded.
+    pub fn sent(&mut self, tag: u64, captured_at: SimTime) {
+        let prev = self.in_flight.insert(
+            tag,
+            InFlight {
+                captured_at,
+                stage: Stage::InNetwork,
+            },
+        );
+        assert!(prev.is_none(), "tag {tag} offloaded twice");
+    }
+
+    /// The uplink reported this frame dropped (overflow or loss): the frame
+    /// will time out; we already know the cause is the network.
+    pub fn network_dropped(&mut self, tag: u64) {
+        if let Some(f) = self.in_flight.get_mut(&tag) {
+            f.stage = Stage::DroppedByNetwork;
+        }
+    }
+
+    /// The frame arrived at the server.
+    pub fn arrived_at_server(&mut self, tag: u64, at: SimTime) {
+        if let Some(f) = self.in_flight.get_mut(&tag) {
+            f.stage = Stage::AtServer { arrived_at: at };
+        }
+    }
+
+    /// The server rejected the request (batch overflow).
+    pub fn rejected_by_server(&mut self, tag: u64) {
+        if let Some(f) = self.in_flight.get_mut(&tag) {
+            f.stage = Stage::RejectedByServer;
+        }
+    }
+
+    /// A response reached the device at `now`. Returns the resolution, or
+    /// `None` if the frame was already resolved (late response after its
+    /// deadline event fired).
+    pub fn response_arrived(&mut self, tag: u64, now: SimTime) -> Option<OffloadResolution> {
+        let f = self.in_flight.remove(&tag)?;
+        let latency = now.saturating_since(f.captured_at);
+        if latency <= self.deadline {
+            self.resolved_success += 1;
+            let breakdown = match f.stage {
+                Stage::AtServer { arrived_at } => LatencyBreakdown {
+                    uplink: Some(arrived_at.saturating_since(f.captured_at)),
+                    server_and_down: Some(now.saturating_since(arrived_at)),
+                },
+                _ => LatencyBreakdown::default(),
+            };
+            Some(OffloadResolution::Success { latency, breakdown })
+        } else {
+            // Should not normally happen: the deadline event resolves the
+            // frame first. Handle it anyway (events at the same instant).
+            self.resolved_timeout += 1;
+            Some(OffloadResolution::Timeout {
+                cause: self.attribute(&f, now),
+            })
+        }
+    }
+
+    /// The deadline event for `tag` fired at `now`. Returns the timeout
+    /// resolution, or `None` if the frame already succeeded.
+    pub fn deadline_expired(&mut self, tag: u64, now: SimTime) -> Option<OffloadResolution> {
+        let f = self.in_flight.remove(&tag)?;
+        debug_assert!(now >= self.deadline_for(f.captured_at));
+        self.resolved_timeout += 1;
+        Some(OffloadResolution::Timeout {
+            cause: self.attribute(&f, now),
+        })
+    }
+
+    fn attribute(&self, f: &InFlight, _now: SimTime) -> TimeoutCause {
+        match f.stage {
+            Stage::InNetwork | Stage::DroppedByNetwork => TimeoutCause::Network,
+            Stage::RejectedByServer => TimeoutCause::ServerLoad,
+            Stage::AtServer { arrived_at } => {
+                // The frame reached the server but the response was late.
+                // Attribute by where the deadline budget went.
+                let network_share = arrived_at.saturating_since(f.captured_at);
+                if network_share > self.deadline / 2 {
+                    TimeoutCause::Network
+                } else {
+                    TimeoutCause::ServerLoad
+                }
+            }
+        }
+    }
+
+    /// Requests still unresolved.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Offloads resolved as successes.
+    pub fn successes(&self) -> u64 {
+        self.resolved_success
+    }
+
+    /// Offloads resolved as timeouts.
+    pub fn timeouts(&self) -> u64 {
+        self.resolved_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> OffloadTracker {
+        OffloadTracker::new(SimDuration::from_millis(250))
+    }
+
+    #[test]
+    fn timely_response_is_a_success_with_latency() {
+        let mut t = tracker();
+        t.sent(1, SimTime::ZERO);
+        t.arrived_at_server(1, SimTime::from_millis(40));
+        let r = t.response_arrived(1, SimTime::from_millis(100)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Success {
+                latency: SimDuration::from_millis(100),
+                breakdown: LatencyBreakdown {
+                    uplink: Some(SimDuration::from_millis(40)),
+                    server_and_down: Some(SimDuration::from_millis(60)),
+                },
+            }
+        );
+        assert_eq!(t.successes(), 1);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn deadline_without_response_is_a_network_timeout_when_still_in_network() {
+        let mut t = tracker();
+        t.sent(1, SimTime::ZERO);
+        let r = t.deadline_expired(1, SimTime::from_millis(250)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Timeout {
+                cause: TimeoutCause::Network
+            }
+        );
+        assert_eq!(t.timeouts(), 1);
+    }
+
+    #[test]
+    fn server_rejection_is_a_load_timeout() {
+        let mut t = tracker();
+        t.sent(2, SimTime::ZERO);
+        t.arrived_at_server(2, SimTime::from_millis(30));
+        t.rejected_by_server(2);
+        let r = t.deadline_expired(2, SimTime::from_millis(250)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Timeout {
+                cause: TimeoutCause::ServerLoad
+            }
+        );
+    }
+
+    #[test]
+    fn late_response_after_deadline_event_is_ignored() {
+        let mut t = tracker();
+        t.sent(3, SimTime::ZERO);
+        assert!(t.deadline_expired(3, SimTime::from_millis(250)).is_some());
+        assert!(
+            t.response_arrived(3, SimTime::from_millis(400)).is_none(),
+            "already resolved"
+        );
+        assert_eq!(t.timeouts(), 1);
+        assert_eq!(t.successes(), 0);
+    }
+
+    #[test]
+    fn deadline_event_after_success_is_ignored() {
+        let mut t = tracker();
+        t.sent(4, SimTime::ZERO);
+        t.response_arrived(4, SimTime::from_millis(100));
+        assert!(t.deadline_expired(4, SimTime::from_millis(250)).is_none());
+    }
+
+    #[test]
+    fn slow_server_wait_is_attributed_to_load() {
+        let mut t = tracker();
+        t.sent(5, SimTime::ZERO);
+        // Fast network (30 ms), then the server sat on it.
+        t.arrived_at_server(5, SimTime::from_millis(30));
+        let r = t.deadline_expired(5, SimTime::from_millis(250)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Timeout {
+                cause: TimeoutCause::ServerLoad
+            }
+        );
+    }
+
+    #[test]
+    fn slow_network_arrival_is_attributed_to_network() {
+        let mut t = tracker();
+        t.sent(6, SimTime::ZERO);
+        // The uplink ate 200 of the 250 ms budget.
+        t.arrived_at_server(6, SimTime::from_millis(200));
+        let r = t.deadline_expired(6, SimTime::from_millis(250)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Timeout {
+                cause: TimeoutCause::Network
+            }
+        );
+    }
+
+    #[test]
+    fn network_drop_known_early_still_resolves_at_deadline() {
+        let mut t = tracker();
+        t.sent(7, SimTime::ZERO);
+        t.network_dropped(7);
+        assert_eq!(t.in_flight(), 1, "resolution waits for the deadline");
+        let r = t.deadline_expired(7, SimTime::from_millis(250)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Timeout {
+                cause: TimeoutCause::Network
+            }
+        );
+    }
+
+    #[test]
+    fn borderline_response_at_exact_deadline_is_a_success() {
+        let mut t = tracker();
+        t.sent(8, SimTime::ZERO);
+        let r = t.response_arrived(8, SimTime::from_millis(250)).unwrap();
+        assert!(matches!(r, OffloadResolution::Success { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_send_panics() {
+        let mut t = tracker();
+        t.sent(9, SimTime::ZERO);
+        t.sent(9, SimTime::ZERO);
+    }
+
+    #[test]
+    fn counters_partition_resolutions() {
+        let mut t = tracker();
+        for tag in 0..10 {
+            t.sent(tag, SimTime::ZERO);
+        }
+        for tag in 0..6 {
+            t.response_arrived(tag, SimTime::from_millis(50));
+        }
+        for tag in 6..10 {
+            t.deadline_expired(tag, SimTime::from_millis(250));
+        }
+        assert_eq!(t.successes(), 6);
+        assert_eq!(t.timeouts(), 4);
+        assert_eq!(t.in_flight(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Frame-level actuation of the controller's offload rate.
+//!
+//! The controller outputs a *rate* (`P_o` frames/s); the device must turn
+//! it into per-frame offload/local decisions. A credit (token-bucket)
+//! splitter does this deterministically and with zero long-run bias: each
+//! captured frame earns `po_target / F_s` credits, and a frame is
+//! offloaded exactly when a whole credit is available.
+
+/// Per-frame routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Send this frame to the edge server.
+    Offload,
+    /// Hand this frame to the local inference engine (which may drop it if
+    /// busy — that is the engine's concern, not the splitter's).
+    Local,
+}
+
+/// Credit-based deterministic rate splitter.
+#[derive(Debug, Clone, Default)]
+pub struct FrameSplitter {
+    credit: f64,
+}
+
+impl FrameSplitter {
+    /// A splitter with zero accumulated credit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route one captured frame given the current targets.
+    pub fn route(&mut self, po_target: f64, fs: f64) -> Route {
+        assert!(fs > 0.0, "F_s must be positive");
+        assert!(
+            (0.0..=fs + 1e-9).contains(&po_target),
+            "P_o target {po_target} outside [0, F_s={fs}]"
+        );
+        self.credit += po_target / fs;
+        if self.credit >= 1.0 {
+            self.credit -= 1.0;
+            Route::Offload
+        } else {
+            Route::Local
+        }
+    }
+
+    /// Forget accumulated credit (e.g. on controller reset).
+    pub fn reset(&mut self) {
+        self.credit = 0.0;
+    }
+
+    /// Current fractional credit, for inspection.
+    pub fn credit(&self) -> f64 {
+        self.credit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn offload_count(po: f64, fs: f64, frames: usize) -> usize {
+        let mut s = FrameSplitter::new();
+        (0..frames)
+            .filter(|_| s.route(po, fs) == Route::Offload)
+            .count()
+    }
+
+    #[test]
+    fn zero_target_never_offloads() {
+        assert_eq!(offload_count(0.0, 30.0, 300), 0);
+    }
+
+    #[test]
+    fn full_target_always_offloads() {
+        assert_eq!(offload_count(30.0, 30.0, 300), 300);
+    }
+
+    #[test]
+    fn half_target_offloads_every_other_frame() {
+        let mut s = FrameSplitter::new();
+        let routes: Vec<Route> = (0..10).map(|_| s.route(15.0, 30.0)).collect();
+        // Credit 0.5, 1.0→offload, 0.5, 1.0→offload...
+        assert_eq!(
+            routes.iter().filter(|r| **r == Route::Offload).count(),
+            5
+        );
+        // Offloads are evenly spaced, not bursty.
+        let positions: Vec<usize> = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Route::Offload)
+            .map(|(i, _)| i)
+            .collect();
+        for w in positions.windows(2) {
+            assert_eq!(w[1] - w[0], 2, "offloads must alternate");
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_target() {
+        for po in [3.0, 7.5, 13.0, 22.1, 29.0] {
+            let n = 3_000;
+            let got = offload_count(po, 30.0, n) as f64;
+            let expected = po / 30.0 * n as f64;
+            assert!(
+                (got - expected).abs() <= 1.0,
+                "target {po}: offloaded {got} of {n}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_changes_apply_smoothly() {
+        let mut s = FrameSplitter::new();
+        let mut offloads = 0;
+        for _ in 0..30 {
+            if s.route(30.0, 30.0) == Route::Offload {
+                offloads += 1;
+            }
+        }
+        assert_eq!(offloads, 30);
+        for _ in 0..30 {
+            if s.route(0.0, 30.0) == Route::Offload {
+                offloads += 1;
+            }
+        }
+        assert_eq!(offloads, 30, "no stale credit after target drops to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn target_above_fs_panics() {
+        FrameSplitter::new().route(31.0, 30.0);
+    }
+
+    #[test]
+    fn reset_clears_credit() {
+        let mut s = FrameSplitter::new();
+        s.route(15.0, 30.0);
+        assert!(s.credit() > 0.0);
+        s.reset();
+        assert_eq!(s.credit(), 0.0);
+    }
+
+    proptest! {
+        /// Over any horizon, the offloaded count differs from the ideal
+        /// fluid count by at most one frame (zero long-run bias).
+        #[test]
+        fn prop_credit_splitter_is_unbiased(
+            po_frac in 0.0f64..=1.0,
+            frames in 1usize..2_000,
+        ) {
+            let fs = 30.0;
+            let po = po_frac * fs;
+            let got = offload_count(po, fs, frames) as f64;
+            let ideal = po / fs * frames as f64;
+            prop_assert!((got - ideal).abs() <= 1.0, "got {got}, ideal {ideal}");
+        }
+    }
+}

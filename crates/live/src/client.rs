@@ -1,0 +1,462 @@
+//! The live edge device: a wall-clock analogue of `ff-device`.
+//!
+//! Runs a real capture loop at `F_s`, routes frames between a sleep-based
+//! local inference worker and TCP offloading through the impairment shim,
+//! enforces the end-to-end deadline, and drives any `ff_core::Controller`
+//! at the configured measurement period — the same control loop as the
+//! simulator, but against a real socket and real time.
+
+use crate::proto::{encode_request, read_response, Status, WireRequest};
+use crate::shim::{ImpairmentShim, ShimVerdict};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded};
+use ff_core::{Controller, Measurement};
+use ff_metrics::LogHistogram;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Probe tags live in the top bit of the tag space.
+const PROBE_BIT: u64 = 1 << 63;
+
+/// Configuration of a live device run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveDeviceConfig {
+    /// Source frame rate `F_s` in frames/s.
+    pub fs: f64,
+    /// Total run length.
+    pub duration: Duration,
+    /// End-to-end offload deadline.
+    pub deadline: Duration,
+    /// Compressed frame payload size in bytes.
+    pub frame_bytes: u64,
+    /// Local inference rate `P_l` in frames/s.
+    pub local_rate_fps: f64,
+    /// Controller measurement period.
+    pub tick: Duration,
+}
+
+impl Default for LiveDeviceConfig {
+    fn default() -> Self {
+        LiveDeviceConfig {
+            fs: 30.0,
+            duration: Duration::from_secs(30),
+            deadline: Duration::from_millis(250),
+            frame_bytes: 25_000,
+            local_rate_fps: 13.0,
+            tick: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One controller interval of a live run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveQosRecord {
+    /// End of the interval, wall-clock seconds since the run started.
+    pub t_secs: f64,
+    /// Local inference rate achieved (frames/s).
+    pub pl: f64,
+    /// Offload rate achieved (frames/s).
+    pub po: f64,
+    /// Deadline violations (frames/s).
+    pub timeouts: f64,
+    /// The controller's target for the next interval.
+    pub po_target: f64,
+}
+
+impl LiveQosRecord {
+    /// Total throughput `P = P_o + P_l − T`.
+    pub fn throughput(&self) -> f64 {
+        self.po + self.pl - self.timeouts
+    }
+}
+
+/// Results of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveRunSummary {
+    /// Per-interval QoS records.
+    pub records: Vec<LiveQosRecord>,
+    /// Frames the capture loop produced.
+    pub frames: u64,
+    /// Frames sent (or attempted) over TCP.
+    pub offloaded: u64,
+    /// Frames the local worker inferred.
+    pub local_completed: u64,
+    /// Offloads whose response beat the deadline.
+    pub successes: u64,
+    /// Offloads that missed the deadline or were never answered.
+    pub timeouts: u64,
+    /// End-to-end latency of successful offloads, in milliseconds
+    /// (bounded-memory histogram — safe for arbitrarily long runs).
+    pub latency_ms: LogHistogram,
+}
+
+impl LiveRunSummary {
+    /// Mean `P = P_o + P_l − T` over the recorded intervals.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.throughput()).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+struct FrameSplitter {
+    credit: f64,
+}
+
+/// Drive one live device session against a running server.
+pub fn run_live_device(
+    addr: SocketAddr,
+    config: LiveDeviceConfig,
+    shim: Arc<ImpairmentShim>,
+    controller: &mut dyn Controller,
+) -> io::Result<LiveRunSummary> {
+    assert!(config.fs > 0.0 && config.local_rate_fps > 0.0);
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+
+    // Response reader: forwards (tag, status, arrival) events.
+    let (event_tx, event_rx) = unbounded::<(u64, Status, Instant)>();
+    let reader_stream = stream.try_clone()?;
+    let reader = thread::Builder::new().name("ff-live-dev-reader".into()).spawn(move || {
+        let mut s = reader_stream;
+        while let Ok(Some(resp)) = read_response(&mut s) {
+            if event_tx.send((resp.tag, resp.status, Instant::now())).is_err() {
+                break;
+            }
+        }
+    })?;
+
+    // Paced sender: writes requests after the shim's serialization delay.
+    let (send_tx, send_rx) = unbounded::<(u64, u64, Instant)>();
+    let mut writer_stream = stream.try_clone()?;
+    let frame_payload = Bytes::from(vec![0u8; config.frame_bytes as usize]);
+    let sender_payload = frame_payload.clone();
+    let sender = thread::Builder::new().name("ff-live-dev-sender".into()).spawn(move || {
+        while let Ok((tag, bytes, send_at)) = send_rx.recv() {
+            let now = Instant::now();
+            if send_at > now {
+                thread::sleep(send_at - now);
+            }
+            let payload = if bytes as usize == sender_payload.len() {
+                sender_payload.clone()
+            } else {
+                Bytes::from(vec![0u8; bytes as usize])
+            };
+            let req = WireRequest { tag, payload };
+            if io::Write::write_all(&mut writer_stream, &encode_request(&req)).is_err() {
+                break;
+            }
+        }
+    })?;
+
+    // Local inference worker with a one-frame pending slot.
+    let (local_tx, local_rx) = bounded::<()>(1);
+    let local_completed = Arc::new(AtomicU64::new(0));
+    let local_counter = Arc::clone(&local_completed);
+    let service = Duration::from_secs_f64(1.0 / config.local_rate_fps);
+    let local = thread::Builder::new().name("ff-live-dev-local".into()).spawn(move || {
+        while local_rx.recv().is_ok() {
+            thread::sleep(service);
+            local_counter.fetch_add(1, Ordering::Relaxed);
+        }
+    })?;
+
+    // ---- main capture / control loop ----
+    let start = Instant::now();
+    let frame_interval = Duration::from_secs_f64(1.0 / config.fs);
+    let total_frames = (config.duration.as_secs_f64() * config.fs).round() as u64;
+
+    let mut splitter = FrameSplitter { credit: 0.0 };
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let mut probe_in_flight: Option<(u64, Instant)> = None;
+    let mut probe_seq: u64 = 0;
+    let mut heartbeat_ok = false;
+    let mut po_target = controller.po_target();
+
+    let mut offloaded: u64 = 0;
+    let mut successes: u64 = 0;
+    let mut timeouts: u64 = 0;
+    let mut latency_ms = LogHistogram::for_latency_ms();
+    let mut interval_sent: u64 = 0;
+    let mut interval_timeouts: u64 = 0;
+    let mut timeout_history: Vec<f64> = Vec::new();
+    let mut last_pl_total: u64 = 0;
+    let mut next_tick = start + config.tick;
+    let mut records = Vec::new();
+
+    for i in 0..total_frames {
+        // Pace the capture loop.
+        let due = start + frame_interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            thread::sleep(due - now);
+        }
+        let captured_at = Instant::now();
+
+        // Route the frame.
+        splitter.credit += po_target / config.fs;
+        if splitter.credit >= 1.0 {
+            splitter.credit -= 1.0;
+            let tag = i;
+            in_flight.insert(tag, captured_at);
+            offloaded += 1;
+            interval_sent += 1;
+            match shim.offer(config.frame_bytes) {
+                ShimVerdict::SendAfter(delay) => {
+                    let _ = send_tx.send((tag, config.frame_bytes, captured_at + delay));
+                }
+                ShimVerdict::Drop => {} // resolves as a timeout
+            }
+        } else {
+            let _ = local_tx.try_send(()); // full pending slot = frame skip
+        }
+
+        // Drain response events.
+        while let Ok((tag, status, at)) = event_rx.try_recv() {
+            if tag & PROBE_BIT != 0 {
+                if let Some((ptag, sent)) = probe_in_flight {
+                    if ptag == tag && status == Status::Ok && at - sent <= config.deadline {
+                        heartbeat_ok = true;
+                    }
+                }
+                continue;
+            }
+            if let Some(sent) = in_flight.remove(&tag) {
+                let elapsed = at.duration_since(sent);
+                if status == Status::Ok && elapsed <= config.deadline {
+                    successes += 1;
+                    latency_ms.record(elapsed.as_secs_f64() * 1_000.0);
+                } else {
+                    timeouts += 1;
+                    interval_timeouts += 1;
+                }
+            }
+        }
+
+        // Expire deadlines.
+        let now = Instant::now();
+        in_flight.retain(|_, sent| {
+            if now.duration_since(*sent) > config.deadline {
+                timeouts += 1;
+                interval_timeouts += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        // Controller tick.
+        if now >= next_tick {
+            let dt = config.tick.as_secs_f64();
+            let pl_total = local_completed.load(Ordering::Relaxed);
+            let pl = (pl_total - last_pl_total) as f64 / dt;
+            last_pl_total = pl_total;
+            let po = interval_sent as f64 / dt;
+            timeout_history.push(interval_timeouts as f64 / dt);
+            let window = 3.min(timeout_history.len());
+            let t_avg =
+                timeout_history[timeout_history.len() - window..].iter().sum::<f64>() / window as f64;
+
+            let decision = controller.update(&Measurement {
+                fs: config.fs,
+                po_achieved: po,
+                pl_achieved: pl,
+                timeout_rate: t_avg,
+                heartbeat_ok,
+                dt_secs: dt,
+            });
+            po_target = decision.po_target;
+
+            records.push(LiveQosRecord {
+                t_secs: now.duration_since(start).as_secs_f64(),
+                pl,
+                po,
+                timeouts: interval_timeouts as f64 / dt,
+                po_target,
+            });
+
+            interval_sent = 0;
+            interval_timeouts = 0;
+
+            // New heartbeat probe.
+            heartbeat_ok = false;
+            let ptag = PROBE_BIT | probe_seq;
+            probe_seq += 1;
+            probe_in_flight = Some((ptag, Instant::now()));
+            if let ShimVerdict::SendAfter(delay) = shim.offer(config.frame_bytes) {
+                let _ = send_tx.send((ptag, config.frame_bytes, Instant::now() + delay));
+            }
+
+            next_tick += config.tick;
+        }
+    }
+
+    // Give trailing responses one deadline to arrive, then settle.
+    thread::sleep(config.deadline);
+    while let Ok((tag, status, at)) = event_rx.try_recv() {
+        if tag & PROBE_BIT != 0 {
+            continue;
+        }
+        if let Some(sent) = in_flight.remove(&tag) {
+            let elapsed = at.duration_since(sent);
+            if status == Status::Ok && elapsed <= config.deadline {
+                successes += 1;
+                latency_ms.record(elapsed.as_secs_f64() * 1_000.0);
+            } else {
+                timeouts += 1;
+            }
+        }
+    }
+    timeouts += in_flight.len() as u64;
+
+    // Tear down: close the socket to stop the reader, drop channels to
+    // stop the sender and local worker.
+    drop(send_tx);
+    drop(local_tx);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = sender.join();
+    let _ = local.join();
+    let _ = reader.join();
+
+    Ok(LiveRunSummary {
+        records,
+        frames: total_frames,
+        offloaded,
+        local_completed: local_completed.load(Ordering::Relaxed),
+        successes,
+        timeouts,
+        latency_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{LiveServer, LiveServerConfig};
+    use crate::shim::Impairment;
+    use ff_core::FrameFeedback;
+    use ff_sim::RngFactory;
+
+    fn fast_server() -> LiveServer {
+        LiveServer::start(
+            "127.0.0.1:0",
+            LiveServerConfig {
+                batch_limit: 15,
+                batch_base: Duration::from_millis(10),
+                per_frame: Duration::from_millis(1),
+            },
+        )
+        .unwrap()
+    }
+
+    fn fast_device() -> LiveDeviceConfig {
+        LiveDeviceConfig {
+            fs: 60.0,
+            duration: Duration::from_secs(3),
+            deadline: Duration::from_millis(150),
+            frame_bytes: 8_000,
+            local_rate_fps: 20.0,
+            tick: Duration::from_millis(300),
+        }
+    }
+
+    #[test]
+    fn framefeedback_ramps_up_over_a_healthy_link() {
+        let server = fast_server();
+        let shim = Arc::new(ImpairmentShim::new(
+            Impairment::ideal(),
+            RngFactory::new(1).stream("live"),
+        ));
+        let mut ctl = FrameFeedback::new();
+        let summary =
+            run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
+        assert!(summary.frames == 180);
+        assert!(summary.offloaded > 0, "controller never offloaded");
+        let first = summary.records.first().unwrap().po_target;
+        let last = summary.records.last().unwrap().po_target;
+        assert!(
+            last > first,
+            "P_o target should ramp on a clean link ({first} -> {last})"
+        );
+        // Clean link: the vast majority of offloads succeed.
+        assert!(
+            summary.successes as f64 >= 0.8 * (summary.successes + summary.timeouts).max(1) as f64,
+            "successes {} timeouts {}",
+            summary.successes,
+            summary.timeouts
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn throttled_link_causes_timeouts_and_backoff() {
+        let server = fast_server();
+        // 0.5 Mbps: an 8 KB frame takes 128 ms of link time; more than a
+        // few in flight blows the 150 ms deadline.
+        let shim = Arc::new(ImpairmentShim::new(
+            Impairment {
+                bandwidth_mbps: 0.5,
+                loss_pct: 0.0,
+            },
+            RngFactory::new(2).stream("live"),
+        ));
+        let mut ctl = FrameFeedback::new();
+        let summary =
+            run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
+        assert!(summary.timeouts > 0, "throttled link must time out");
+        let final_target = summary.records.last().unwrap().po_target;
+        assert!(
+            final_target < 30.0,
+            "controller should back off well below F_s=60, got {final_target}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn local_worker_provides_the_floor() {
+        let server = fast_server();
+        let shim = Arc::new(ImpairmentShim::new(
+            Impairment::ideal(),
+            RngFactory::new(3).stream("live"),
+        ));
+        let mut ctl = ff_baselines_stub::LocalOnlyStub;
+        let summary =
+            run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
+        assert_eq!(summary.offloaded, 0);
+        // ~20 fps for 3 s ≈ 60 local completions; allow scheduler slop.
+        assert!(
+            summary.local_completed >= 40,
+            "local floor too low: {}",
+            summary.local_completed
+        );
+        server.shutdown();
+    }
+
+    /// A tiny local-only controller so this crate's tests don't depend on
+    /// ff-baselines (which would be a dependency cycle risk).
+    mod ff_baselines_stub {
+        use ff_core::{Controller, Decision, Measurement};
+
+        pub struct LocalOnlyStub;
+
+        impl Controller for LocalOnlyStub {
+            fn name(&self) -> &'static str {
+                "local-only-stub"
+            }
+            fn update(&mut self, m: &Measurement) -> Decision {
+                m.validate();
+                Decision { po_target: 0.0 }
+            }
+            fn po_target(&self) -> f64 {
+                0.0
+            }
+            fn reset(&mut self) {}
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ff-live — live TCP offloading mode
+//!
+//! The same FrameFeedback control loop as the simulator, run against a
+//! **real TCP server over real time**: a [`LiveServer`] with the paper's
+//! adaptive batching (GPU execution simulated by calibrated sleeps), a
+//! device loop ([`run_live_device`]) pacing a real capture cadence, and a
+//! software [`ImpairmentShim`] standing in for NetEm (rate limiting and
+//! loss on the loopback link).
+//!
+//! We use `std::net` + threads (+`crossbeam` channels) rather than an
+//! async runtime: the protocol is one small framed request/response per
+//! frame at ≤30 Hz, where thread-per-connection is the simplest correct
+//! design (see DESIGN.md §6).
+
+#![warn(missing_docs)]
+
+mod client;
+mod proto;
+mod server;
+mod shim;
+
+pub use client::{run_live_device, LiveDeviceConfig, LiveQosRecord, LiveRunSummary};
+pub use proto::{
+    encode_request, read_request, read_response, write_response, Status, WireRequest,
+    WireResponse,
+};
+pub use server::{LiveServer, LiveServerConfig, LiveServerStats};
+pub use shim::{Impairment, ImpairmentShim, ShimVerdict};

@@ -1,0 +1,241 @@
+//! Wire protocol for the live TCP offloading mode.
+//!
+//! One TCP connection per device, carrying length-prefixed inference
+//! requests and fixed-size responses. Payload bytes are synthetic (the
+//! simulated JPEG); only their *size* matters to the system, exactly as
+//! in the simulator.
+//!
+//! ```text
+//! request:  [len: u32 BE][tag: u64 BE][payload: len-12 bytes]
+//! response: [tag: u64 BE][status: u8]
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Classification completed.
+    Ok,
+    /// The server rejected the request (batch overflow).
+    Rejected,
+}
+
+impl Status {
+    fn to_byte(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Rejected => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> io::Result<Status> {
+        match b {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Rejected),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown status byte {other}"),
+            )),
+        }
+    }
+}
+
+/// An inference request as it travels on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Caller-defined correlation tag (echoed in the response).
+    pub tag: u64,
+    /// Synthetic frame bytes (only the size matters).
+    pub payload: Bytes,
+}
+
+/// An inference response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The request's correlation tag.
+    pub tag: u64,
+    /// Outcome at the server.
+    pub status: Status,
+}
+
+/// Frame header size: u32 length prefix counts tag + payload.
+const LEN_PREFIX: usize = 4;
+const TAG_SIZE: usize = 8;
+/// Cap a single frame at 16 MiB — anything bigger is a protocol error.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Encode a request into a buffer ready for one `write_all`.
+pub fn encode_request(req: &WireRequest) -> BytesMut {
+    let body_len = TAG_SIZE + req.payload.len();
+    assert!(
+        body_len as u64 <= MAX_FRAME as u64,
+        "request payload too large"
+    );
+    let mut buf = BytesMut::with_capacity(LEN_PREFIX + body_len);
+    buf.put_u32(body_len as u32);
+    buf.put_u64(req.tag);
+    buf.extend_from_slice(&req.payload);
+    buf
+}
+
+/// Read one request from a blocking stream. `Ok(None)` means clean EOF
+/// at a frame boundary.
+pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<WireRequest>> {
+    let mut len_buf = [0u8; LEN_PREFIX];
+    if !read_exact_or_eof(r, &mut len_buf)? { return Ok(None) }
+    let len = u32::from_be_bytes(len_buf);
+    if len < TAG_SIZE as u32 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut cursor = &body[..];
+    let tag = cursor.get_u64();
+    Ok(Some(WireRequest {
+        tag,
+        payload: Bytes::copy_from_slice(cursor),
+    }))
+}
+
+/// Encode and write a response.
+pub fn write_response<W: Write>(w: &mut W, resp: WireResponse) -> io::Result<()> {
+    let mut buf = [0u8; TAG_SIZE + 1];
+    buf[..TAG_SIZE].copy_from_slice(&resp.tag.to_be_bytes());
+    buf[TAG_SIZE] = resp.status.to_byte();
+    w.write_all(&buf)
+}
+
+/// Read one response. `Ok(None)` means clean EOF at a frame boundary.
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<WireResponse>> {
+    let mut buf = [0u8; TAG_SIZE + 1];
+    if !read_exact_or_eof(r, &mut buf)? { return Ok(None) }
+    let tag = u64::from_be_bytes(buf[..TAG_SIZE].try_into().expect("fixed size"));
+    Ok(Some(WireResponse {
+        tag,
+        status: Status::from_byte(buf[TAG_SIZE])?,
+    }))
+}
+
+/// `read_exact`, but a clean EOF before the first byte returns `false`
+/// instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_round_trip() {
+        let req = WireRequest {
+            tag: 0xDEAD_BEEF_0000_0042,
+            payload: Bytes::from(vec![7u8; 1000]),
+        };
+        let encoded = encode_request(&req);
+        let mut cursor = Cursor::new(encoded.to_vec());
+        let decoded = read_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let req = WireRequest {
+            tag: 1,
+            payload: Bytes::new(),
+        };
+        let encoded = encode_request(&req);
+        let mut cursor = Cursor::new(encoded.to_vec());
+        assert_eq!(read_request(&mut cursor).unwrap().unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        for status in [Status::Ok, Status::Rejected] {
+            let resp = WireResponse { tag: 99, status };
+            let mut buf = Vec::new();
+            write_response(&mut buf, resp).unwrap();
+            let mut cursor = Cursor::new(buf);
+            assert_eq!(read_response(&mut cursor).unwrap().unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(read_request(&mut empty).unwrap().is_none());
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(read_response(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let req = WireRequest {
+            tag: 5,
+            payload: Bytes::from(vec![1u8; 100]),
+        };
+        let encoded = encode_request(&req);
+        let truncated = &encoded[..encoded.len() - 10];
+        let mut cursor = Cursor::new(truncated.to_vec());
+        let err = read_request(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn bad_status_byte_is_an_error() {
+        let mut buf = vec![0u8; 9];
+        buf[8] = 200;
+        let mut cursor = Cursor::new(buf);
+        assert!(read_response(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn bad_length_is_an_error() {
+        // Length below the tag size.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 3]);
+        let mut cursor = Cursor::new(buf);
+        assert!(read_request(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_sequentially() {
+        let a = WireRequest {
+            tag: 1,
+            payload: Bytes::from_static(b"aaa"),
+        };
+        let b = WireRequest {
+            tag: 2,
+            payload: Bytes::from_static(b"bbbbbb"),
+        };
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_request(&a));
+        stream.extend_from_slice(&encode_request(&b));
+        let mut cursor = Cursor::new(stream);
+        assert_eq!(read_request(&mut cursor).unwrap().unwrap(), a);
+        assert_eq!(read_request(&mut cursor).unwrap().unwrap(), b);
+        assert!(read_request(&mut cursor).unwrap().is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Software network impairment — the live mode's NetEm.
+//!
+//! TCP on loopback is effectively perfect, so the client passes every
+//! outgoing request through this shim first. The shim reproduces the two
+//! Table V knobs in wall-clock time:
+//!
+//! * **rate limiting** — a token bucket over payload bytes: a send must
+//!   wait until enough link-time has accrued (`bytes·8 / bandwidth`),
+//! * **packet loss** — with the frame's packet-loss-derived drop
+//!   probability, the request is simply never sent (the transport "gave
+//!   up"), which the device observes as a deadline timeout, just like a
+//!   dropped frame on a real lossy link.
+
+use parking_lot::Mutex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Impairment settings, mirroring `ff_net::NetworkConditions`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impairment {
+    /// Emulated link bandwidth in Mbps.
+    pub bandwidth_mbps: f64,
+    /// Per-packet loss percentage; converted to a per-frame drop
+    /// probability using the same MTU math as the simulator.
+    pub loss_pct: f64,
+}
+
+impl Impairment {
+    /// Effectively unimpaired loopback (1 Gbps, no loss).
+    pub fn ideal() -> Self {
+        Impairment {
+            bandwidth_mbps: 1_000.0,
+            loss_pct: 0.0,
+        }
+    }
+}
+
+/// What the shim decided for one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimVerdict {
+    /// Send after the returned pacing delay.
+    SendAfter(Duration),
+    /// Drop the frame entirely (simulated loss beyond ARQ recovery).
+    Drop,
+}
+
+const MTU_BYTES: f64 = 1_500.0;
+/// ARQ rounds before the transport gives up (matches `ff_net`'s default).
+const MAX_ATTEMPTS: i32 = 4;
+
+struct ShimState {
+    conditions: Impairment,
+    /// Instant until which the emulated link is busy serializing.
+    busy_until: Instant,
+    rng: ChaCha8Rng,
+}
+
+/// Thread-safe impairment shim shared by client sender threads.
+pub struct ImpairmentShim {
+    state: Mutex<ShimState>,
+    max_backlog: Duration,
+}
+
+impl ImpairmentShim {
+    /// A shim applying `conditions` from the first send.
+    pub fn new(conditions: Impairment, rng: ChaCha8Rng) -> Self {
+        ImpairmentShim {
+            state: Mutex::new(ShimState {
+                conditions,
+                busy_until: Instant::now(),
+                rng,
+            }),
+            max_backlog: Duration::from_millis(600),
+        }
+    }
+
+    /// Apply new conditions (a schedule step).
+    pub fn set_conditions(&self, conditions: Impairment) {
+        self.state.lock().conditions = conditions;
+    }
+
+    /// The conditions currently applied.
+    pub fn conditions(&self) -> Impairment {
+        self.state.lock().conditions
+    }
+
+    /// Decide the fate of a `bytes`-sized frame offered now.
+    pub fn offer(&self, bytes: u64) -> ShimVerdict {
+        let mut s = self.state.lock();
+        let now = Instant::now();
+
+        // Frame-level drop probability: the frame is lost if any packet
+        // fails MAX_ATTEMPTS rounds, P(drop) = 1 − (1 − p^A)^n.
+        let p = s.conditions.loss_pct / 100.0;
+        if p > 0.0 {
+            let n_packets = (bytes as f64 / MTU_BYTES).ceil();
+            let p_pkt_gone = p.powi(MAX_ATTEMPTS);
+            let p_drop = 1.0 - (1.0 - p_pkt_gone).powf(n_packets);
+            if s.rng.gen_bool(p_drop.clamp(0.0, 1.0)) {
+                return ShimVerdict::Drop;
+            }
+            // Surviving frames pay the expected retransmission latency:
+            // with probability 1−(1−p)^n at least one extra round.
+            // (Folded into serialization below via an inflation factor.)
+        }
+
+        // Serialization pacing with a bounded backlog (tail drop).
+        let serialization =
+            Duration::from_secs_f64(bytes as f64 * 8.0 / (s.conditions.bandwidth_mbps * 1e6));
+        // Loss inflates effective serialization by the expected number of
+        // transmissions per packet, 1 / (1 − p).
+        let inflation = if p > 0.0 { 1.0 / (1.0 - p) } else { 1.0 };
+        let serialization = serialization.mul_f64(inflation);
+
+        let start = s.busy_until.max(now);
+        if start.saturating_duration_since(now) > self.max_backlog {
+            return ShimVerdict::Drop;
+        }
+        s.busy_until = start + serialization;
+        ShimVerdict::SendAfter(s.busy_until.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_sim::RngFactory;
+
+    fn shim(bw: f64, loss: f64) -> ImpairmentShim {
+        ImpairmentShim::new(
+            Impairment {
+                bandwidth_mbps: bw,
+                loss_pct: loss,
+            },
+            RngFactory::new(3).stream("shim"),
+        )
+    }
+
+    #[test]
+    fn ideal_link_sends_immediately() {
+        let s = shim(1_000.0, 0.0);
+        match s.offer(25_000) {
+            ShimVerdict::SendAfter(d) => assert!(d < Duration::from_millis(2), "{d:?}"),
+            ShimVerdict::Drop => panic!("ideal link dropped"),
+        }
+    }
+
+    #[test]
+    fn rate_limit_paces_consecutive_sends() {
+        let s = shim(10.0, 0.0); // 25 KB = 20 ms of link time
+        let d1 = match s.offer(25_000) {
+            ShimVerdict::SendAfter(d) => d,
+            _ => panic!(),
+        };
+        let d2 = match s.offer(25_000) {
+            ShimVerdict::SendAfter(d) => d,
+            _ => panic!(),
+        };
+        assert!(d2 > d1, "second send must queue behind the first");
+        assert!(d2 >= Duration::from_millis(35), "expected ~40 ms, got {d2:?}");
+    }
+
+    #[test]
+    fn backlog_cap_drops_excess() {
+        let s = shim(1.0, 0.0); // 25 KB = 200 ms each; cap at 600 ms
+        let mut drops = 0;
+        for _ in 0..10 {
+            if s.offer(25_000) == ShimVerdict::Drop {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 5, "only {drops} drops");
+    }
+
+    #[test]
+    fn heavy_loss_drops_frames() {
+        let s = shim(1_000.0, 60.0);
+        let drops = (0..200)
+            .filter(|_| s.offer(25_000) == ShimVerdict::Drop)
+            .count();
+        // P(drop) = 1-(1-0.6^4)^17 ≈ 0.9; allow wide tolerance.
+        assert!(drops > 120, "only {drops}/200 drops at 60% loss");
+    }
+
+    #[test]
+    fn mild_loss_rarely_drops_but_slows() {
+        let s = shim(1_000.0, 7.0);
+        let drops = (0..1_000)
+            .filter(|_| s.offer(25_000) == ShimVerdict::Drop)
+            .count();
+        // P(drop) ≈ 1-(1-0.07^4)^17 ≈ 0.04%.
+        assert!(drops < 20, "{drops}/1000 drops at 7% loss");
+    }
+
+    #[test]
+    fn conditions_can_change_mid_run() {
+        let s = shim(1_000.0, 0.0);
+        s.set_conditions(Impairment {
+            bandwidth_mbps: 1.0,
+            loss_pct: 7.0,
+        });
+        assert_eq!(s.conditions().bandwidth_mbps, 1.0);
+    }
+}

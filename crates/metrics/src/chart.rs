@@ -1,0 +1,259 @@
+//! Terminal (ASCII) line charts.
+//!
+//! The figure-regeneration binaries print their series as plain-text
+//! charts so "regenerating Figure 3" produces an actual figure in the
+//! terminal, not just rows of numbers. Deliberately dependency-free and
+//! deterministic (stable output for snapshot tests).
+
+/// One plottable series: a label, a plotting symbol, and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct ChartSeries<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Character used to plot this series' points.
+    pub symbol: char,
+    /// `(x, y)` points, any order.
+    pub points: &'a [(f64, f64)],
+}
+
+/// Chart geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartConfig {
+    /// Plot area width in columns (excluding the y-axis gutter).
+    pub width: usize,
+    /// Plot area height in rows.
+    pub height: usize,
+    /// Y-axis label printed above the chart.
+    pub y_label: &'static str,
+    /// X-axis label printed below the chart.
+    pub x_label: &'static str,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            width: 72,
+            height: 16,
+            y_label: "",
+            x_label: "",
+        }
+    }
+}
+
+/// Render the series into a multi-line string.
+///
+/// The y-range spans `[0, max]` (throughput charts are zero-based); the
+/// x-range spans the union of the series. Later series overwrite earlier
+/// ones where they collide.
+pub fn render_chart(config: &ChartConfig, series: &[ChartSeries<'_>]) -> String {
+    assert!(config.width >= 8 && config.height >= 2, "chart too small");
+    let all_points = series.iter().flat_map(|s| s.points.iter());
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut y_max = f64::NEG_INFINITY;
+    let mut any = false;
+    for &(x, y) in all_points {
+        assert!(x.is_finite() && y.is_finite(), "chart points must be finite");
+        any = true;
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_max = y_max.max(y);
+    }
+    if !any {
+        return String::from("(empty chart)\n");
+    }
+    let y_max = y_max.max(1e-9);
+    let x_span = (x_max - x_min).max(1e-9);
+
+    let mut grid = vec![vec![' '; config.width]; config.height];
+    for s in series {
+        for &(x, y) in s.points {
+            let col = (((x - x_min) / x_span) * (config.width - 1) as f64).round() as usize;
+            let y_clamped = y.clamp(0.0, y_max);
+            let row_from_bottom =
+                ((y_clamped / y_max) * (config.height - 1) as f64).round() as usize;
+            let row = config.height - 1 - row_from_bottom;
+            grid[row][col] = s.symbol;
+        }
+    }
+
+    let gutter = 8;
+    let mut out = String::new();
+    if !config.y_label.is_empty() {
+        out.push_str(&format!("{:>gutter$} {}\n", "", config.y_label));
+    }
+    for (i, row) in grid.iter().enumerate() {
+        // Y tick at the top, middle, and bottom rows.
+        let tick = if i == 0 {
+            format!("{y_max:>7.1} ")
+        } else if i == config.height - 1 {
+            format!("{:>7.1} ", 0.0)
+        } else if i == config.height / 2 {
+            format!("{:>7.1} ", y_max / 2.0)
+        } else {
+            " ".repeat(gutter)
+        };
+        out.push_str(&tick);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(gutter));
+    out.push('+');
+    out.push_str(&"-".repeat(config.width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>gutter$} {:<.1}{:>pad$.1}  {}\n",
+        "",
+        x_min,
+        x_max,
+        config.x_label,
+        pad = config.width.saturating_sub(4),
+    ));
+    // Legend.
+    out.push_str(&" ".repeat(gutter));
+    for s in series {
+        out.push_str(&format!(" {}={}", s.symbol, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChartConfig {
+        ChartConfig {
+            width: 20,
+            height: 5,
+            y_label: "P",
+            x_label: "t",
+        }
+    }
+
+    #[test]
+    fn renders_points_at_the_extremes() {
+        let points = [(0.0, 0.0), (10.0, 30.0)];
+        let out = render_chart(
+            &tiny(),
+            &[ChartSeries {
+                label: "p",
+                symbol: '*',
+                points: &points,
+            }],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // Top plot row holds the max point at the right edge.
+        let top = lines[1];
+        assert!(top.ends_with('*'), "top row: {top:?}");
+        // Bottom plot row holds the zero point at the left edge.
+        let bottom = lines[5];
+        assert_eq!(bottom.chars().nth(9), Some('*'), "bottom row: {bottom:?}");
+    }
+
+    #[test]
+    fn axis_ticks_show_the_range() {
+        let points = [(0.0, 0.0), (10.0, 30.0)];
+        let out = render_chart(
+            &tiny(),
+            &[ChartSeries {
+                label: "p",
+                symbol: '*',
+                points: &points,
+            }],
+        );
+        assert!(out.contains("30.0"), "max tick missing:\n{out}");
+        assert!(out.contains("0.0"));
+        assert!(out.contains("15.0"), "midpoint tick missing:\n{out}");
+    }
+
+    #[test]
+    fn legend_lists_every_series() {
+        let a = [(0.0, 1.0)];
+        let b = [(0.0, 2.0)];
+        let out = render_chart(
+            &tiny(),
+            &[
+                ChartSeries {
+                    label: "alpha",
+                    symbol: 'a',
+                    points: &a,
+                },
+                ChartSeries {
+                    label: "beta",
+                    symbol: 'b',
+                    points: &b,
+                },
+            ],
+        );
+        assert!(out.contains("a=alpha"));
+        assert!(out.contains("b=beta"));
+    }
+
+    #[test]
+    fn empty_series_render_a_placeholder() {
+        let out = render_chart(&tiny(), &[]);
+        assert_eq!(out, "(empty chart)\n");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let points = [(0.0, 5.0), (1.0, 10.0), (2.0, 3.0)];
+        let s = [ChartSeries {
+            label: "x",
+            symbol: 'x',
+            points: &points,
+        }];
+        assert_eq!(render_chart(&tiny(), &s), render_chart(&tiny(), &s));
+    }
+
+    #[test]
+    fn later_series_overwrite_earlier_on_collision() {
+        let points = [(0.0, 10.0)];
+        let out = render_chart(
+            &tiny(),
+            &[
+                ChartSeries {
+                    label: "under",
+                    symbol: 'u',
+                    points: &points,
+                },
+                ChartSeries {
+                    label: "over",
+                    symbol: 'o',
+                    points: &points,
+                },
+            ],
+        );
+        assert!(!out.lines().nth(1).unwrap().contains('u'));
+        assert!(out.lines().nth(1).unwrap().contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_points_panic() {
+        let points = [(0.0, f64::NAN)];
+        render_chart(
+            &tiny(),
+            &[ChartSeries {
+                label: "bad",
+                symbol: '!',
+                points: &points,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_geometry_panics() {
+        render_chart(
+            &ChartConfig {
+                width: 2,
+                height: 1,
+                y_label: "",
+                x_label: "",
+            },
+            &[],
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Quality-of-service accounting in the paper's notation (Table I).
+//!
+//! Each measurement interval (1 s by default) yields a [`QosRecord`] with
+//! the achieved rates: local `P_l`, offload `P_o`, timeout `T` (split into
+//! network-induced `T_n` and load-induced `T_l`), and the derived total
+//! throughput `P = P_o + P_l − T` that Figures 3 and 4 plot.
+
+use ff_sim::SimTime;
+use serde::Serialize;
+
+/// The per-interval QoS measurement, mirroring the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+pub struct QosRecord {
+    /// End of the measurement interval, seconds since start.
+    pub t_secs: f64,
+    /// Local processing rate `P_l` (successful local inferences / s).
+    pub pl: f64,
+    /// Offloading rate `P_o` (offload responses arrived, on time or not, / s).
+    pub po: f64,
+    /// Total timeout rate `T` (offloaded frames that missed the deadline / s).
+    pub timeouts: f64,
+    /// Timeouts attributable to the network (`T_n`).
+    pub timeouts_network: f64,
+    /// Timeouts attributable to server load: queueing or rejection (`T_l`).
+    pub timeouts_load: f64,
+    /// The controller's current offload-rate target (frames / s).
+    pub po_target: f64,
+}
+
+impl QosRecord {
+    /// Total successful inference throughput `P = P_o + P_l − T`.
+    ///
+    /// This is the paper's headline metric ("The dark blue dots represent
+    /// `P_o + P_l − T` and represent the throughput", §IV-D).
+    pub fn throughput(&self) -> f64 {
+        self.po + self.pl - self.timeouts
+    }
+}
+
+/// The full per-interval QoS history of one device over one experiment.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct QosLog {
+    records: Vec<QosRecord>,
+}
+
+/// Aggregate over a time range, as printed in experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QosAggregate {
+    /// Start of the aggregated range (inclusive), seconds.
+    pub from_secs: f64,
+    /// End of the aggregated range (exclusive), seconds.
+    pub to_secs: f64,
+    /// Number of interval records in the range.
+    pub intervals: usize,
+    /// Mean total throughput `P` over the range.
+    pub mean_throughput: f64,
+    /// Mean local rate `P_l`.
+    pub mean_pl: f64,
+    /// Mean achieved offload rate `P_o`.
+    pub mean_po: f64,
+    /// Mean timeout rate `T`.
+    pub mean_timeouts: f64,
+    /// Mean controller offload target.
+    pub mean_po_target: f64,
+}
+
+impl QosLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one interval record; time must be non-decreasing.
+    pub fn push(&mut self, r: QosRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                r.t_secs >= last.t_secs,
+                "QosLog records must arrive in time order"
+            );
+        }
+        self.records.push(r);
+    }
+
+    /// Convenience: build and append a record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_at(
+        &mut self,
+        t: SimTime,
+        pl: f64,
+        po: f64,
+        timeouts_network: f64,
+        timeouts_load: f64,
+        po_target: f64,
+    ) {
+        self.push(QosRecord {
+            t_secs: t.as_secs_f64(),
+            pl,
+            po,
+            timeouts: timeouts_network + timeouts_load,
+            timeouts_network,
+            timeouts_load,
+            po_target,
+        });
+    }
+
+    /// All interval records, in time order.
+    pub fn records(&self) -> &[QosRecord] {
+        &self.records
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no intervals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Aggregate statistics over `[from, to)` seconds.
+    pub fn aggregate(&self, from: f64, to: f64) -> Option<QosAggregate> {
+        let sel: Vec<&QosRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.t_secs >= from && r.t_secs < to)
+            .collect();
+        if sel.is_empty() {
+            return None;
+        }
+        let n = sel.len() as f64;
+        Some(QosAggregate {
+            from_secs: from,
+            to_secs: to,
+            intervals: sel.len(),
+            mean_throughput: sel.iter().map(|r| r.throughput()).sum::<f64>() / n,
+            mean_pl: sel.iter().map(|r| r.pl).sum::<f64>() / n,
+            mean_po: sel.iter().map(|r| r.po).sum::<f64>() / n,
+            mean_timeouts: sel.iter().map(|r| r.timeouts).sum::<f64>() / n,
+            mean_po_target: sel.iter().map(|r| r.po_target).sum::<f64>() / n,
+        })
+    }
+
+    /// Aggregate over the whole log.
+    pub fn aggregate_all(&self) -> Option<QosAggregate> {
+        self.aggregate(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Mean throughput over the whole run — the scalar used for
+    /// controller-vs-controller comparisons.
+    pub fn mean_throughput(&self) -> f64 {
+        self.aggregate_all().map_or(0.0, |a| a.mean_throughput)
+    }
+
+    /// Fraction of intervals in which `P < P_l`-floor would have been
+    /// violated, i.e. the controller let timeouts eat into local capacity.
+    /// (§II-A.5: "the controller should always strive to keep P ≥ P_l".)
+    pub fn floor_violation_fraction(&self, pl_capacity: f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let bad = self
+            .records
+            .iter()
+            .filter(|r| r.throughput() < pl_capacity)
+            .count();
+        bad as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, pl: f64, po: f64, tn: f64, tl: f64) -> QosRecord {
+        QosRecord {
+            t_secs: t,
+            pl,
+            po,
+            timeouts: tn + tl,
+            timeouts_network: tn,
+            timeouts_load: tl,
+            po_target: po,
+        }
+    }
+
+    #[test]
+    fn throughput_is_po_plus_pl_minus_t() {
+        let r = rec(1.0, 10.0, 20.0, 3.0, 2.0);
+        assert_eq!(r.throughput(), 25.0);
+    }
+
+    #[test]
+    fn aggregate_over_range() {
+        let mut log = QosLog::new();
+        log.push(rec(0.0, 10.0, 0.0, 0.0, 0.0));
+        log.push(rec(1.0, 10.0, 10.0, 0.0, 0.0));
+        log.push(rec(2.0, 10.0, 20.0, 5.0, 0.0));
+        let a = log.aggregate(1.0, 3.0).unwrap();
+        assert_eq!(a.intervals, 2);
+        assert!((a.mean_throughput - ((20.0 + 25.0) / 2.0)).abs() < 1e-12);
+        assert!((a.mean_po - 15.0).abs() < 1e-12);
+        assert!(log.aggregate(10.0, 20.0).is_none());
+    }
+
+    #[test]
+    fn push_at_sums_timeout_components() {
+        let mut log = QosLog::new();
+        log.push_at(SimTime::from_secs(1), 5.0, 12.0, 2.0, 1.0, 13.0);
+        let r = log.records()[0];
+        assert_eq!(r.timeouts, 3.0);
+        assert_eq!(r.t_secs, 1.0);
+        assert_eq!(r.po_target, 13.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_records_panic() {
+        let mut log = QosLog::new();
+        log.push(rec(2.0, 0.0, 0.0, 0.0, 0.0));
+        log.push(rec(1.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn floor_violation_fraction_counts_bad_intervals() {
+        let mut log = QosLog::new();
+        log.push(rec(0.0, 13.0, 0.0, 0.0, 0.0)); // P = 13, at floor
+        log.push(rec(1.0, 0.0, 30.0, 25.0, 0.0)); // P = 5 < 13: violation
+        log.push(rec(2.0, 5.0, 20.0, 0.0, 0.0)); // P = 25
+        assert!((log.floor_violation_fraction(13.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(QosLog::new().floor_violation_fraction(13.0), 0.0);
+    }
+
+    #[test]
+    fn mean_throughput_of_empty_log_is_zero() {
+        assert_eq!(QosLog::new().mean_throughput(), 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Time series storage and summarization for experiment output.
+
+use ff_sim::SimTime;
+use serde::Serialize;
+
+/// One `(t, value)` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Sample {
+    /// Sample instant in seconds since experiment start.
+    pub t_secs: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// An append-only series of timestamped samples (e.g. `P` per second).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// An empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series' display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a sample; time must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        let t_secs = t.as_secs_f64();
+        if let Some(last) = self.samples.last() {
+            assert!(
+                t_secs >= last.t_secs,
+                "TimeSeries samples must arrive in time order"
+            );
+        }
+        self.samples.push(Sample { t_secs, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Mean of values whose instant lies in `[from, to)` seconds.
+    /// Returns `None` if the range holds no samples.
+    pub fn mean_between(&self, from: f64, to: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            if s.t_secs >= from && s.t_secs < to {
+                sum += s.value;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Mean over the whole series.
+    pub fn mean(&self) -> Option<f64> {
+        self.mean_between(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Minimum value over `[from, to)`.
+    pub fn min_between(&self, from: f64, to: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.t_secs >= from && s.t_secs < to)
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Maximum value over `[from, to)`.
+    pub fn max_between(&self, from: f64, to: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.t_secs >= from && s.t_secs < to)
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Standard deviation (population) over `[from, to)`.
+    pub fn stddev_between(&self, from: f64, to: f64) -> Option<f64> {
+        let mean = self.mean_between(from, to)?;
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.t_secs >= from && s.t_secs < to)
+            .map(|s| s.value)
+            .collect();
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        Some(var.sqrt())
+    }
+}
+
+/// Order statistics over a set of scalar observations (e.g. latencies).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    values_ms: Vec<f64>,
+    sorted: bool,
+}
+
+/// Summary emitted by [`LatencyStats::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of observations summarized.
+    pub count: usize,
+    /// Arithmetic mean, milliseconds.
+    pub mean_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Largest observation, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation in milliseconds. Non-finite values are bugs.
+    pub fn record_ms(&mut self, ms: f64) {
+        assert!(ms.is_finite(), "latency observation must be finite");
+        self.values_ms.push(ms);
+        self.sorted = false;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.values_ms.len()
+    }
+
+    /// Linear-interpolated percentile, `q` in `[0, 1]`.
+    pub fn percentile_ms(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]");
+        if self.values_ms.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values_ms
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.sorted = true;
+        }
+        let n = self.values_ms.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values_ms[lo] * (1.0 - frac) + self.values_ms[hi] * frac)
+    }
+
+    /// Arithmetic mean in milliseconds, if any observation was recorded.
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.values_ms.is_empty() {
+            return None;
+        }
+        Some(self.values_ms.iter().sum::<f64>() / self.values_ms.len() as f64)
+    }
+
+    /// Fraction of observations strictly above `deadline_ms`.
+    pub fn violation_fraction(&self, deadline_ms: f64) -> f64 {
+        if self.values_ms.is_empty() {
+            return 0.0;
+        }
+        let v = self.values_ms.iter().filter(|&&x| x > deadline_ms).count();
+        v as f64 / self.values_ms.len() as f64
+    }
+
+    /// Build the standard summary (mean, p50/p95/p99, max).
+    pub fn summary(&mut self) -> Option<LatencySummary> {
+        if self.values_ms.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            count: self.count(),
+            mean_ms: self.mean_ms().unwrap(),
+            p50_ms: self.percentile_ms(0.50).unwrap(),
+            p95_ms: self.percentile_ms(0.95).unwrap(),
+            p99_ms: self.percentile_ms(0.99).unwrap(),
+            max_ms: self.percentile_ms(1.0).unwrap(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_aggregate() {
+        let mut s = TimeSeries::new("p");
+        for t in 0..10u64 {
+            s.push(SimTime::from_secs(t), t as f64);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.mean_between(0.0, 5.0), Some(2.0));
+        assert_eq!(s.min_between(2.0, 8.0), Some(2.0));
+        assert_eq!(s.max_between(2.0, 8.0), Some(7.0));
+        assert_eq!(s.mean(), Some(4.5));
+        assert_eq!(s.last().unwrap().value, 9.0);
+    }
+
+    #[test]
+    fn empty_range_yields_none() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(1), 1.0);
+        assert_eq!(s.mean_between(5.0, 10.0), None);
+        assert_eq!(s.min_between(5.0, 10.0), None);
+        assert_eq!(TimeSeries::new("empty").mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(2), 0.0);
+        s.push(SimTime::from_secs(1), 0.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut s = TimeSeries::new("c");
+        for t in 0..5u64 {
+            s.push(SimTime::from_secs(t), 3.0);
+        }
+        assert!(s.stddev_between(0.0, 10.0).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut l = LatencyStats::new();
+        for i in 1..=100 {
+            l.record_ms(i as f64);
+        }
+        assert_eq!(l.percentile_ms(0.0), Some(1.0));
+        assert_eq!(l.percentile_ms(1.0), Some(100.0));
+        let p50 = l.percentile_ms(0.5).unwrap();
+        assert!((p50 - 50.5).abs() < 1e-9, "got {p50}");
+        assert_eq!(l.mean_ms(), Some(50.5));
+    }
+
+    #[test]
+    fn violation_fraction_counts_strict_exceedances() {
+        let mut l = LatencyStats::new();
+        l.record_ms(100.0);
+        l.record_ms(250.0);
+        l.record_ms(300.0);
+        l.record_ms(400.0);
+        assert!((l.violation_fraction(250.0) - 0.5).abs() < 1e-12);
+        assert_eq!(l.violation_fraction(1000.0), 0.0);
+        assert_eq!(LatencyStats::new().violation_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut l = LatencyStats::new();
+        for v in [10.0, 20.0, 30.0] {
+            l.record_ms(v);
+        }
+        let s = l.summary().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_ms, 20.0);
+        assert_eq!(s.p50_ms, 20.0);
+        assert_eq!(s.max_ms, 30.0);
+        assert!(LatencyStats::new().summary().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_latency_panics() {
+        LatencyStats::new().record_ms(f64::NAN);
+    }
+
+    proptest! {
+        /// Percentiles are monotone in q and bounded by min/max.
+        #[test]
+        fn prop_percentiles_monotone(mut vals in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut l = LatencyStats::new();
+            for &v in &vals {
+                l.record_ms(v);
+            }
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = f64::NEG_INFINITY;
+            for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let p = l.percentile_ms(q).unwrap();
+                prop_assert!(p >= prev - 1e-9);
+                prop_assert!(p >= vals[0] - 1e-9 && p <= vals[vals.len()-1] + 1e-9);
+                prev = p;
+            }
+        }
+
+        /// Series mean always lies between min and max of the window.
+        #[test]
+        fn prop_mean_bounded(vals in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let mut s = TimeSeries::new("prop");
+            for (i, &v) in vals.iter().enumerate() {
+                s.push(SimTime::from_secs(i as u64), v);
+            }
+            let mean = s.mean().unwrap();
+            let min = s.min_between(f64::NEG_INFINITY, f64::INFINITY).unwrap();
+            let max = s.max_between(f64::NEG_INFINITY, f64::INFINITY).unwrap();
+            prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Accuracy under resolution and compression changes (§II-D).
+//!
+//! The paper observes that classifying at a resolution closer to the
+//! source, or with lighter compression, improves accuracy — at the price
+//! of more bytes per offloaded frame. Accuracy never feeds back into the
+//! controller (it is reporting-only in the paper), but the trade-off
+//! explorer in the bench crate uses this model to reproduce the §II-D
+//! discussion quantitatively.
+//!
+//! The model: top-1 accuracy degrades from the Table III anchor with a
+//! logistic penalty for downscaling below the native resolution and a
+//! linear-saturating penalty for heavy JPEG compression. Upscaling above
+//! native yields a small bounded gain (the "closer to the source" effect).
+
+use crate::compression::Compression;
+use crate::zoo::ModelKind;
+
+/// Predicted top-1 accuracy for `model` when fed frames prepared with the
+/// given compression settings.
+pub fn predicted_top1(model: ModelKind, c: Compression) -> f64 {
+    let p = model.profile();
+    let base = p.top1_accuracy;
+
+    // Resolution effect: ratio of provided to native resolution.
+    let r = c.resolution as f64 / p.native_resolution as f64;
+    let res_factor = if r >= 1.0 {
+        // Diminishing gain, capped at +3% relative.
+        1.0 + 0.03 * (1.0 - (-2.0 * (r - 1.0)).exp())
+    } else {
+        // Downscaling hurts fast once below ~60% of native.
+        let x = (r - 0.55) / 0.12;
+        1.0 / (1.0 + (-x).exp()) * 0.35 + 0.65
+    };
+
+    // Compression effect: negligible above q≈70, steep below q≈40.
+    let q = c.quality as f64 / 100.0;
+    let comp_factor = if q >= 0.7 {
+        1.0
+    } else {
+        let x = (q - 0.35) / 0.10;
+        1.0 / (1.0 + (-x).exp()) * 0.30 + 0.70
+    };
+
+    (base * res_factor * comp_factor).clamp(0.0, 1.0)
+}
+
+/// One point on the accuracy/bytes trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// The settings this point was evaluated at.
+    pub compression: Compression,
+    /// Predicted top-1 accuracy at these settings.
+    pub accuracy: f64,
+    /// Mean compressed frame size at these settings.
+    pub frame_bytes: u64,
+}
+
+/// Sweep the accuracy-vs-bytes frontier for a model over a grid of
+/// qualities and resolutions.
+pub fn tradeoff_frontier(
+    model: ModelKind,
+    qualities: &[u8],
+    resolutions: &[u32],
+) -> Vec<TradeoffPoint> {
+    let mut points = Vec::with_capacity(qualities.len() * resolutions.len());
+    for &q in qualities {
+        for &res in resolutions {
+            let c = Compression::new(q, res);
+            points.push(TradeoffPoint {
+                compression: c,
+                accuracy: predicted_top1(model, c),
+                frame_bytes: c.mean_frame_bytes(),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn native(model: ModelKind) -> Compression {
+        Compression::new(90, model.profile().native_resolution)
+    }
+
+    #[test]
+    fn native_settings_recover_table_iii_accuracy() {
+        for model in ModelKind::ALL {
+            let acc = predicted_top1(model, native(model));
+            let table = model.profile().top1_accuracy;
+            assert!(
+                (acc - table).abs() < 0.01,
+                "{model:?}: predicted {acc:.3} vs Table III {table:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_compression_hurts() {
+        let m = ModelKind::EfficientNetB0;
+        let light = predicted_top1(m, Compression::new(90, 224));
+        let heavy = predicted_top1(m, Compression::new(15, 224));
+        assert!(heavy < light - 0.05, "q15 {heavy:.3} vs q90 {light:.3}");
+    }
+
+    #[test]
+    fn downscaling_hurts_and_upscaling_helps_slightly() {
+        let m = ModelKind::MobileNetV3Small;
+        let nat = predicted_top1(m, Compression::new(90, 224));
+        let down = predicted_top1(m, Compression::new(90, 112));
+        let up = predicted_top1(m, Compression::new(90, 448));
+        assert!(down < nat - 0.03);
+        assert!(up > nat);
+        assert!(up < nat * 1.05, "upscaling gain is bounded");
+    }
+
+    #[test]
+    fn frontier_has_expected_size_and_monotone_bytes() {
+        let pts = tradeoff_frontier(ModelKind::EfficientNetB0, &[50, 90], &[160, 224]);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.accuracy > 0.0 && p.accuracy <= 1.0);
+            assert!(p.frame_bytes > 0);
+        }
+    }
+
+    proptest! {
+        /// Accuracy stays within [0, 1] for any admissible settings and is
+        /// monotone non-decreasing in quality.
+        #[test]
+        fn prop_accuracy_bounded_and_monotone_in_quality(
+            q in 1u8..=99,
+            res in 64u32..512,
+        ) {
+            for model in ModelKind::ALL {
+                let lo = predicted_top1(model, Compression::new(q, res));
+                let hi = predicted_top1(model, Compression::new(q + 1, res));
+                prop_assert!((0.0..=1.0).contains(&lo));
+                prop_assert!(hi >= lo - 1e-12, "{model:?} q{q}->{} {lo} -> {hi}", q + 1);
+            }
+        }
+
+        /// At fixed quality, accuracy is monotone in resolution.
+        #[test]
+        fn prop_accuracy_monotone_in_resolution(
+            res in 64u32..500,
+        ) {
+            for model in ModelKind::ALL {
+                let lo = predicted_top1(model, Compression::new(90, res));
+                let hi = predicted_top1(model, Compression::new(90, res + 8));
+                prop_assert!(hi >= lo - 1e-12);
+            }
+        }
+    }
+}

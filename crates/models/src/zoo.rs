@@ -1,0 +1,157 @@
+//! The classification model zoo used throughout the paper (§II-C, §II-D).
+//!
+//! The paper evaluates Keras MobileNetV3 and EfficientNet image
+//! classifiers. Inference itself is simulated — only each model's
+//! *performance characteristics* matter to the offloading system — so a
+//! model here is a profile: native input resolution, top-1 accuracy
+//! (Table III), and relative computational cost.
+
+use serde::{Deserialize, Serialize};
+
+/// The four classification models of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// MobileNetV3-Small — the fastest, least accurate model.
+    MobileNetV3Small,
+    /// MobileNetV3-Large.
+    MobileNetV3Large,
+    /// EfficientNet-B0.
+    EfficientNetB0,
+    /// EfficientNet-B4 — the heaviest, most accurate model (380 px input).
+    EfficientNetB4,
+}
+
+impl ModelKind {
+    /// All models, in Table III order.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::EfficientNetB0,
+        ModelKind::EfficientNetB4,
+        ModelKind::MobileNetV3Small,
+        ModelKind::MobileNetV3Large,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::MobileNetV3Small => "MobileNetV3Small",
+            ModelKind::MobileNetV3Large => "MobileNetV3Large",
+            ModelKind::EfficientNetB0 => "EfficientNetB0",
+            ModelKind::EfficientNetB4 => "EfficientNetB4",
+        }
+    }
+
+    /// The profile for this model.
+    pub fn profile(self) -> ModelProfile {
+        match self {
+            ModelKind::MobileNetV3Small => ModelProfile {
+                kind: self,
+                top1_accuracy: 0.674,
+                native_resolution: 224,
+                // Relative FLOP cost, MobileNetV3Small = 1. Used to derive
+                // execution times not directly reported by the paper.
+                relative_cost: 1.0,
+            },
+            ModelKind::MobileNetV3Large => ModelProfile {
+                kind: self,
+                top1_accuracy: 0.752,
+                native_resolution: 224,
+                relative_cost: 3.7, // ~219 vs ~59 MFLOPs
+            },
+            ModelKind::EfficientNetB0 => ModelProfile {
+                kind: self,
+                top1_accuracy: 0.771,
+                native_resolution: 224,
+                relative_cost: 6.6, // ~390 MFLOPs
+            },
+            ModelKind::EfficientNetB4 => ModelProfile {
+                kind: self,
+                top1_accuracy: 0.829,
+                native_resolution: 380,
+                relative_cost: 75.0, // ~4.4 GFLOPs
+            },
+        }
+    }
+}
+
+/// Static characteristics of one classification model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// The model this profile describes.
+    pub kind: ModelKind,
+    /// ImageNet top-1 accuracy at the native resolution (Table III).
+    pub top1_accuracy: f64,
+    /// Pre-training input resolution in pixels per side (§II-D: 224 for
+    /// all models except EfficientNetB4 at 380).
+    pub native_resolution: u32,
+    /// Computational cost relative to MobileNetV3Small.
+    pub relative_cost: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_accuracies_match_paper() {
+        assert_eq!(
+            ModelKind::EfficientNetB0.profile().top1_accuracy,
+            0.771,
+            "EfficientNetB0 must be 77.1%"
+        );
+        assert_eq!(ModelKind::EfficientNetB4.profile().top1_accuracy, 0.829);
+        assert_eq!(
+            ModelKind::MobileNetV3Small.profile().top1_accuracy,
+            0.674
+        );
+        assert_eq!(
+            ModelKind::MobileNetV3Large.profile().top1_accuracy,
+            0.752
+        );
+    }
+
+    #[test]
+    fn native_resolutions_match_section_iid() {
+        for kind in ModelKind::ALL {
+            let expected = if kind == ModelKind::EfficientNetB4 {
+                380
+            } else {
+                224
+            };
+            assert_eq!(kind.profile().native_resolution, expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cost_ordering_is_sensible() {
+        let cost = |k: ModelKind| k.profile().relative_cost;
+        assert!(cost(ModelKind::MobileNetV3Small) < cost(ModelKind::MobileNetV3Large));
+        assert!(cost(ModelKind::MobileNetV3Large) < cost(ModelKind::EfficientNetB0));
+        assert!(cost(ModelKind::EfficientNetB0) < cost(ModelKind::EfficientNetB4));
+    }
+
+    #[test]
+    fn accuracy_tracks_cost_within_family() {
+        // More expensive models in the zoo are more accurate.
+        let mut by_cost: Vec<_> = ModelKind::ALL
+            .iter()
+            .map(|k| k.profile())
+            .collect();
+        by_cost.sort_by(|a, b| a.relative_cost.partial_cmp(&b.relative_cost).unwrap());
+        let accs: Vec<f64> = by_cost.iter().map(|p| p.top1_accuracy).collect();
+        assert!(accs.windows(2).all(|w| w[0] < w[1]), "{accs:?}");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(ModelKind::MobileNetV3Small.name(), "MobileNetV3Small");
+        assert_eq!(ModelKind::EfficientNetB4.name(), "EfficientNetB4");
+    }
+
+    #[test]
+    fn profiles_serialize_and_round_trip() {
+        let p = ModelKind::EfficientNetB0.profile();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ModelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

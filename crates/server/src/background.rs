@@ -1,0 +1,118 @@
+//! Background (multi-tenant) traffic generation.
+//!
+//! In the Table VI experiment, "other devices ... inject request volume"
+//! (§IV-C.2). We model that injected volume as a Poisson process whose
+//! rate follows the Table VI schedule: memoryless arrivals are the
+//! standard model for the superposition of many independent clients.
+//!
+//! The sampler is schedule-agnostic — the experiment driver passes the
+//! rate in force and handles rate-change points — so it stays free of
+//! upward dependencies.
+
+use ff_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Samples Poisson arrival gaps for the aggregate background load.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals<R: Rng> {
+    rng: R,
+}
+
+impl<R: Rng> PoissonArrivals<R> {
+    /// A sampler drawing gaps from `rng`.
+    pub fn new(rng: R) -> Self {
+        PoissonArrivals { rng }
+    }
+
+    /// The next arrival after `now` at `rate_per_sec`, or `None` when the
+    /// rate is zero (the caller should re-poll at the next schedule step).
+    pub fn next_after(&mut self, now: SimTime, rate_per_sec: f64) -> Option<SimTime> {
+        assert!(
+            rate_per_sec >= 0.0 && rate_per_sec.is_finite(),
+            "rate must be finite and non-negative, got {rate_per_sec}"
+        );
+        if rate_per_sec == 0.0 {
+            return None;
+        }
+        // Inverse-CDF exponential sampling; clamp u away from 0 so ln is finite.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_secs = -u.ln() / rate_per_sec;
+        Some(now + SimDuration::from_secs_f64(gap_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_sim::RngFactory;
+
+    #[test]
+    fn zero_rate_yields_no_arrival() {
+        let mut p = PoissonArrivals::new(RngFactory::new(1).stream("bg"));
+        assert_eq!(p.next_after(SimTime::ZERO, 0.0), None);
+    }
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let mut p = PoissonArrivals::new(RngFactory::new(2).stream("bg"));
+        let rate = 120.0;
+        let mut now = SimTime::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            now = p.next_after(now, rate).unwrap();
+        }
+        let mean_gap = now.as_secs_f64() / n as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean_gap - expected).abs() / expected < 0.03,
+            "mean gap {mean_gap:.6}s vs expected {expected:.6}s"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_strictly_after_now() {
+        let mut p = PoissonArrivals::new(RngFactory::new(3).stream("bg"));
+        let now = SimTime::from_secs(5);
+        for _ in 0..1000 {
+            let t = p.next_after(now, 1000.0).unwrap();
+            assert!(t > now);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_arrivals() {
+        let mut a = PoissonArrivals::new(RngFactory::new(4).stream("bg"));
+        let mut b = PoissonArrivals::new(RngFactory::new(4).stream("bg"));
+        let mut ta = SimTime::ZERO;
+        let mut tb = SimTime::ZERO;
+        for _ in 0..100 {
+            ta = a.next_after(ta, 90.0).unwrap();
+            tb = b.next_after(tb, 90.0).unwrap();
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        PoissonArrivals::new(RngFactory::new(5).stream("bg")).next_after(SimTime::ZERO, -1.0);
+    }
+
+    #[test]
+    fn gap_variance_is_exponential_like() {
+        // For Exp(λ), std = mean. Check coefficient of variation ≈ 1.
+        let mut p = PoissonArrivals::new(RngFactory::new(6).stream("bg"));
+        let rate = 50.0;
+        let mut gaps = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..20_000 {
+            let next = p.next_after(now, rate).unwrap();
+            gaps.push((next - now).as_secs_f64());
+            now = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "coefficient of variation {cv:.3}");
+    }
+}

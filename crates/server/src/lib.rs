@@ -1,0 +1,20 @@
+//! # ff-server — the multi-tenant edge inference server
+//!
+//! The GPU-equipped server the devices offload to (paper Fig. 1, top
+//! right). Implements the paper's adaptive batching scheme — next batch =
+//! everything that arrived during the previous batch, capped at 15 with
+//! the overflow rejected — on top of the affine GPU latency model from
+//! `ff-models`, plus a Poisson sampler for Table VI's injected
+//! multi-tenant background load.
+
+#![warn(missing_docs)]
+
+mod background;
+mod policy;
+mod server;
+
+pub use background::PoissonArrivals;
+pub use policy::{jain_fairness_index, OverflowPolicy};
+pub use server::{
+    Completion, EdgeServer, Rejection, Request, ServerStats, Submit, TenantId,
+};

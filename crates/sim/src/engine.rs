@@ -1,0 +1,346 @@
+//! The simulation executor.
+//!
+//! A [`Simulation`] owns a model implementing [`SimModel`] and a
+//! future-event list. The executor pops the earliest event, advances the
+//! clock, and hands the event to the model together with a [`Ctx`] the
+//! model uses to schedule follow-up events or stop the run.
+//!
+//! This "one model, typed events" shape sidesteps the aliasing problems of
+//! closure-based schedulers: the model has exclusive `&mut self` access
+//! while handling an event, and the queue is only reachable through `Ctx`.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A simulatable system.
+pub trait SimModel {
+    /// The event alphabet of the system.
+    type Event;
+
+    /// Handle one event at the current simulated instant.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+}
+
+/// Scheduling context handed to the model during event handling.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// Panics if `at` is in the past: a causality violation is always a
+    /// model bug and silently reordering it would corrupt results.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} while now is {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after the relative delay `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Request that the run stop after this event is handled. Pending
+    /// events remain queued (a later `run_*` call would resume them).
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Number of pending events (excluding the one being handled).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon passed; the next event (if any) lies beyond it.
+    HorizonReached,
+    /// The model called [`Ctx::stop`].
+    Stopped,
+    /// The event budget given to `run_steps` was exhausted.
+    BudgetExhausted,
+}
+
+/// A discrete-event simulation: a model plus a clock and an event queue.
+pub struct Simulation<M: SimModel> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    events_handled: u64,
+}
+
+impl<M: SimModel> Simulation<M> {
+    /// A simulation of `model` with an empty event queue at t = 0.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_handled: 0,
+        }
+    }
+
+    /// The current simulated instant (time of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Immutable access to the model (for inspection between runs).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for reconfiguration between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Seed the queue before (or between) runs.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} while now is {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Seed the queue relative to the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Handle a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "event queue yielded an event in the past");
+        self.now = t;
+        self.events_handled += 1;
+        let mut stop = false;
+        let mut ctx = Ctx {
+            now: t,
+            queue: &mut self.queue,
+            stop_requested: &mut stop,
+        };
+        self.model.handle(&mut ctx, ev);
+        true
+    }
+
+    /// Run until the queue drains or the model stops the run.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue drains, the model stops, or the next event would
+    /// fire **after** `horizon` (events exactly at the horizon are handled).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::QueueEmpty,
+                Some(t) if t > horizon => {
+                    // The clock still advances to the horizon so that
+                    // wall-clock-style reporting between runs is sensible.
+                    self.now = self.now.max(horizon);
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            self.now = t;
+            self.events_handled += 1;
+            let mut stop = false;
+            let mut ctx = Ctx {
+                now: t,
+                queue: &mut self.queue,
+                stop_requested: &mut stop,
+            };
+            self.model.handle(&mut ctx, ev);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Run at most `budget` events (or until drained/stopped).
+    pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
+        for _ in 0..budget {
+            if self.queue.peek_time().is_none() { return RunOutcome::QueueEmpty }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            self.now = t;
+            self.events_handled += 1;
+            let mut stop = false;
+            let mut ctx = Ctx {
+                now: t,
+                queue: &mut self.queue,
+                stop_requested: &mut stop,
+            };
+            self.model.handle(&mut ctx, ev);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+        RunOutcome::BudgetExhausted
+    }
+
+    /// Consume the simulation and return the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: a ticker that counts ticks and re-schedules itself.
+    struct Ticker {
+        period: SimDuration,
+        ticks: u32,
+        stop_after: u32,
+        tick_times: Vec<SimTime>,
+    }
+
+    #[derive(Debug)]
+    enum TickEvent {
+        Tick,
+    }
+
+    impl SimModel for Ticker {
+        type Event = TickEvent;
+        fn handle(&mut self, ctx: &mut Ctx<'_, TickEvent>, _ev: TickEvent) {
+            self.ticks += 1;
+            self.tick_times.push(ctx.now());
+            if self.ticks >= self.stop_after {
+                ctx.stop();
+            } else {
+                ctx.schedule_in(self.period, TickEvent::Tick);
+            }
+        }
+    }
+
+    fn ticker(stop_after: u32) -> Simulation<Ticker> {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(1),
+            ticks: 0,
+            stop_after,
+            tick_times: Vec::new(),
+        });
+        sim.schedule_at(SimTime::ZERO, TickEvent::Tick);
+        sim
+    }
+
+    #[test]
+    fn ticker_stops_itself() {
+        let mut sim = ticker(5);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.model().ticks, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        assert_eq!(sim.events_handled(), 5);
+    }
+
+    #[test]
+    fn horizon_cuts_the_run_and_advances_clock() {
+        let mut sim = ticker(1000);
+        let outcome = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Ticks at t=0..=10 inclusive: 11 ticks.
+        assert_eq!(sim.model().ticks, 11);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        // Resuming continues from the pending event.
+        let outcome = sim.run_until(SimTime::from_secs(12));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.model().ticks, 13);
+    }
+
+    #[test]
+    fn empty_queue_reports_drained() {
+        struct Inert;
+        impl SimModel for Inert {
+            type Event = ();
+            fn handle(&mut self, _ctx: &mut Ctx<'_, ()>, _ev: ()) {}
+        }
+        let mut sim = Simulation::new(Inert);
+        assert_eq!(sim.run(), RunOutcome::QueueEmpty);
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn run_steps_respects_budget() {
+        let mut sim = ticker(1000);
+        assert_eq!(sim.run_steps(3), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.model().ticks, 3);
+    }
+
+    #[test]
+    fn tick_times_are_periodic() {
+        let mut sim = ticker(4);
+        sim.run();
+        assert_eq!(
+            sim.model().tick_times,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = ticker(3);
+        sim.run();
+        sim.schedule_at(SimTime::ZERO, TickEvent::Tick);
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_insertion_order() {
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        impl SimModel for Recorder {
+            type Event = u32;
+            fn handle(&mut self, _ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.seen.push(ev);
+            }
+        }
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_secs(1), i);
+        }
+        sim.run();
+        assert_eq!(sim.model().seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_model_returns_final_state() {
+        let mut sim = ticker(2);
+        sim.run();
+        let m = sim.into_model();
+        assert_eq!(m.ticks, 2);
+    }
+}

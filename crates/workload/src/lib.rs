@@ -1,0 +1,24 @@
+//! # ff-workload — frame streams and scenario schedules
+//!
+//! Generates the evaluation workloads of the paper:
+//!
+//! * [`FrameSource`] — a 30 fps, 4,000-frame compressed video stream with
+//!   calibrated JPEG frame sizes (§IV-A, §IV-D),
+//! * [`StepSchedule`] with [`table_v()`] / [`table_vi()`] — the exact
+//!   network-degradation and server-load schedules of Tables V and VI,
+//! * [`fig2_loss_injection()`] — the 7%-loss-at-27 s condition of Fig. 2.
+
+#![warn(missing_docs)]
+
+mod frames;
+mod mobility;
+mod scenario;
+
+pub use frames::{
+    Frame, FrameId, FrameSource, StreamConfig, PAPER_DEADLINE_MS, PAPER_FPS, PAPER_TOTAL_FRAMES,
+};
+pub use mobility::{mobility_trace, MobilityConfig};
+pub use scenario::{
+    fig2_loss_injection, ideal_network, table_v, table_vi, BackgroundLoad, NetworkConditions,
+    StepSchedule,
+};

@@ -1,0 +1,96 @@
+//! Live mode: the same FrameFeedback controller, but over a **real TCP
+//! connection in real time** — a local edge server with adaptive batching,
+//! a paced 30 fps capture loop, and a software NetEm shim that throttles
+//! the loopback link halfway through the run.
+//!
+//! This example runs for ~20 wall-clock seconds.
+//!
+//! ```sh
+//! cargo run --release --example live_offload
+//! ```
+
+use framefeedback::controller::FrameFeedback;
+use framefeedback::live::{
+    run_live_device, Impairment, ImpairmentShim, LiveDeviceConfig, LiveServer, LiveServerConfig,
+};
+use framefeedback::sim::RngFactory;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn main() {
+    let server = LiveServer::start("127.0.0.1:0", LiveServerConfig::default())
+        .expect("bind loopback server");
+    println!("edge server listening on {}", server.addr());
+
+    let shim = Arc::new(ImpairmentShim::new(
+        Impairment {
+            bandwidth_mbps: 10.0,
+            loss_pct: 0.0,
+        },
+        RngFactory::new(7).stream("live-example"),
+    ));
+
+    // Degrade the link to 2 Mbps after 10 seconds, like a NetEm phase.
+    {
+        let shim = Arc::clone(&shim);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_secs(10));
+            println!(">>> link degraded to 2 Mbps");
+            shim.set_conditions(Impairment {
+                bandwidth_mbps: 2.0,
+                loss_pct: 0.0,
+            });
+        });
+    }
+
+    let config = LiveDeviceConfig {
+        fs: 30.0,
+        duration: Duration::from_secs(20),
+        deadline: Duration::from_millis(250),
+        frame_bytes: 25_000,
+        local_rate_fps: 13.0,
+        tick: Duration::from_secs(1),
+    };
+
+    let mut controller = FrameFeedback::new();
+    let summary = run_live_device(server.addr(), config, shim, &mut controller)
+        .expect("device session");
+
+    println!("\nper-second control trace:");
+    println!("{:>6} {:>7} {:>7} {:>9} {:>7}", "t(s)", "P_l", "P_o", "timeouts", "Po*");
+    for r in &summary.records {
+        println!(
+            "{:>6.0} {:>7.1} {:>7.1} {:>9.1} {:>7.1}",
+            r.t_secs, r.pl, r.po, r.timeouts, r.po_target
+        );
+    }
+
+    if let (Some(p50), Some(p95)) = (
+        summary.latency_ms.percentile(0.5),
+        summary.latency_ms.percentile(0.95),
+    ) {
+        println!(
+            "\noffload latency over TCP: p50 {p50:.0} ms, p95 {p95:.0} ms (deadline 250 ms)"
+        );
+    }
+    println!(
+        "frames {}  offloaded {}  local {}  successes {}  timeouts {}  mean P {:.1}",
+        summary.frames,
+        summary.offloaded,
+        summary.local_completed,
+        summary.successes,
+        summary.timeouts,
+        summary.mean_throughput()
+    );
+
+    let s = server.stats();
+    println!(
+        "server: {} requests, {} completions, {} rejections, {} batches",
+        s.requests.load(std::sync::atomic::Ordering::Relaxed),
+        s.completions.load(std::sync::atomic::Ordering::Relaxed),
+        s.rejections.load(std::sync::atomic::Ordering::Relaxed),
+        s.batches.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    server.shutdown();
+}

@@ -1,0 +1,62 @@
+//! Multi-tenancy (§II-A, §IV-E): many devices share one GPU server. As
+//! background tenants ramp their request volume (Table VI), the measured
+//! device's controller must scale its own offloading back — and reclaim
+//! the capacity when the surge passes.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use framefeedback::controller::FrameFeedback;
+use framefeedback::device::{run_experiment, ExperimentConfig};
+use framefeedback::models::{GpuProfile, ModelKind};
+use framefeedback::workload::table_vi;
+
+fn main() {
+    let gpu = GpuProfile::default();
+    println!(
+        "server: adaptive batching, limit {} frames/batch, saturation ~{:.0} req/s for {}",
+        gpu.batch_limit,
+        gpu.saturation_throughput_fps(ModelKind::MobileNetV3Small),
+        ModelKind::MobileNetV3Small.name()
+    );
+
+    let mut config = ExperimentConfig::default();
+    config.background = table_vi();
+    config.peer_devices = 0;
+
+    let result = run_experiment(config, Box::new(FrameFeedback::new()));
+
+    println!("\nbackground load vs the controller's offload target:");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>10}",
+        "t(s)", "bg req/s", "Po target", "P", "timeouts"
+    );
+    let schedule = table_vi();
+    for rec in result.qos.records().iter().step_by(5) {
+        println!(
+            "{:>6.0} {:>12.0} {:>10.1} {:>8.1} {:>10.1}",
+            rec.t_secs,
+            schedule.value_at(rec.t_secs),
+            rec.po_target,
+            rec.throughput(),
+            rec.timeouts
+        );
+    }
+
+    let s = result.server_stats;
+    println!("\nserver-side view:");
+    println!("  requests received : {}", s.requests_received);
+    println!("  completions       : {}", s.completions);
+    println!("  rejections        : {} (batch-overflow, the T_l source)", s.rejections);
+    println!("  batches executed  : {} (mean size {:.1}, {} at the cap)",
+        s.batches_executed, s.mean_batch_size(), s.full_batches);
+
+    let peak = result.qos.aggregate(50.0, 60.0).unwrap();
+    let calm = result.qos.aggregate(110.0, 130.0).unwrap();
+    println!(
+        "\nat peak load (150 req/s) the device still fit {:.1} fps of offloading; \
+         after the surge it returned to {:.1} fps.",
+        peak.mean_po, calm.mean_po
+    );
+}

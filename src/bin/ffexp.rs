@@ -1,0 +1,389 @@
+//! `ffexp` — command-line experiment runner.
+//!
+//! Runs any paper scenario under any controller and prints the per-second
+//! QoS trace plus a summary, optionally exporting JSON:
+//!
+//! ```sh
+//! cargo run --release --bin ffexp -- --scenario table5 --controller framefeedback
+//! cargo run --release --bin ffexp -- --scenario table6 --controller all-or-nothing --seed 7
+//! cargo run --release --bin ffexp -- --scenario ideal --frames 900 --json out.json
+//! ```
+
+use framefeedback::baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
+use framefeedback::controller::{Controller, FrameFeedback, PidConfig};
+use framefeedback::device::{run_experiment, ExperimentConfig};
+use framefeedback::workload::{fig2_loss_injection, ideal_network, table_v, table_vi};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct CliConfig {
+    scenario: String,
+    controller: String,
+    seed: u64,
+    frames: u64,
+    kp: Option<f64>,
+    kd: Option<f64>,
+    json: Option<String>,
+    config_path: Option<String>,
+    dump_config: bool,
+    quiet: bool,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            scenario: "table5".into(),
+            controller: "framefeedback".into(),
+            seed: 42,
+            frames: 4_000,
+            kp: None,
+            kd: None,
+            json: None,
+            config_path: None,
+            dump_config: false,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+ffexp — FrameFeedback experiment runner
+
+USAGE:
+  ffexp [--scenario S] [--controller C] [--seed N] [--frames N]
+        [--kp X] [--kd X] [--json PATH] [--quiet]
+        [--config PATH]    load a full ExperimentConfig from JSON
+        [--dump-config]    print the default config as JSON and exit
+
+SCENARIOS:
+  ideal     perfect 10 Mbps network, no background load
+  table5    the paper's network-degradation schedule (Fig. 3)
+  table6    the paper's server-load schedule (Fig. 4)
+  combined  table5 x table6 simultaneously
+  fig2      ideal network, 7% packet loss injected at t = 27 s
+
+CONTROLLERS:
+  framefeedback | local-only | always-offload | all-or-nothing
+";
+
+fn parse_args(args: &[String]) -> Result<CliConfig, String> {
+    let mut config = CliConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => config.scenario = value("--scenario")?,
+            "--controller" => config.controller = value("--controller")?,
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--frames" => {
+                config.frames = value("--frames")?
+                    .parse()
+                    .map_err(|e| format!("--frames: {e}"))?
+            }
+            "--kp" => {
+                config.kp = Some(
+                    value("--kp")?
+                        .parse()
+                        .map_err(|e| format!("--kp: {e}"))?,
+                )
+            }
+            "--kd" => {
+                config.kd = Some(
+                    value("--kd")?
+                        .parse()
+                        .map_err(|e| format!("--kd: {e}"))?,
+                )
+            }
+            "--json" => config.json = Some(value("--json")?),
+            "--config" => config.config_path = Some(value("--config")?),
+            "--dump-config" => config.dump_config = true,
+            "--quiet" => config.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n\n{USAGE}")),
+        }
+    }
+    if !["ideal", "table5", "table6", "combined", "fig2"].contains(&config.scenario.as_str()) {
+        return Err(format!("unknown scenario {:?}\n\n{USAGE}", config.scenario));
+    }
+    if ![
+        "framefeedback",
+        "local-only",
+        "always-offload",
+        "all-or-nothing",
+    ]
+    .contains(&config.controller.as_str())
+    {
+        return Err(format!("unknown controller {:?}\n\n{USAGE}", config.controller));
+    }
+    if (config.kp.is_some() || config.kd.is_some()) && config.controller != "framefeedback" {
+        return Err("--kp/--kd only apply to the framefeedback controller".into());
+    }
+    Ok(config)
+}
+
+fn build_controller(cli: &CliConfig) -> Box<dyn Controller> {
+    match cli.controller.as_str() {
+        "framefeedback" => {
+            let mut pid = PidConfig::default();
+            if let Some(kp) = cli.kp {
+                pid.kp = kp;
+            }
+            if let Some(kd) = cli.kd {
+                pid.kd = kd;
+            }
+            Box::new(FrameFeedback::with_config(pid))
+        }
+        "local-only" => Box::new(LocalOnly::new()),
+        "always-offload" => Box::new(AlwaysOffload::new()),
+        "all-or-nothing" => Box::new(AllOrNothing::new()),
+        other => unreachable!("validated controller name {other}"),
+    }
+}
+
+fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
+    if let Some(path) = &cli.config_path {
+        let body = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read --config {path}: {e}"));
+        let mut config: ExperimentConfig = serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
+        // CLI flags still override file values.
+        config.seed = cli.seed;
+        if cli.frames != CliConfig::default().frames {
+            config.stream.total_frames = cli.frames;
+        }
+        return config;
+    }
+    let mut config = ExperimentConfig::default();
+    config.seed = cli.seed;
+    config.stream.total_frames = cli.frames;
+    match cli.scenario.as_str() {
+        "ideal" => {
+            config.network = ideal_network();
+            config.peer_devices = 0;
+        }
+        "table5" => config.network = table_v(),
+        "table6" => {
+            config.background = table_vi();
+            config.peer_devices = 0;
+        }
+        "combined" => {
+            config.network = table_v();
+            config.background = table_vi();
+            config.peer_devices = 0;
+        }
+        "fig2" => config.network = fig2_loss_injection(),
+        other => unreachable!("validated scenario name {other}"),
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.dump_config {
+        let template = build_experiment(&cli);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&template).expect("config serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let result = run_experiment(build_experiment(&cli), build_controller(&cli));
+
+    if !cli.quiet {
+        println!(
+            "# scenario={} controller={} seed={} frames={}",
+            cli.scenario, cli.controller, cli.seed, cli.frames
+        );
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "t(s)", "P", "P_l", "P_o", "T", "Po*"
+        );
+        for rec in result.qos.records() {
+            println!(
+                "{:>6.0} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+                rec.t_secs,
+                rec.throughput(),
+                rec.pl,
+                rec.po,
+                rec.timeouts,
+                rec.po_target
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "mean P = {:.2} fps | offloaded {} | local {} | timeouts {} | CPU {:.1}%",
+        result.mean_throughput,
+        result.frames_offloaded,
+        result.frames_local,
+        result.offload_timeouts,
+        result.cpu_usage_pct
+    );
+    if let Some(lat) = result.offload_latency {
+        println!(
+            "offload latency: p50 {:.0} ms, p95 {:.0} ms, p99 {:.0} ms (deadline 250 ms)",
+            lat.p50_ms, lat.p95_ms, lat.p99_ms
+        );
+    }
+    if let (Some(up), Some(srv)) = (result.uplink_latency, result.server_latency) {
+        println!(
+            "breakdown (successful offloads): uplink p50 {:.0} ms, server+down p50 {:.0} ms",
+            up.p50_ms, srv.p50_ms
+        );
+    }
+
+    if let Some(path) = &cli.json {
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("result exported to {path}");
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let c = parse_args(&[]).unwrap();
+        assert_eq!(c, CliConfig::default());
+    }
+
+    #[test]
+    fn full_argument_set_parses() {
+        let c = parse_args(&args(
+            "--scenario table6 --controller all-or-nothing --seed 7 --frames 900 --json out.json --quiet",
+        ))
+        .unwrap();
+        assert_eq!(c.scenario, "table6");
+        assert_eq!(c.controller, "all-or-nothing");
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.frames, 900);
+        assert_eq!(c.json.as_deref(), Some("out.json"));
+        assert!(c.quiet);
+    }
+
+    #[test]
+    fn gain_overrides_parse_for_framefeedback() {
+        let c = parse_args(&args("--kp 0.3 --kd 0.1")).unwrap();
+        assert_eq!(c.kp, Some(0.3));
+        assert_eq!(c.kd, Some(0.1));
+        let ctl = build_controller(&c);
+        assert_eq!(ctl.name(), "framefeedback");
+    }
+
+    #[test]
+    fn gain_overrides_rejected_for_baselines() {
+        let err = parse_args(&args("--controller local-only --kp 0.3")).unwrap_err();
+        assert!(err.contains("only apply"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(parse_args(&args("--scenario nope")).is_err());
+    }
+
+    #[test]
+    fn unknown_controller_is_rejected() {
+        assert!(parse_args(&args("--controller nope")).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(parse_args(&args("--bogus")).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let err = parse_args(&args("--seed")).unwrap_err();
+        assert!(err.contains("requires a value"));
+    }
+
+    #[test]
+    fn bad_numeric_value_is_rejected() {
+        assert!(parse_args(&args("--seed banana")).is_err());
+        assert!(parse_args(&args("--frames -3")).is_err());
+    }
+
+    #[test]
+    fn every_scenario_builds_an_experiment() {
+        for scenario in ["ideal", "table5", "table6", "combined", "fig2"] {
+            let mut cli = CliConfig::default();
+            cli.scenario = scenario.into();
+            cli.frames = 30;
+            let config = build_experiment(&cli);
+            assert_eq!(config.stream.total_frames, 30);
+        }
+    }
+
+    #[test]
+    fn config_file_round_trips_through_build() {
+        let dir = std::env::temp_dir().join("ffexp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("config.json");
+        let mut original = ExperimentConfig::default();
+        original.stream.total_frames = 77;
+        original.peer_devices = 5;
+        std::fs::write(&path, serde_json::to_string(&original).unwrap()).unwrap();
+
+        let mut cli = CliConfig::default();
+        cli.config_path = Some(path.to_string_lossy().into_owned());
+        let loaded = build_experiment(&cli);
+        assert_eq!(loaded.stream.total_frames, 77);
+        assert_eq!(loaded.peer_devices, 5);
+        assert_eq!(loaded.seed, cli.seed, "CLI seed overrides the file");
+    }
+
+    #[test]
+    fn dump_config_flag_parses() {
+        let c = parse_args(&args("--dump-config")).unwrap();
+        assert!(c.dump_config);
+    }
+
+    #[test]
+    fn every_controller_builds() {
+        for name in [
+            "framefeedback",
+            "local-only",
+            "always-offload",
+            "all-or-nothing",
+        ] {
+            let mut cli = CliConfig::default();
+            cli.controller = name.into();
+            assert_eq!(build_controller(&cli).name(), name);
+        }
+    }
+}

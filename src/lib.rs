@@ -1,0 +1,71 @@
+//! # framefeedback — facade crate
+//!
+//! Reproduction of *FrameFeedback: A Closed-Loop Control System for
+//! Dynamic Offloading Real-Time Edge Inference* (IPPS 2024). This crate
+//! re-exports the whole workspace behind stable module names; the
+//! runnable examples under `examples/` use only this facade.
+//!
+//! ```
+//! use framefeedback::controller::{Controller, FrameFeedback, Measurement};
+//!
+//! let mut ctl = FrameFeedback::new();
+//! let d = ctl.update(&Measurement {
+//!     fs: 30.0,
+//!     po_achieved: 0.0,
+//!     pl_achieved: 13.0,
+//!     timeout_rate: 0.0,
+//!     heartbeat_ok: true,
+//!     dt_secs: 1.0,
+//! });
+//! assert!(d.po_target > 0.0);
+//! ```
+
+/// The FrameFeedback PD controller and the `Controller` trait (`ff-core`).
+pub mod controller {
+    pub use ff_core::*;
+}
+
+/// The §IV-B baseline policies (`ff-baselines`).
+pub mod baselines {
+    pub use ff_baselines::*;
+}
+
+/// The edge device model and experiment runner (`ff-device`).
+pub mod device {
+    pub use ff_device::*;
+}
+
+/// The emulated uplink (`ff-net`).
+pub mod net {
+    pub use ff_net::*;
+}
+
+/// The multi-tenant batching server (`ff-server`).
+pub mod server {
+    pub use ff_server::*;
+}
+
+/// Model/device/GPU profiles and the compression model (`ff-models`).
+pub mod models {
+    pub use ff_models::*;
+}
+
+/// Frame streams and the Table V / VI schedules (`ff-workload`).
+pub mod workload {
+    pub use ff_workload::*;
+}
+
+/// Telemetry primitives (`ff-metrics`).
+pub mod metrics {
+    pub use ff_metrics::*;
+}
+
+/// The discrete-event simulation engine (`ff-sim`).
+pub mod sim {
+    pub use ff_sim::*;
+}
+
+/// The live TCP offloading mode (`ff-live`).
+pub mod live {
+    pub use ff_live::*;
+}

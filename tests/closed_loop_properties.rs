@@ -1,0 +1,154 @@
+//! Property-style integration tests: invariants of the *closed loop*
+//! (controller + device + network + server), checked across randomized
+//! conditions rather than a single scenario.
+
+use framefeedback::controller::FrameFeedback;
+use framefeedback::device::{run_experiment, ExperimentConfig};
+use framefeedback::net::NetworkConditions;
+use framefeedback::workload::StepSchedule;
+
+fn config_with(bandwidth: f64, loss: f64, bg: f64, seed: u64) -> ExperimentConfig {
+    let mut c = ExperimentConfig::default();
+    c.stream.total_frames = 1_200; // 40 s
+    c.network = StepSchedule::constant(NetworkConditions::new(bandwidth, loss));
+    c.background = StepSchedule::constant(bg);
+    c.peer_devices = 0;
+    c.seed = seed;
+    c
+}
+
+/// A grid of conditions spanning good, intermediate, and hostile regimes.
+fn condition_grid() -> Vec<(f64, f64, f64)> {
+    let mut grid = Vec::new();
+    for &bw in &[1.0, 4.0, 10.0] {
+        for &loss in &[0.0, 7.0] {
+            for &bg in &[0.0, 120.0] {
+                grid.push((bw, loss, bg));
+            }
+        }
+    }
+    grid
+}
+
+#[test]
+fn po_target_always_within_bounds_under_all_conditions() {
+    for (bw, loss, bg) in condition_grid() {
+        let r = run_experiment(
+            config_with(bw, loss, bg, 5),
+            Box::new(FrameFeedback::new()),
+        );
+        for rec in r.qos.records() {
+            assert!(
+                (0.0..=30.0 + 1e-9).contains(&rec.po_target),
+                "bw={bw} loss={loss} bg={bg}: P_o target {} out of [0, F_s]",
+                rec.po_target
+            );
+        }
+    }
+}
+
+#[test]
+fn throughput_never_exceeds_the_source_rate() {
+    for (bw, loss, bg) in condition_grid() {
+        let r = run_experiment(
+            config_with(bw, loss, bg, 6),
+            Box::new(FrameFeedback::new()),
+        );
+        for rec in r.qos.records() {
+            // Per-interval P can jitter past F_s by discretization (a
+            // response burst lands in one interval); bound it loosely.
+            assert!(
+                rec.throughput() <= 40.0,
+                "bw={bw} loss={loss} bg={bg}: P {} impossibly high",
+                rec.throughput()
+            );
+        }
+        assert!(
+            r.mean_throughput <= 31.0,
+            "bw={bw} loss={loss} bg={bg}: mean P {} above F_s",
+            r.mean_throughput
+        );
+    }
+}
+
+#[test]
+fn steady_state_throughput_never_falls_far_below_the_local_floor() {
+    // §II-A.5: "the controller should always strive to keep P >= P_l."
+    // Allow slack for the adaptation transient by skipping the first 15 s.
+    for (bw, loss, bg) in condition_grid() {
+        let r = run_experiment(
+            config_with(bw, loss, bg, 7),
+            Box::new(FrameFeedback::new()),
+        );
+        let steady = r.qos.aggregate(15.0, 40.0).unwrap().mean_throughput;
+        assert!(
+            steady > 10.0,
+            "bw={bw} loss={loss} bg={bg}: steady P {steady:.1} below the ~13 fps local floor"
+        );
+    }
+}
+
+#[test]
+fn accounting_identities_hold() {
+    for (bw, loss, bg) in condition_grid() {
+        let r = run_experiment(
+            config_with(bw, loss, bg, 8),
+            Box::new(FrameFeedback::new()),
+        );
+        // Every generated frame was routed somewhere.
+        assert_eq!(
+            r.frames_generated,
+            r.frames_offloaded + r.frames_local,
+            "bw={bw} loss={loss} bg={bg}: frame routing must partition the stream"
+        );
+        // Every offloaded frame resolves exactly once (allowing a handful
+        // still in flight at the horizon).
+        let resolved = r.offload_successes + r.offload_timeouts;
+        assert!(
+            resolved <= r.frames_offloaded && r.frames_offloaded - resolved <= 20,
+            "bw={bw} loss={loss} bg={bg}: {} offloaded vs {} resolved",
+            r.frames_offloaded,
+            resolved
+        );
+        // Link accounting covers every offered frame (device frames plus
+        // one heartbeat probe per second).
+        let link = r.link_stats;
+        assert_eq!(
+            link.frames_offered,
+            link.frames_delivered + link.frames_dropped_overflow + link.frames_dropped_loss
+        );
+        assert!(link.frames_offered >= r.frames_offloaded);
+    }
+}
+
+#[test]
+fn worse_conditions_never_help() {
+    // Monotonicity spot-checks: strictly worse network ⇒ no higher mean P.
+    let base = run_experiment(config_with(10.0, 0.0, 0.0, 9), Box::new(FrameFeedback::new()));
+    let slower = run_experiment(config_with(4.0, 0.0, 0.0, 9), Box::new(FrameFeedback::new()));
+    let lossy = run_experiment(config_with(4.0, 7.0, 0.0, 9), Box::new(FrameFeedback::new()));
+    assert!(
+        base.mean_throughput >= slower.mean_throughput - 0.5,
+        "10 Mbps {:.1} vs 4 Mbps {:.1}",
+        base.mean_throughput,
+        slower.mean_throughput
+    );
+    assert!(
+        slower.mean_throughput >= lossy.mean_throughput - 0.5,
+        "4 Mbps clean {:.1} vs 4 Mbps lossy {:.1}",
+        slower.mean_throughput,
+        lossy.mean_throughput
+    );
+}
+
+#[test]
+fn cpu_usage_tracks_the_offloading_share() {
+    let local_heavy = run_experiment(config_with(1.0, 30.0, 0.0, 10), Box::new(FrameFeedback::new()));
+    let offload_heavy = run_experiment(config_with(10.0, 0.0, 0.0, 10), Box::new(FrameFeedback::new()));
+    assert!(
+        offload_heavy.cpu_usage_pct < local_heavy.cpu_usage_pct,
+        "offloading run should use less CPU: {:.1}% vs {:.1}%",
+        offload_heavy.cpu_usage_pct,
+        local_heavy.cpu_usage_pct
+    );
+}

@@ -1,0 +1,106 @@
+//! Integration: the full Figure 4 experiment (Table VI background load)
+//! across all crates, asserting the paper's qualitative claims.
+
+use framefeedback::baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
+use framefeedback::controller::{Controller, FrameFeedback};
+use framefeedback::device::{run_experiment, ExperimentConfig, ExperimentResult};
+use framefeedback::workload::table_vi;
+
+fn run(controller: Box<dyn Controller>) -> ExperimentResult {
+    let mut config = ExperimentConfig::default();
+    config.background = table_vi();
+    config.peer_devices = 0;
+    run_experiment(config, controller)
+}
+
+#[test]
+fn framefeedback_fits_in_offloading_up_to_saturation() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    // §IV-E: "Up until about 150 additional requests, our Pi can fit in
+    // some offloading when controlled by FrameFeedback."
+    for (from, to, label) in [
+        (10.0, 20.0, "90 rps"),
+        (20.0, 35.0, "120 rps"),
+        (35.0, 50.0, "135 rps"),
+        (50.0, 60.0, "150 rps"),
+    ] {
+        let a = ff.qos.aggregate(from, to).unwrap();
+        assert!(
+            a.mean_po > 5.0,
+            "{label}: FrameFeedback should still offload, P_o = {:.1}",
+            a.mean_po
+        );
+        assert!(
+            a.mean_throughput > 13.0,
+            "{label}: throughput {:.1} must beat the local floor",
+            a.mean_throughput
+        );
+    }
+}
+
+#[test]
+fn framefeedback_beats_every_baseline_at_peak_load() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    let ao = run(Box::new(AlwaysOffload::new()));
+    let aon = run(Box::new(AllOrNothing::new()));
+    let local = run(Box::new(LocalOnly::new()));
+
+    let peak = |r: &ExperimentResult| r.qos.aggregate(45.0, 60.0).unwrap().mean_throughput;
+    let (f, a, n, l) = (peak(&ff), peak(&ao), peak(&aon), peak(&local));
+    assert!(f > a, "peak load: FF {f:.1} must beat always-offload {a:.1}");
+    assert!(f > n, "peak load: FF {f:.1} must beat all-or-nothing {n:.1}");
+    assert!(f > l, "peak load: FF {f:.1} must beat local-only {l:.1}");
+}
+
+#[test]
+fn load_timeouts_are_attributed_to_the_server() {
+    let ao = run(Box::new(AlwaysOffload::new()));
+    let total_tn: f64 = ao.qos.records().iter().map(|r| r.timeouts_network).sum();
+    let total_tl: f64 = ao.qos.records().iter().map(|r| r.timeouts_load).sum();
+    assert!(
+        total_tl > total_tn,
+        "load-driven scenario must yield mostly T_l ({total_tl:.0} vs T_n {total_tn:.0})"
+    );
+}
+
+#[test]
+fn server_rejections_appear_only_under_load() {
+    let loaded = run(Box::new(AlwaysOffload::new()));
+    assert!(
+        loaded.server_stats.rejections > 0,
+        "Table VI peaks beyond saturation must reject"
+    );
+
+    let mut config = ExperimentConfig::default();
+    config.peer_devices = 0; // idle server, single tenant
+    let idle = run_experiment(config, Box::new(AlwaysOffload::new()));
+    assert_eq!(
+        idle.server_stats.rejections, 0,
+        "a single 30 fps tenant cannot overflow a ~145 fps server"
+    );
+}
+
+#[test]
+fn batches_grow_with_load() {
+    let loaded = run(Box::new(LocalOnly::new()));
+    // Even with our device local-only, the background load drives batching.
+    let stats = loaded.server_stats;
+    assert!(
+        stats.mean_batch_size() > 3.0,
+        "background load should produce multi-frame batches, got {:.1}",
+        stats.mean_batch_size()
+    );
+    assert!(stats.full_batches > 0, "peak load should hit the 15-frame cap");
+}
+
+#[test]
+fn recovery_when_the_surge_ends() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    let after = ff.qos.aggregate(110.0, 133.0).unwrap();
+    assert!(
+        after.mean_po_target > 25.0,
+        "P_o target {:.1} should return toward F_s once the load clears",
+        after.mean_po_target
+    );
+    assert!(after.mean_throughput > 27.0);
+}

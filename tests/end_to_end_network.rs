@@ -1,0 +1,115 @@
+//! Integration: the full Figure 3 experiment (Table V network schedule)
+//! across all crates, asserting the paper's qualitative claims.
+
+use framefeedback::baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
+use framefeedback::controller::FrameFeedback;
+use framefeedback::device::{run_experiment, ExperimentConfig, ExperimentResult};
+use framefeedback::workload::table_v;
+
+fn run(controller: Box<dyn framefeedback::controller::Controller>) -> ExperimentResult {
+    let mut config = ExperimentConfig::default();
+    config.network = table_v();
+    run_experiment(config, controller)
+}
+
+#[test]
+fn framefeedback_beats_all_or_nothing_in_intermediate_conditions() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    let aon = run(Box::new(AllOrNothing::new()));
+
+    // §IV-D: "around 40 seconds and beyond 90 seconds, FrameFeedback has a
+    // better average P (between 50% and up to 3x)".
+    for (from, to, label) in [(32.0, 45.0, "4 Mbps"), (105.0, 133.0, "4 Mbps + 7% loss")] {
+        let a = ff.qos.aggregate(from, to).unwrap().mean_throughput;
+        let b = aon.qos.aggregate(from, to).unwrap().mean_throughput;
+        assert!(
+            a >= 1.4 * b,
+            "{label}: FrameFeedback {a:.1} should be >= 1.4x all-or-nothing {b:.1}"
+        );
+        assert!(
+            a <= 4.0 * b.max(3.0),
+            "{label}: advantage {a:.1} vs {b:.1} is implausibly large"
+        );
+    }
+}
+
+#[test]
+fn controllers_are_equivalent_under_very_good_conditions() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    let aon = run(Box::new(AllOrNothing::new()));
+    let ao = run(Box::new(AlwaysOffload::new()));
+
+    // First phase (10 Mbps, no loss), skipping FrameFeedback's ramp.
+    let window = |r: &ExperimentResult| r.qos.aggregate(15.0, 30.0).unwrap().mean_throughput;
+    let (a, b, c) = (window(&ff), window(&aon), window(&ao));
+    assert!((a - b).abs() < 3.0, "FF {a:.1} vs AoN {b:.1} at 10 Mbps");
+    assert!((a - c).abs() < 3.0, "FF {a:.1} vs AO {c:.1} at 10 Mbps");
+    assert!(a > 27.0, "near-F_s throughput expected, got {a:.1}");
+}
+
+#[test]
+fn always_offload_collapses_under_degradation_but_framefeedback_holds_the_floor() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    let ao = run(Box::new(AlwaysOffload::new()));
+    let local = run(Box::new(LocalOnly::new()));
+
+    // 1 Mbps phase: the link fits almost nothing.
+    let pf = ff.qos.aggregate(47.0, 60.0).unwrap().mean_throughput;
+    let pa = ao.qos.aggregate(47.0, 60.0).unwrap().mean_throughput;
+    let pl = local.qos.aggregate(47.0, 60.0).unwrap().mean_throughput;
+
+    assert!(pa < 5.0, "always-offload should collapse at 1 Mbps, got {pa:.1}");
+    assert!(
+        pf > pl - 2.0,
+        "FrameFeedback ({pf:.1}) must hold ~the local floor ({pl:.1})"
+    );
+}
+
+#[test]
+fn recovery_after_conditions_improve_is_fast() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    // Phase 4 returns to 10 Mbps at t=60 after the dead 1 Mbps phase.
+    // Within 15 seconds the controller must be back above 25 fps offload
+    // target (§III-A.1: "when good conditions return, offloading will
+    // immediately begin to increase").
+    let po = ff.qos.aggregate(72.0, 90.0).unwrap().mean_po_target;
+    assert!(po > 25.0, "P_o target {po:.1} after recovery window");
+}
+
+#[test]
+fn timeouts_are_attributed_to_the_network_in_this_scenario() {
+    let ff = run(Box::new(AlwaysOffload::new()));
+    let total_tn: f64 = ff.qos.records().iter().map(|r| r.timeouts_network).sum();
+    let total_tl: f64 = ff.qos.records().iter().map(|r| r.timeouts_load).sum();
+    assert!(
+        total_tn > 10.0 * total_tl.max(1.0),
+        "network-driven scenario must yield mostly T_n ({total_tn:.0} vs T_l {total_tl:.0})"
+    );
+}
+
+#[test]
+fn the_probe_floor_keeps_measuring_offload_availability() {
+    let ff = run(Box::new(FrameFeedback::new()));
+    // During the dead 1 Mbps phase the target must not fall to zero — the
+    // controller keeps probing at ~0.1 F_s.
+    let po_target = ff.qos.aggregate(50.0, 60.0).unwrap().mean_po_target;
+    assert!(
+        po_target > 0.5,
+        "P_o target {po_target:.2} should stay near the probe floor, not 0"
+    );
+    assert!(
+        po_target < 10.0,
+        "P_o target {po_target:.2} should be scaled well back at 1 Mbps"
+    );
+}
+
+#[test]
+fn full_run_is_deterministic_across_invocations() {
+    let a = run(Box::new(FrameFeedback::new()));
+    let b = run(Box::new(FrameFeedback::new()));
+    assert_eq!(a.frames_offloaded, b.frames_offloaded);
+    assert_eq!(a.offload_timeouts, b.offload_timeouts);
+    assert_eq!(a.qos.records(), b.qos.records());
+    assert_eq!(a.link_stats, b.link_stats);
+    assert_eq!(a.server_stats, b.server_stats);
+}

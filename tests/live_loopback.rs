@@ -1,0 +1,150 @@
+//! Integration: the live TCP mode end to end over loopback — real sockets,
+//! real threads, real time, with the same controller as the simulator.
+
+use framefeedback::controller::FrameFeedback;
+use framefeedback::live::{
+    run_live_device, Impairment, ImpairmentShim, LiveDeviceConfig, LiveServer, LiveServerConfig,
+};
+use framefeedback::sim::RngFactory;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_server() -> LiveServer {
+    LiveServer::start(
+        "127.0.0.1:0",
+        LiveServerConfig {
+            batch_limit: 15,
+            batch_base: Duration::from_millis(10),
+            per_frame: Duration::from_millis(1),
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn fast_device(secs: u64) -> LiveDeviceConfig {
+    LiveDeviceConfig {
+        fs: 60.0,
+        duration: Duration::from_secs(secs),
+        deadline: Duration::from_millis(150),
+        frame_bytes: 8_000,
+        local_rate_fps: 20.0,
+        tick: Duration::from_millis(250),
+    }
+}
+
+#[test]
+fn live_controller_converges_and_mostly_succeeds_on_a_clean_link() {
+    let server = fast_server();
+    let shim = Arc::new(ImpairmentShim::new(
+        Impairment::ideal(),
+        RngFactory::new(21).stream("it-live"),
+    ));
+    let mut ctl = FrameFeedback::new();
+    let summary = run_live_device(server.addr(), fast_device(4), shim, &mut ctl).unwrap();
+
+    assert_eq!(summary.frames, 240);
+    assert!(summary.offloaded > 20, "offloaded {}", summary.offloaded);
+    let success_ratio =
+        summary.successes as f64 / (summary.successes + summary.timeouts).max(1) as f64;
+    assert!(
+        success_ratio > 0.8,
+        "clean link success ratio {success_ratio:.2}"
+    );
+    // The target ramps monotonically-ish upward.
+    let first = summary.records.first().unwrap().po_target;
+    let last = summary.records.last().unwrap().po_target;
+    assert!(last > first);
+    server.shutdown();
+}
+
+#[test]
+fn live_mode_degradation_mid_run_triggers_backoff() {
+    let server = fast_server();
+    let shim = Arc::new(ImpairmentShim::new(
+        Impairment::ideal(),
+        RngFactory::new(22).stream("it-live"),
+    ));
+    let shim2 = Arc::clone(&shim);
+    // Throttle hard after 2 seconds.
+    let t = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(2));
+        shim2.set_conditions(Impairment {
+            bandwidth_mbps: 0.3,
+            loss_pct: 0.0,
+        });
+    });
+    let mut ctl = FrameFeedback::new();
+    let summary = run_live_device(server.addr(), fast_device(5), shim, &mut ctl).unwrap();
+    t.join().unwrap();
+
+    let before: f64 = summary
+        .records
+        .iter()
+        .filter(|r| r.t_secs < 2.0)
+        .map(|r| r.po_target)
+        .fold(0.0, f64::max);
+    let after = summary.records.last().unwrap().po_target;
+    assert!(
+        after < before,
+        "target must fall after throttling ({before:.1} -> {after:.1})"
+    );
+    assert!(summary.timeouts > 0);
+    server.shutdown();
+}
+
+#[test]
+fn live_server_survives_device_churn() {
+    let server = fast_server();
+    for seed in 0..3 {
+        let shim = Arc::new(ImpairmentShim::new(
+            Impairment::ideal(),
+            RngFactory::new(seed).stream("churn"),
+        ));
+        let mut ctl = FrameFeedback::new();
+        let summary = run_live_device(server.addr(), fast_device(1), shim, &mut ctl).unwrap();
+        assert_eq!(summary.frames, 60);
+    }
+    // Server processed requests from all three sessions.
+    assert!(
+        server
+            .stats()
+            .completions
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+    );
+    server.shutdown();
+}
+
+#[test]
+fn three_concurrent_live_devices_share_one_server() {
+    let server = fast_server();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..3)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let shim = Arc::new(ImpairmentShim::new(
+                    Impairment::ideal(),
+                    RngFactory::new(100 + seed).stream("fleet-live"),
+                ));
+                let mut ctl = FrameFeedback::new();
+                run_live_device(addr, fast_device(3), shim, &mut ctl).unwrap()
+            })
+        })
+        .collect();
+    let summaries: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let total_offloaded: u64 = summaries.iter().map(|s| s.offloaded).sum();
+    assert!(total_offloaded > 60, "fleet offloaded only {total_offloaded}");
+    for (i, s) in summaries.iter().enumerate() {
+        assert_eq!(s.frames, 180, "device {i}");
+        let resolved = s.successes + s.timeouts;
+        let ratio = s.successes as f64 / resolved.max(1) as f64;
+        assert!(ratio > 0.7, "device {i}: success ratio {ratio:.2}");
+    }
+    // All three devices' requests flowed through the shared batcher.
+    let completions = server
+        .stats()
+        .completions
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(completions as f64 >= total_offloaded as f64 * 0.7);
+    server.shutdown();
+}
