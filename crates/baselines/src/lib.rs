@@ -374,7 +374,10 @@ mod tests {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 c.update(&m);
             }));
-            assert!(result.is_err(), "controller accepted an invalid measurement");
+            assert!(
+                result.is_err(),
+                "controller accepted an invalid measurement"
+            );
         }
     }
 }

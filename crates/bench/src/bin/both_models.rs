@@ -27,12 +27,36 @@ fn main() {
     println!("== Table V scenario, EfficientNetB0 ==");
     let net_results = run_lineup(&network);
     let phases = [
-        Phase { label: "0-30", from_secs: 0.0, to_secs: 30.0 },
-        Phase { label: "30-45", from_secs: 30.0, to_secs: 45.0 },
-        Phase { label: "45-60", from_secs: 45.0, to_secs: 60.0 },
-        Phase { label: "60-90", from_secs: 60.0, to_secs: 90.0 },
-        Phase { label: "90-105", from_secs: 90.0, to_secs: 105.0 },
-        Phase { label: "105+", from_secs: 105.0, to_secs: 134.0 },
+        Phase {
+            label: "0-30",
+            from_secs: 0.0,
+            to_secs: 30.0,
+        },
+        Phase {
+            label: "30-45",
+            from_secs: 30.0,
+            to_secs: 45.0,
+        },
+        Phase {
+            label: "45-60",
+            from_secs: 45.0,
+            to_secs: 60.0,
+        },
+        Phase {
+            label: "60-90",
+            from_secs: 60.0,
+            to_secs: 90.0,
+        },
+        Phase {
+            label: "90-105",
+            from_secs: 90.0,
+            to_secs: 105.0,
+        },
+        Phase {
+            label: "105+",
+            from_secs: 105.0,
+            to_secs: 134.0,
+        },
     ];
     print_phase_table(&net_results, &phases);
     println!();
@@ -67,8 +91,16 @@ fn main() {
     );
 
     // The qualitative claims must survive the model change.
-    let ff_mid = net_results[0].qos.aggregate(32.0, 45.0).unwrap().mean_throughput;
-    let aon_mid = net_results[3].qos.aggregate(32.0, 45.0).unwrap().mean_throughput;
+    let ff_mid = net_results[0]
+        .qos
+        .aggregate(32.0, 45.0)
+        .unwrap()
+        .mean_throughput;
+    let aon_mid = net_results[3]
+        .qos
+        .aggregate(32.0, 45.0)
+        .unwrap()
+        .mean_throughput;
     println!(
         "\n4 Mbps phase advantage with EfficientNetB0: {:.2}x (MobileNet gave ~2x) — \
          a *larger* factor because the local floor is only 2.5 fps.",

@@ -52,9 +52,9 @@ fn main() {
         ("bernoulli", None),
         (
             "gilbert-elliott",
-            Some(LossModel::GilbertElliott(GilbertElliott::with_average_loss(
-                0.07,
-            ))),
+            Some(LossModel::GilbertElliott(
+                GilbertElliott::with_average_loss(0.07),
+            )),
         ),
     ] {
         println!("--- {label} ---");

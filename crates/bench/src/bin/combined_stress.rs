@@ -16,12 +16,36 @@ fn main() {
     println!("== X2: combined Table V network x Table VI server load ==");
     let results = run_lineup(&config);
     let phases = [
-        Phase { label: "0-30", from_secs: 0.0, to_secs: 30.0 },
-        Phase { label: "30-45", from_secs: 30.0, to_secs: 45.0 },
-        Phase { label: "45-60", from_secs: 45.0, to_secs: 60.0 },
-        Phase { label: "60-90", from_secs: 60.0, to_secs: 90.0 },
-        Phase { label: "90-105", from_secs: 90.0, to_secs: 105.0 },
-        Phase { label: "105+", from_secs: 105.0, to_secs: 134.0 },
+        Phase {
+            label: "0-30",
+            from_secs: 0.0,
+            to_secs: 30.0,
+        },
+        Phase {
+            label: "30-45",
+            from_secs: 30.0,
+            to_secs: 45.0,
+        },
+        Phase {
+            label: "45-60",
+            from_secs: 45.0,
+            to_secs: 60.0,
+        },
+        Phase {
+            label: "60-90",
+            from_secs: 60.0,
+            to_secs: 90.0,
+        },
+        Phase {
+            label: "90-105",
+            from_secs: 90.0,
+            to_secs: 105.0,
+        },
+        Phase {
+            label: "105+",
+            from_secs: 105.0,
+            to_secs: 134.0,
+        },
     ];
     print_phase_table(&results, &phases);
     println!();

@@ -39,8 +39,10 @@ fn main() {
 
     // Energy extension (§II-A.5 remark, quantified).
     let energy = EnergyModel::default();
-    println!("
-== energy model (Pi 4B 2.7 W idle / 6.4 W full load) ==");
+    println!(
+        "
+== energy model (Pi 4B 2.7 W idle / 6.4 W full load) =="
+    );
     println!(
         "{:<16} {:>10} {:>14}",
         "controller", "power W", "J / inference"

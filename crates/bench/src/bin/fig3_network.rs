@@ -19,7 +19,10 @@ fn main() {
     config.network = table_v();
 
     println!("== Table V: network schedule ==");
-    println!("{:>9} {:>17} {:>9}", "time(s)", "bandwidth(Mbps)", "loss(%)");
+    println!(
+        "{:>9} {:>17} {:>9}",
+        "time(s)", "bandwidth(Mbps)", "loss(%)"
+    );
     let steps = config.network.steps().to_vec();
     for (i, (start, c)) in steps.iter().enumerate() {
         let end = steps
@@ -36,12 +39,36 @@ fn main() {
 
     println!("== Figure 3: mean throughput P per network phase ==");
     let phases = [
-        Phase { label: "0-30 (10Mbps)", from_secs: 0.0, to_secs: 30.0 },
-        Phase { label: "30-45 (4Mbps)", from_secs: 30.0, to_secs: 45.0 },
-        Phase { label: "45-60 (1Mbps)", from_secs: 45.0, to_secs: 60.0 },
-        Phase { label: "60-90 (10Mbps)", from_secs: 60.0, to_secs: 90.0 },
-        Phase { label: "90-105 (7%loss)", from_secs: 90.0, to_secs: 105.0 },
-        Phase { label: "105+ (4M,7%)", from_secs: 105.0, to_secs: 134.0 },
+        Phase {
+            label: "0-30 (10Mbps)",
+            from_secs: 0.0,
+            to_secs: 30.0,
+        },
+        Phase {
+            label: "30-45 (4Mbps)",
+            from_secs: 30.0,
+            to_secs: 45.0,
+        },
+        Phase {
+            label: "45-60 (1Mbps)",
+            from_secs: 45.0,
+            to_secs: 60.0,
+        },
+        Phase {
+            label: "60-90 (10Mbps)",
+            from_secs: 60.0,
+            to_secs: 90.0,
+        },
+        Phase {
+            label: "90-105 (7%loss)",
+            from_secs: 90.0,
+            to_secs: 105.0,
+        },
+        Phase {
+            label: "105+ (4M,7%)",
+            from_secs: 105.0,
+            to_secs: 134.0,
+        },
     ];
     print_phase_table(&results, &phases);
     println!();
@@ -51,8 +78,16 @@ fn main() {
     let ff = &results[0];
     let aon = &results[3];
     for p in [&phases[1], &phases[4], &phases[5]] {
-        let a = ff.qos.aggregate(p.from_secs, p.to_secs).unwrap().mean_throughput;
-        let b = aon.qos.aggregate(p.from_secs, p.to_secs).unwrap().mean_throughput;
+        let a = ff
+            .qos
+            .aggregate(p.from_secs, p.to_secs)
+            .unwrap()
+            .mean_throughput;
+        let b = aon
+            .qos
+            .aggregate(p.from_secs, p.to_secs)
+            .unwrap()
+            .mean_throughput;
         println!(
             "phase {:<16} framefeedback/all-or-nothing = {:.2}x ({:.1} vs {:.1})",
             p.label,

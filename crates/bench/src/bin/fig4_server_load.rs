@@ -35,15 +35,51 @@ fn main() {
 
     println!("== Figure 4: mean throughput P per load phase ==");
     let phases = [
-        Phase { label: "0-10 (idle)", from_secs: 0.0, to_secs: 10.0 },
-        Phase { label: "10-20 (90)", from_secs: 10.0, to_secs: 20.0 },
-        Phase { label: "20-35 (120)", from_secs: 20.0, to_secs: 35.0 },
-        Phase { label: "35-50 (135)", from_secs: 35.0, to_secs: 50.0 },
-        Phase { label: "50-60 (150)", from_secs: 50.0, to_secs: 60.0 },
-        Phase { label: "60-75 (130)", from_secs: 60.0, to_secs: 75.0 },
-        Phase { label: "75-90 (120)", from_secs: 75.0, to_secs: 90.0 },
-        Phase { label: "90-100 (90)", from_secs: 90.0, to_secs: 100.0 },
-        Phase { label: "100+ (idle)", from_secs: 100.0, to_secs: 134.0 },
+        Phase {
+            label: "0-10 (idle)",
+            from_secs: 0.0,
+            to_secs: 10.0,
+        },
+        Phase {
+            label: "10-20 (90)",
+            from_secs: 10.0,
+            to_secs: 20.0,
+        },
+        Phase {
+            label: "20-35 (120)",
+            from_secs: 20.0,
+            to_secs: 35.0,
+        },
+        Phase {
+            label: "35-50 (135)",
+            from_secs: 35.0,
+            to_secs: 50.0,
+        },
+        Phase {
+            label: "50-60 (150)",
+            from_secs: 50.0,
+            to_secs: 60.0,
+        },
+        Phase {
+            label: "60-75 (130)",
+            from_secs: 60.0,
+            to_secs: 75.0,
+        },
+        Phase {
+            label: "75-90 (120)",
+            from_secs: 75.0,
+            to_secs: 90.0,
+        },
+        Phase {
+            label: "90-100 (90)",
+            from_secs: 90.0,
+            to_secs: 100.0,
+        },
+        Phase {
+            label: "100+ (idle)",
+            from_secs: 100.0,
+            to_secs: 134.0,
+        },
     ];
     print_phase_table(&results, &phases);
     println!();

@@ -8,8 +8,8 @@
 use ff_bench::export_json;
 use ff_core::{Controller, FrameFeedback};
 use ff_device::{run_fleet, FleetConfig};
-use ff_workload::{mobility_trace, MobilityConfig};
 use ff_sim::RngFactory;
+use ff_workload::{mobility_trace, MobilityConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]

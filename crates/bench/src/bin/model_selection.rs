@@ -39,7 +39,12 @@ fn run(adaptive: bool) -> Row {
     }
     let r = run_experiment(config, Box::new(FrameFeedback::new()));
     Row {
-        variant: if adaptive { "adaptive-local-model" } else { "fixed-mnv3small" }.into(),
+        variant: if adaptive {
+            "adaptive-local-model"
+        } else {
+            "fixed-mnv3small"
+        }
+        .into(),
         mean_throughput: r.mean_throughput,
         mean_local_accuracy_pct: r.mean_local_accuracy.unwrap_or(f64::NAN) * 100.0,
         healthy_phase_p: r.qos.aggregate(20.0, 45.0).unwrap().mean_throughput,
@@ -57,7 +62,11 @@ fn main() {
     for r in &rows {
         println!(
             "{:<22} {:>8.1} {:>14.2} {:>12.1} {:>10.1}",
-            r.variant, r.mean_throughput, r.mean_local_accuracy_pct, r.healthy_phase_p, r.dead_phase_p
+            r.variant,
+            r.mean_throughput,
+            r.mean_local_accuracy_pct,
+            r.healthy_phase_p,
+            r.dead_phase_p
         );
     }
 

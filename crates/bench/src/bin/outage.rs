@@ -1,0 +1,106 @@
+//! Extension: a server crash-and-restart in the middle of the run.
+//!
+//! The paper's failure injections degrade the network or load the
+//! server; here the server *process dies* at t=30 s (losing its queue
+//! and running batch) and a fresh one returns at t=90 s. This is the
+//! §III-A.1 scenario in its purest form: while the server is down every
+//! offloaded frame times out, so `T` equals the attempted rate and the
+//! only fixed point of the piecewise error is the probe floor `0.1·F_s`
+//! — 3 fps at 30 fps. The run demonstrates the descent to the floor,
+//! the hold, and the recovery ramp once the server returns.
+
+use ff_bench::{export_json, print_phase_table, print_po_target_chart, run_lineup, Phase};
+use ff_device::{ExperimentConfig, ServerOutage};
+use serde::Serialize;
+
+const OUTAGE_FROM: f64 = 30.0;
+const OUTAGE_UNTIL: f64 = 90.0;
+
+#[derive(Serialize)]
+struct Row {
+    controller: String,
+    mean_po_target_outage: f64,
+    mean_throughput_outage: f64,
+    mean_throughput_recovered: f64,
+    timeouts: u64,
+}
+
+fn config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::default();
+    c.stream.total_frames = 3_600; // 120 s at 30 fps
+    c.peer_devices = 0;
+    c.outage = Some(ServerOutage {
+        from_secs: OUTAGE_FROM,
+        until_secs: OUTAGE_UNTIL,
+    });
+    c
+}
+
+fn main() {
+    println!(
+        "== server outage: crash at t={OUTAGE_FROM:.0}s, restart at t={OUTAGE_UNTIL:.0}s ==\n"
+    );
+    let results = run_lineup(&config());
+
+    let phases = [
+        Phase {
+            label: "healthy ramp",
+            from_secs: 10.0,
+            to_secs: OUTAGE_FROM,
+        },
+        Phase {
+            label: "outage (settled)",
+            from_secs: 60.0,
+            to_secs: OUTAGE_UNTIL,
+        },
+        Phase {
+            label: "recovered",
+            from_secs: 100.0,
+            to_secs: 120.0,
+        },
+    ];
+    print_phase_table(&results, &phases);
+    println!();
+
+    let labelled: Vec<(String, &ff_device::ExperimentResult)> =
+        results.iter().map(|r| (r.controller.clone(), r)).collect();
+    print_po_target_chart("== P_o target through the outage ==", &labelled);
+    println!();
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let outage = r.qos.aggregate(60.0, OUTAGE_UNTIL).expect("outage window");
+        let recovered = r.qos.aggregate(100.0, 120.0).expect("recovery window");
+        rows.push(Row {
+            controller: r.controller.clone(),
+            mean_po_target_outage: outage.mean_po_target,
+            mean_throughput_outage: outage.mean_throughput,
+            mean_throughput_recovered: recovered.mean_throughput,
+            timeouts: r.offload_timeouts,
+        });
+    }
+
+    let ff = rows
+        .iter()
+        .find(|r| r.controller == "framefeedback")
+        .expect("framefeedback row");
+    let floor = 0.1 * 30.0;
+    println!(
+        "framefeedback settled at {:.2} fps during the outage (probe floor {floor:.1} fps), \
+         then recovered to {:.1} fps throughput",
+        ff.mean_po_target_outage, ff.mean_throughput_recovered
+    );
+    let ao = rows
+        .iter()
+        .find(|r| r.controller == "always-offload")
+        .expect("always-offload row");
+    println!(
+        "always-offload kept firing into the dead server: {} timeouts vs framefeedback's {}",
+        ao.timeouts, ff.timeouts
+    );
+
+    match export_json("outage", &rows) {
+        Ok(path) => println!("\nrows exported to {}", path.display()),
+        Err(e) => eprintln!("json export failed: {e}"),
+    }
+}

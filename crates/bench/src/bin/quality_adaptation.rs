@@ -31,7 +31,12 @@ fn run(adaptive: bool) -> Row {
     }
     let r = run_experiment(config, Box::new(FrameFeedback::new()));
     Row {
-        variant: if adaptive { "adaptive-quality" } else { "fixed-q90" }.into(),
+        variant: if adaptive {
+            "adaptive-quality"
+        } else {
+            "fixed-q90"
+        }
+        .into(),
         mean_throughput: r.mean_throughput,
         timeouts: r.offload_timeouts,
         mean_offload_quality: r.mean_offload_quality.unwrap_or(f64::NAN),

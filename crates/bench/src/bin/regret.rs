@@ -63,7 +63,12 @@ fn main() {
         ("0-30 10Mbps", 0.0, 30.0, NetworkConditions::new(10.0, 0.0)),
         ("30-45 4Mbps", 30.0, 45.0, NetworkConditions::new(4.0, 0.0)),
         ("45-60 1Mbps", 45.0, 60.0, NetworkConditions::new(1.0, 0.0)),
-        ("60-90 10Mbps", 60.0, 90.0, NetworkConditions::new(10.0, 0.0)),
+        (
+            "60-90 10Mbps",
+            60.0,
+            90.0,
+            NetworkConditions::new(10.0, 0.0),
+        ),
         ("90-105 +7%", 90.0, 105.0, NetworkConditions::new(10.0, 7.0)),
         ("105+ 4M+7%", 105.0, 134.0, NetworkConditions::new(4.0, 7.0)),
     ];
@@ -81,9 +86,7 @@ fn main() {
         let regret = op - fp;
         total_regret += regret * (to - from);
         total_oracle += op * (to - from);
-        println!(
-            "{label:<14} {opo:>10.1} {op:>10.1} {fp:>8.1} {regret:>8.1}"
-        );
+        println!("{label:<14} {opo:>10.1} {op:>10.1} {fp:>8.1} {regret:>8.1}");
         rows.push(Row {
             phase: label.to_string(),
             oracle_po: opo,

@@ -39,9 +39,8 @@ fn main() {
         config.seed = seed;
         let ff = run_experiment(config.clone(), Box::new(FrameFeedback::new()));
         let aon = run_experiment(config, Box::new(AllOrNothing::new()));
-        let mid = |r: &ff_device::ExperimentResult| {
-            r.qos.aggregate(32.0, 45.0).unwrap().mean_throughput
-        };
+        let mid =
+            |r: &ff_device::ExperimentResult| r.qos.aggregate(32.0, 45.0).unwrap().mean_throughput;
         let row = SeedRow {
             seed,
             ff_mean_p: ff.mean_throughput,
@@ -57,7 +56,12 @@ fn main() {
     }
 
     let ratios: Vec<f64> = rows.iter().map(|r| r.ratio_4mbps).collect();
-    let ci = bootstrap_mean_ci(&ratios, 0.95, 5_000, &mut RngFactory::new(0).stream("bootstrap"));
+    let ci = bootstrap_mean_ci(
+        &ratios,
+        0.95,
+        5_000,
+        &mut RngFactory::new(0).stream("bootstrap"),
+    );
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let wins = rows.iter().filter(|r| r.ratio_overall > 1.0).count();
     println!(

@@ -53,10 +53,20 @@ fn main() {
         );
     }
 
-    match export_json("table3_accuracy", &frontier.iter().map(|p| {
-        (p.compression.quality, p.compression.resolution, p.accuracy, p.frame_bytes)
-    }).collect::<Vec<_>>())
-    {
+    match export_json(
+        "table3_accuracy",
+        &frontier
+            .iter()
+            .map(|p| {
+                (
+                    p.compression.quality,
+                    p.compression.resolution,
+                    p.accuracy,
+                    p.frame_bytes,
+                )
+            })
+            .collect::<Vec<_>>(),
+    ) {
         Ok(path) => println!("\nraw rows exported to {}", path.display()),
         Err(e) => eprintln!("json export failed: {e}"),
     }

@@ -24,8 +24,16 @@ fn main() {
     println!("{:<20} {:>12}", "K_P", cfg.kp);
     println!("{:<20} {:>12}", "K_I", cfg.ki);
     println!("{:<20} {:>12}", "K_D", cfg.kd);
-    println!("{:<20} {:>12}", "update minimum", format!("{} * F_s", cfg.update_min_factor));
-    println!("{:<20} {:>12}", "update maximum", format!("{} * F_s", cfg.update_max_factor));
+    println!(
+        "{:<20} {:>12}",
+        "update minimum",
+        format!("{} * F_s", cfg.update_min_factor)
+    );
+    println!(
+        "{:<20} {:>12}",
+        "update maximum",
+        format!("{} * F_s", cfg.update_max_factor)
+    );
     println!("{:<20} {:>12}", "measure frequency", "1 Hz");
     println!();
 

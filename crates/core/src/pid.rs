@@ -139,12 +139,23 @@ impl FrameFeedback {
 
     /// The raw (unclamped) control output for a given error — visible for
     /// tests and the tuning harness.
-    fn control_output(&mut self, error: f64, dt: f64) -> f64 {
+    fn control_output(&mut self, error: f64, dt: f64, fs: f64) -> f64 {
         let derivative = match self.prev_error {
             Some(prev) => (error - prev) / dt,
             None => 0.0,
         };
-        self.integral += error * dt;
+        if self.config.ki > 0.0 {
+            // Anti-windup: accumulate only when the integral term can act
+            // at all (K_I = 0 is the paper's configuration, where unbounded
+            // accumulation would silently grow forever), and keep the
+            // accumulated contribution within the Table IV per-step update
+            // range so a long saturated phase cannot pin the output after
+            // conditions change.
+            self.integral += error * dt;
+            let lo = self.config.update_min_factor * fs / self.config.ki;
+            let hi = self.config.update_max_factor * fs / self.config.ki;
+            self.integral = self.integral.clamp(lo, hi);
+        }
         self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative
     }
 }
@@ -163,7 +174,7 @@ impl Controller for FrameFeedback {
     fn update(&mut self, m: &Measurement) -> Decision {
         m.validate();
         let error = piecewise_error(&self.config, m.fs, m.po_achieved, m.timeout_rate);
-        let u = self.control_output(error, m.dt_secs);
+        let u = self.control_output(error, m.dt_secs, m.fs);
         self.prev_error = Some(error);
 
         // Table IV: clamp the per-step update to [−0.5·F_s, +0.1·F_s].
@@ -230,6 +241,51 @@ mod tests {
         assert_eq!(piecewise_error(&cfg, FS, 10.0, 3.0), 0.0);
         assert_eq!(piecewise_error(&cfg, FS, 10.0, 1.0), 2.0);
         assert_eq!(piecewise_error(&cfg, FS, 10.0, 13.0), -10.0);
+    }
+
+    #[test]
+    fn integral_stays_zero_when_ki_is_zero() {
+        // Regression: with the paper's K_I = 0, the integral used to
+        // accumulate unboundedly anyway — dead state that grew forever
+        // and would leak into the output the moment ki was reconfigured.
+        let mut c = FrameFeedback::new();
+        let mut po = 0.0;
+        for _ in 0..10_000 {
+            po = c.update(&measure(po, 0.0)).po_target;
+        }
+        assert_eq!(c.integral, 0.0, "integral must not accumulate at K_I = 0");
+    }
+
+    #[test]
+    fn integral_contribution_is_clamped_when_ki_is_positive() {
+        // Full-PID ablation: a long saturated phase (P_o pinned far from
+        // F_s) must not wind the integral up past the Table IV per-step
+        // update range, or recovery would lag for hundreds of intervals.
+        let cfg = PidConfig {
+            ki: 0.05,
+            ..Default::default()
+        };
+        let mut c = FrameFeedback::with_config(cfg);
+        for _ in 0..1_000 {
+            // Persistent large positive error: P_o stuck at 0, no timeouts.
+            c.update(&measure(0.0, 0.0));
+        }
+        let contribution = cfg.ki * c.integral;
+        assert!(
+            contribution <= cfg.update_max_factor * FS + 1e-9,
+            "wound-up integral contribution {contribution} exceeds +0.1·F_s"
+        );
+        assert!(
+            contribution >= cfg.update_min_factor * FS - 1e-9,
+            "wound-up integral contribution {contribution} exceeds -0.5·F_s"
+        );
+        // And the loop still converges to F_s rather than oscillating on
+        // stored error once conditions are clean.
+        let mut po = c.po_target();
+        for _ in 0..200 {
+            po = c.update(&measure(po, 0.0)).po_target;
+        }
+        assert!((po - FS).abs() < 1.0, "did not settle near F_s: {po}");
     }
 
     #[test]

@@ -150,7 +150,10 @@ mod tests {
         let local = e.power_watts(1.0, 0.0);
         let offload = e.power_watts(0.0, 1.0);
         assert!(idle > 2.7 && idle < 4.0, "idle-ish draw {idle}");
-        assert!(local > offload, "local {local} W must exceed offloading {offload} W");
+        assert!(
+            local > offload,
+            "local {local} W must exceed offloading {offload} W"
+        );
         assert!(local < 6.4 + 1e-9, "cannot exceed full-load draw");
     }
 

@@ -8,11 +8,11 @@
 
 use crate::cpu::CpuModel;
 use crate::local::{LocalEngine, LocalOutcome};
+use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
 use crate::quality::{QualityAdapter, QualityConfig};
 use crate::selector::{ModelSelector, SelectorConfig};
-use crate::trace::{timeout_fate, FrameFate, FrameRecord, FrameTrace};
-use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
 use crate::splitter::{FrameSplitter, Route};
+use crate::trace::{timeout_fate, FrameFate, FrameRecord, FrameTrace};
 use ff_core::{Controller, Measurement};
 use ff_metrics::{LatencyStats, LatencySummary, QosLog, WindowedRate};
 use ff_models::{DeviceKind, GpuProfile, ModelKind};
@@ -79,6 +79,35 @@ pub struct ExperimentConfig {
     /// Enable the adaptive local-model ladder: sustained offloading
     /// upgrades the local model to a slower, more accurate one.
     pub adaptive_local_model: Option<SelectorConfig>,
+    /// Optional server outage window: the server process crashes at
+    /// `from_secs` (losing its queue and running batch) and a fresh
+    /// process returns at `until_secs`. While down, nothing that enters
+    /// the uplink ever reaches the server — offloads and probes resolve
+    /// only by their deadlines, so the controller sees `T` equal to the
+    /// attempted rate and must fall back to the §III-A.1 probe floor.
+    pub outage: Option<ServerOutage>,
+}
+
+/// A server crash-and-restart window (see [`ExperimentConfig::outage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerOutage {
+    /// Crash instant in seconds from the start of the run.
+    pub from_secs: f64,
+    /// Recovery instant in seconds; must be after `from_secs`.
+    pub until_secs: f64,
+}
+
+impl ServerOutage {
+    fn validate(&self) {
+        assert!(
+            self.from_secs.is_finite() && self.from_secs >= 0.0,
+            "outage start must be finite and >= 0"
+        );
+        assert!(
+            self.until_secs.is_finite() && self.until_secs > self.from_secs,
+            "outage must end after it starts"
+        );
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -101,6 +130,7 @@ impl Default for ExperimentConfig {
             adaptive_quality: None,
             record_trace: false,
             adaptive_local_model: None,
+            outage: None,
         }
     }
 }
@@ -162,14 +192,27 @@ struct IntervalCounters {
 enum Event {
     Capture,
     LocalDone,
-    Uplinked { tag: u64 },
-    BatchDone,
-    Response { tag: u64 },
-    Deadline { tag: u64 },
+    Uplinked {
+        tag: u64,
+    },
+    /// `epoch` guards against batch-done events scheduled by a server
+    /// process that has since crashed: a stale epoch means the batch was
+    /// lost with the crash and the event must be ignored.
+    BatchDone {
+        epoch: u64,
+    },
+    Response {
+        tag: u64,
+    },
+    Deadline {
+        tag: u64,
+    },
     Tick,
     NetworkChange(usize),
     LoadChange(usize),
     BackgroundArrival,
+    ServerCrash,
+    ServerRecover,
 }
 
 struct World {
@@ -210,10 +253,18 @@ struct World {
     local_accuracy_sum: f64,
     local_done_total: u64,
     end_at: SimTime,
+    server_up: bool,
+    server_epoch: u64,
 }
 
 impl World {
-    fn offload_frame(&mut self, ctx: &mut Ctx<'_, Event>, tag: u64, captured_at: SimTime, bytes: u64) {
+    fn offload_frame(
+        &mut self,
+        ctx: &mut Ctx<'_, Event>,
+        tag: u64,
+        captured_at: SimTime,
+        bytes: u64,
+    ) {
         self.tracker.sent(tag, captured_at);
         self.interval.sent += 1;
         self.frames_offloaded += 1;
@@ -221,12 +272,25 @@ impl World {
             SendOutcome::Delivered { at } => ctx.schedule_at(at, Event::Uplinked { tag }),
             SendOutcome::Dropped(_) => self.tracker.network_dropped(tag),
         }
-        ctx.schedule_at(self.tracker.deadline_for(captured_at), Event::Deadline { tag });
+        ctx.schedule_at(
+            self.tracker.deadline_for(captured_at),
+            Event::Deadline { tag },
+        );
     }
 
     fn submit_to_server(&mut self, ctx: &mut Ctx<'_, Event>, request: Request) {
+        if !self.server_up {
+            // Nothing is listening: the request vanishes and its sender
+            // finds out through the deadline, exactly like a real crash.
+            return;
+        }
         if let Submit::BatchStarted { done_at } = self.server.submit(ctx.now(), request) {
-            ctx.schedule_at(done_at, Event::BatchDone);
+            ctx.schedule_at(
+                done_at,
+                Event::BatchDone {
+                    epoch: self.server_epoch,
+                },
+            );
         }
     }
 
@@ -388,6 +452,12 @@ impl SimModel for World {
             }
 
             Event::Uplinked { tag } => {
+                if !self.server_up {
+                    // The packet crossed the link into a dead endpoint. The
+                    // frame stays un-arrived, so its timeout is attributed
+                    // to the network side (the server never saw it).
+                    return;
+                }
                 let now = ctx.now();
                 self.tracker.arrived_at_server(tag, now);
                 let request = Request {
@@ -399,7 +469,12 @@ impl SimModel for World {
                 self.submit_to_server(ctx, request);
             }
 
-            Event::BatchDone => {
+            Event::BatchDone { epoch } => {
+                if epoch != self.server_epoch {
+                    // Scheduled by a server process that has since crashed;
+                    // the batch died with it.
+                    return;
+                }
                 let now = ctx.now();
                 let (completions, rejections, next) = self.server.on_batch_done(now);
                 for c in completions {
@@ -414,7 +489,12 @@ impl SimModel for World {
                     }
                 }
                 if let Some(done_at) = next {
-                    ctx.schedule_at(done_at, Event::BatchDone);
+                    ctx.schedule_at(
+                        done_at,
+                        Event::BatchDone {
+                            epoch: self.server_epoch,
+                        },
+                    );
                 }
             }
 
@@ -495,6 +575,16 @@ impl SimModel for World {
                 self.submit_to_server(ctx, request);
                 self.schedule_background(ctx);
             }
+
+            Event::ServerCrash => {
+                self.server.crash();
+                self.server_up = false;
+                self.server_epoch += 1;
+            }
+
+            Event::ServerRecover => {
+                self.server_up = true;
+            }
         }
     }
 }
@@ -506,6 +596,9 @@ pub fn run_experiment(
 ) -> ExperimentResult {
     let rng = RngFactory::new(config.seed);
     let fs = config.stream.fps;
+    if let Some(outage) = &config.outage {
+        outage.validate();
+    }
 
     // Bootstrap decision at t = 0 so policies with static targets (e.g.
     // always-offload) act from the first frame. The heartbeat is
@@ -523,8 +616,8 @@ pub fn run_experiment(
 
     let end_at = SimTime::ZERO + config.stream.stream_duration() + config.deadline;
     let initial_conditions = *config.network.value_at(0.0);
-    let initial_bg = config.background.value_at(0.0)
-        + config.peer_devices as f64 * config.peer_rate_fps;
+    let initial_bg =
+        config.background.value_at(0.0) + config.peer_devices as f64 * config.peer_rate_fps;
 
     let mut link = Link::new(config.link, initial_conditions, rng.stream("link"));
     if let Some(model) = config.loss_model {
@@ -567,12 +660,21 @@ pub fn run_experiment(
         local_accuracy_sum: 0.0,
         local_done_total: 0,
         end_at,
+        server_up: true,
+        server_epoch: 0,
         controller,
         config,
     };
 
     let controller_period = world.config.controller_period;
-    let network_steps: Vec<f64> = world.config.network.steps().iter().map(|&(t, _)| t).collect();
+    let outage = world.config.outage;
+    let network_steps: Vec<f64> = world
+        .config
+        .network
+        .steps()
+        .iter()
+        .map(|&(t, _)| t)
+        .collect();
     let background_steps: Vec<f64> = world
         .config
         .background
@@ -592,6 +694,13 @@ pub fn run_experiment(
     }
     // Kick off the initial background process.
     sim.schedule_at(SimTime::ZERO, Event::LoadChange(0));
+    if let Some(outage) = outage {
+        sim.schedule_at(SimTime::from_secs_f64(outage.from_secs), Event::ServerCrash);
+        sim.schedule_at(
+            SimTime::from_secs_f64(outage.until_secs),
+            Event::ServerRecover,
+        );
+    }
 
     sim.run_until(end_at);
     let now = sim.now();
@@ -627,10 +736,7 @@ pub fn run_experiment(
             .then(|| world.quality_sum / world.frames_offloaded as f64),
         mean_local_accuracy: (world.local_done_total > 0)
             .then(|| world.local_accuracy_sum / world.local_done_total as f64),
-        trace: world
-            .trace
-            .is_enabled()
-            .then(|| world.trace.into_records()),
+        trace: world.trace.is_enabled().then(|| world.trace.into_records()),
         qos: world.qos,
     }
 }
@@ -724,6 +830,85 @@ mod tests {
     }
 
     #[test]
+    fn server_outage_drives_target_to_probe_floor_and_recovers() {
+        let mut cfg = short_config();
+        cfg.stream.total_frames = 2700; // 90 s at 30 fps
+        cfg.outage = Some(ServerOutage {
+            from_secs: 20.0,
+            until_secs: 70.0,
+        });
+        let result = run_experiment(cfg, Box::new(FrameFeedback::new()));
+
+        // Before the crash the controller is ramping normally.
+        let before = result.qos.aggregate(15.0, 20.0).unwrap();
+        assert!(
+            before.mean_po_target > 20.0,
+            "pre-outage target {:.1} should be near F_s",
+            before.mean_po_target
+        );
+
+        // §III-A.1: with every offload failing, P_o settles at 0.1·F_s.
+        let floor = 0.1 * 30.0;
+        let during = result.qos.aggregate(50.0, 70.0).unwrap();
+        assert!(
+            (during.mean_po_target - floor).abs() <= 0.5,
+            "outage target {:.2} should sit at the {floor:.1} fps probe floor",
+            during.mean_po_target
+        );
+
+        // Recovery within 5 controller intervals of the server's return.
+        let recovered_at = result
+            .qos
+            .records()
+            .iter()
+            .find(|r| r.t_secs >= 70.0 && r.po_target > floor + 0.5)
+            .map(|r| r.t_secs)
+            .expect("target never left the probe floor after recovery");
+        assert!(
+            recovered_at <= 75.0,
+            "target recovered only at t={recovered_at:.0}s"
+        );
+        let after = result.qos.aggregate(82.0, 90.0).unwrap();
+        assert!(
+            after.mean_po_target > 25.0,
+            "post-recovery target {:.1} should be back near F_s",
+            after.mean_po_target
+        );
+
+        // Throughput never collapses below the local floor (§II-A.5).
+        assert!(during.mean_throughput > 10.0);
+    }
+
+    #[test]
+    fn outage_requests_vanish_rather_than_complete() {
+        let mut cfg = short_config();
+        cfg.outage = Some(ServerOutage {
+            from_secs: 5.0,
+            until_secs: 25.0,
+        });
+        let down = run_experiment(cfg, Box::new(AlwaysOffload::new()));
+        let up = run_experiment(short_config(), Box::new(AlwaysOffload::new()));
+        assert!(down.offload_timeouts > 200, "the outage must cost timeouts");
+        assert!(
+            down.server_stats.completions < up.server_stats.completions / 2,
+            "a 20 s outage in a 30 s run must slash completions ({} vs {})",
+            down.server_stats.completions,
+            up.server_stats.completions
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must end after it starts")]
+    fn inverted_outage_window_is_rejected() {
+        let mut cfg = short_config();
+        cfg.outage = Some(ServerOutage {
+            from_secs: 10.0,
+            until_secs: 10.0,
+        });
+        run_experiment(cfg, Box::new(FrameFeedback::new()));
+    }
+
+    #[test]
     fn bad_network_drives_framefeedback_to_the_probe_floor() {
         let mut cfg = short_config();
         cfg.stream.total_frames = 1800; // 60 s
@@ -784,7 +969,10 @@ mod tests {
             result.server_stats.rejections > 0,
             "overloaded server must reject"
         );
-        assert!(result.offload_timeouts > 0, "saturation must cause timeouts");
+        assert!(
+            result.offload_timeouts > 0,
+            "saturation must cause timeouts"
+        );
     }
 
     #[test]
@@ -806,7 +994,10 @@ mod tests {
         );
         assert_eq!(summary.offload_succeeded, result.offload_successes);
         assert!(summary.local_completed > 0);
-        assert!(summary.unresolved <= 20, "only horizon stragglers may stay unresolved");
+        assert!(
+            summary.unresolved <= 20,
+            "only horizon stragglers may stay unresolved"
+        );
         // Capture times are monotone at the frame cadence.
         for w in trace.windows(2) {
             assert!(w[1].captured_secs > w[0].captured_secs);

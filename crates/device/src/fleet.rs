@@ -184,14 +184,23 @@ struct DeviceState {
 enum FleetEvent {
     Capture(usize),
     LocalDone(usize),
-    Uplinked { tag: u64 },
+    Uplinked {
+        tag: u64,
+    },
     BatchDone,
-    Response { tag: u64 },
-    Deadline { tag: u64 },
+    Response {
+        tag: u64,
+    },
+    Deadline {
+        tag: u64,
+    },
     Tick(usize),
     /// Apply schedule step `step` (shared schedule: to all devices;
     /// per-device schedules: to device `dev`).
-    NetworkChange { dev: Option<usize>, step: usize },
+    NetworkChange {
+        dev: Option<usize>,
+        step: usize,
+    },
 }
 
 struct FleetWorld {
@@ -245,7 +254,9 @@ impl FleetWorld {
         d.probe_seq += 1;
         d.probes.insert(ptag, now);
         match d.link.send(now, bytes) {
-            SendOutcome::Delivered { at } => ctx.schedule_at(at, FleetEvent::Uplinked { tag: ptag }),
+            SendOutcome::Delivered { at } => {
+                ctx.schedule_at(at, FleetEvent::Uplinked { tag: ptag })
+            }
             SendOutcome::Dropped(_) => {}
         }
         ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag: ptag });
@@ -417,7 +428,10 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
         controllers.len(),
         "one controller per device"
     );
-    assert!(!config.devices.is_empty(), "fleet needs at least one device");
+    assert!(
+        !config.devices.is_empty(),
+        "fleet needs at least one device"
+    );
     if let Some(schedules) = &config.per_device_network {
         assert_eq!(
             schedules.len(),
@@ -451,7 +465,10 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
                 .po_target;
             DeviceState {
                 controller,
-                source: FrameSource::new(config.stream, rng.indexed_stream("fleet-frames", i as u64)),
+                source: FrameSource::new(
+                    config.stream,
+                    rng.indexed_stream("fleet-frames", i as u64),
+                ),
                 splitter: FrameSplitter::new(),
                 engine: LocalEngine::new(
                     dc.device,
@@ -517,7 +534,10 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
         sim.schedule_at(SimTime::ZERO + controller_period, FleetEvent::Tick(dev));
     }
     for (t, dev, step) in change_events {
-        sim.schedule_at(SimTime::from_secs_f64(t), FleetEvent::NetworkChange { dev, step });
+        sim.schedule_at(
+            SimTime::from_secs_f64(t),
+            FleetEvent::NetworkChange { dev, step },
+        );
     }
     sim.run_until(end_at);
     let world = sim.into_model();
@@ -662,7 +682,11 @@ mod tests {
         assert!(newest.server_stats.rejections > 0);
         assert!(fair.server_stats.rejections > 0);
         // Both policies keep a symmetric fleet roughly fair.
-        assert!(newest.offload_fairness > 0.85, "{:.3}", newest.offload_fairness);
+        assert!(
+            newest.offload_fairness > 0.85,
+            "{:.3}",
+            newest.offload_fairness
+        );
         assert!(fair.offload_fairness > 0.85, "{:.3}", fair.offload_fairness);
     }
 
@@ -709,7 +733,12 @@ mod tests {
             );
             // Controllers back off to the probe floor.
             let late = d.qos.aggregate(20.0, 30.0).unwrap();
-            assert!(late.mean_po_target < 8.0, "{}: {}", d.device, late.mean_po_target);
+            assert!(
+                late.mean_po_target < 8.0,
+                "{}: {}",
+                d.device,
+                late.mean_po_target
+            );
         }
     }
 
@@ -727,10 +756,7 @@ mod tests {
         // enjoys a clean 10 Mbps.
         let mut mobility = MobilityConfig::default();
         mobility.duration_secs = 30.0;
-        let trace = mobility_trace(
-            &mobility,
-            &mut RngFactory::new(3).stream("fleet-mobility"),
-        );
+        let trace = mobility_trace(&mobility, &mut RngFactory::new(3).stream("fleet-mobility"));
         config.per_device_network = Some(vec![
             trace,
             StepSchedule::constant(NetworkConditions::new(1.0, 20.0)),
@@ -740,8 +766,16 @@ mod tests {
         let late = |i: usize| result.devices[i].qos.aggregate(15.0, 30.0).unwrap();
         // The dead-link device falls to its probe floor; the clean device
         // offloads nearly everything.
-        assert!(late(1).mean_po_target < 8.0, "dead link: {}", late(1).mean_po_target);
-        assert!(late(2).mean_po_target > 25.0, "clean link: {}", late(2).mean_po_target);
+        assert!(
+            late(1).mean_po_target < 8.0,
+            "dead link: {}",
+            late(1).mean_po_target
+        );
+        assert!(
+            late(2).mean_po_target > 25.0,
+            "clean link: {}",
+            late(2).mean_po_target
+        );
         // The mobile device lands somewhere in between.
         let mobile = late(0).mean_po_target;
         assert!(mobile > 2.0 && mobile < 31.0, "mobile target {mobile}");

@@ -26,7 +26,7 @@ mod splitter;
 mod trace;
 
 pub use cpu::{CpuModel, EnergyModel};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, ServerOutage};
 pub use fleet::{run_fleet, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult};
 pub use local::{LocalEngine, LocalOutcome};
 pub use offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};

@@ -284,7 +284,7 @@ mod tests {
             panic!()
         };
         e.set_rate_fps(2.0); // 500 ms services from now on
-        // The in-flight service still completes at ~100 ms.
+                             // The in-flight service still completes at ~100 ms.
         assert!(done_at.as_millis() <= 110);
         e.complete(done_at);
         let LocalOutcome::Started { done_at: d2 } = e.offer(done_at) else {

@@ -173,7 +173,10 @@ mod tests {
         a.update(5.0);
         a.update(5.0); // quality 70
         let scale = a.byte_scale(224);
-        assert!(scale < 0.75, "q70 frames should be well under q90 size, got {scale}");
+        assert!(
+            scale < 0.75,
+            "q70 frames should be well under q90 size, got {scale}"
+        );
         assert!(scale > 0.3);
     }
 

@@ -131,7 +131,11 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(s.update(0.95), ModelKind::MobileNetV3Small);
         }
-        assert_eq!(s.update(0.95), ModelKind::MobileNetV3Large, "5th interval upgrades");
+        assert_eq!(
+            s.update(0.95),
+            ModelKind::MobileNetV3Large,
+            "5th interval upgrades"
+        );
         for _ in 0..4 {
             s.update(0.95);
         }
@@ -148,7 +152,11 @@ mod tests {
         for _ in 0..10 {
             s.update(0.95);
         }
-        assert_eq!(s.model(), ModelKind::EfficientNetB0, "two upgrades in 10 intervals");
+        assert_eq!(
+            s.model(),
+            ModelKind::EfficientNetB0,
+            "two upgrades in 10 intervals"
+        );
         assert_eq!(s.update(0.1), ModelKind::MobileNetV3Small, "immediate drop");
     }
 
@@ -173,7 +181,12 @@ mod tests {
         }
         let slow = (s.local_rate_fps(), s.model().profile().top1_accuracy);
         assert!(slow.0 < fast.0, "rate must drop ({} -> {})", fast.0, slow.0);
-        assert!(slow.1 > fast.1, "accuracy must rise ({} -> {})", fast.1, slow.1);
+        assert!(
+            slow.1 > fast.1,
+            "accuracy must rise ({} -> {})",
+            fast.1,
+            slow.1
+        );
     }
 
     #[test]

@@ -82,10 +82,7 @@ mod tests {
         let mut s = FrameSplitter::new();
         let routes: Vec<Route> = (0..10).map(|_| s.route(15.0, 30.0)).collect();
         // Credit 0.5, 1.0→offload, 0.5, 1.0→offload...
-        assert_eq!(
-            routes.iter().filter(|r| **r == Route::Offload).count(),
-            5
-        );
+        assert_eq!(routes.iter().filter(|r| **r == Route::Offload).count(), 5);
         // Offloads are evenly spaced, not bursty.
         let positions: Vec<usize> = routes
             .iter()

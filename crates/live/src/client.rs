@@ -6,22 +6,84 @@
 //! at the configured measurement period — the same control loop as the
 //! simulator, but against a real socket and real time.
 
-use crate::proto::{encode_request, read_response, Status, WireRequest};
+use crate::proto::{encode_request, poll_response, Poll, Status, WireRequest};
 use crate::shim::{ImpairmentShim, ShimVerdict};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use ff_core::{Controller, Measurement};
 use ff_metrics::LogHistogram;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread;
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Probe tags live in the top bit of the tag space.
 const PROBE_BIT: u64 = 1 << 63;
+
+/// How often the supervisor and an idle reader re-check liveness flags.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(5);
+
+/// Reconnect backoff: exponential with multiplicative jitter.
+///
+/// After each failed dial the wait grows by `multiplier` (capped at
+/// `max_backoff`); every wait is scaled by a uniform factor in
+/// `[1 − jitter, 1 + jitter]` so a fleet of devices that lost the same
+/// server does not redial in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Wait after the first failed dial.
+    pub initial_backoff: Duration,
+    /// Upper bound on the (pre-jitter) wait.
+    pub max_backoff: Duration,
+    /// Growth factor per consecutive failure (>= 1).
+    pub multiplier: f64,
+    /// Jitter fraction in [0, 1].
+    pub jitter: f64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    fn validate(&self) {
+        assert!(
+            self.multiplier >= 1.0 && self.multiplier.is_finite(),
+            "reconnect multiplier must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "reconnect jitter must be in [0, 1]"
+        );
+        assert!(
+            self.initial_backoff <= self.max_backoff,
+            "initial backoff must not exceed max backoff"
+        );
+    }
+
+    /// The jittered wait for the given consecutive-failure count.
+    fn backoff(&self, failures: u32, rng: &mut SmallRng) -> Duration {
+        let grown = self
+            .initial_backoff
+            .mul_f64(self.multiplier.powi(failures.min(16) as i32))
+            .min(self.max_backoff);
+        let scale = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        grown.mul_f64(scale.max(0.0))
+    }
+}
 
 /// Configuration of a live device run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +100,12 @@ pub struct LiveDeviceConfig {
     pub local_rate_fps: f64,
     /// Controller measurement period.
     pub tick: Duration,
+    /// Per-connection I/O timeout: bounds the dial, any read that stalls
+    /// mid-frame, and any blocked write before the connection is declared
+    /// dead and handed to the reconnect loop.
+    pub io_timeout: Duration,
+    /// How the device redials after losing the server.
+    pub reconnect: ReconnectPolicy,
 }
 
 impl Default for LiveDeviceConfig {
@@ -49,6 +117,8 @@ impl Default for LiveDeviceConfig {
             frame_bytes: 25_000,
             local_rate_fps: 13.0,
             tick: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(2),
+            reconnect: ReconnectPolicy::default(),
         }
     }
 }
@@ -93,6 +163,11 @@ pub struct LiveRunSummary {
     /// End-to-end latency of successful offloads, in milliseconds
     /// (bounded-memory histogram — safe for arbitrarily long runs).
     pub latency_ms: LogHistogram,
+    /// Successful connection (re-)establishments after the first one.
+    pub reconnects: u64,
+    /// Offload attempts that failed instantly because no connection was
+    /// up (they still count toward `timeouts`).
+    pub failed_while_disconnected: u64,
 }
 
 impl LiveRunSummary {
@@ -109,7 +184,165 @@ struct FrameSplitter {
     credit: f64,
 }
 
+/// A live connection as the capture loop sees it: where to queue writes,
+/// and whether the I/O threads behind it still consider it healthy.
+#[derive(Clone)]
+struct ConnHandle {
+    send_tx: Sender<(u64, u64, Instant)>,
+    alive: Arc<AtomicBool>,
+}
+
+/// State shared between the capture loop and the connection supervisor.
+struct ConnShared {
+    slot: Mutex<Option<ConnHandle>>,
+    reconnects: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl ConnShared {
+    /// The current healthy connection, if any. Returning a clone (rather
+    /// than holding the lock) keeps the capture loop wait-free with
+    /// respect to the supervisor's reconnect work.
+    fn current(&self) -> Option<ConnHandle> {
+        self.slot
+            .lock()
+            .clone()
+            .filter(|c| c.alive.load(Ordering::Relaxed))
+    }
+}
+
+/// Dial the server and start this connection's reader and paced-sender
+/// threads. Any I/O failure on either thread clears `alive`, which the
+/// supervisor notices and turns into a reconnect cycle.
+fn open_connection(
+    addr: SocketAddr,
+    config: &LiveDeviceConfig,
+    event_tx: &Sender<(u64, Status, Instant)>,
+) -> io::Result<(ConnHandle, TcpStream, JoinHandle<()>, JoinHandle<()>)> {
+    let stream = TcpStream::connect_timeout(&addr, config.io_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.io_timeout))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+
+    let alive = Arc::new(AtomicBool::new(true));
+
+    // Response reader: forwards (tag, status, arrival) events. Idle
+    // timeouts just re-check liveness; EOF, resets, and mid-frame stalls
+    // kill the connection.
+    let mut reader_stream = stream.try_clone()?;
+    let reader_alive = Arc::clone(&alive);
+    let reader_events = event_tx.clone();
+    let reader = thread::Builder::new()
+        .name("ff-live-dev-reader".into())
+        .spawn(move || {
+            while reader_alive.load(Ordering::Relaxed) {
+                match poll_response(&mut reader_stream) {
+                    Ok(Poll::Frame(resp)) => {
+                        if reader_events
+                            .send((resp.tag, resp.status, Instant::now()))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Ok(Poll::Idle) => continue,
+                    Ok(Poll::Closed) | Err(_) => break,
+                }
+            }
+            reader_alive.store(false, Ordering::Relaxed);
+        })?;
+
+    // Paced sender: writes requests after the shim's serialization delay.
+    let (send_tx, send_rx) = unbounded::<(u64, u64, Instant)>();
+    let mut writer_stream = stream.try_clone()?;
+    let sender_alive = Arc::clone(&alive);
+    let sender_payload = Bytes::from(vec![0u8; config.frame_bytes as usize]);
+    let sender = thread::Builder::new()
+        .name("ff-live-dev-sender".into())
+        .spawn(move || {
+            while let Ok((tag, bytes, send_at)) = send_rx.recv() {
+                let now = Instant::now();
+                if send_at > now {
+                    thread::sleep(send_at - now);
+                }
+                let payload = if bytes as usize == sender_payload.len() {
+                    sender_payload.clone()
+                } else {
+                    Bytes::from(vec![0u8; bytes as usize])
+                };
+                let req = WireRequest { tag, payload };
+                if io::Write::write_all(&mut writer_stream, &encode_request(&req)).is_err() {
+                    sender_alive.store(false, Ordering::Relaxed);
+                    break;
+                }
+            }
+        })?;
+
+    Ok((ConnHandle { send_tx, alive }, stream, reader, sender))
+}
+
+/// Own the connection lifecycle: dial, watch, tear down, back off, redial.
+fn supervisor_loop(
+    addr: SocketAddr,
+    config: LiveDeviceConfig,
+    shared: Arc<ConnShared>,
+    event_tx: Sender<(u64, Status, Instant)>,
+) {
+    // Seeded per-port so backoff jitter is stable enough to debug but
+    // different devices (ports) don't redial in phase.
+    let mut rng = SmallRng::seed_from_u64(0xC0FF_EE00 ^ addr.port() as u64);
+    let mut failures: u32 = 0;
+    let mut ever_connected = false;
+    while !shared.stop.load(Ordering::Relaxed) {
+        match open_connection(addr, &config, &event_tx) {
+            Ok((handle, stream, reader, sender)) => {
+                failures = 0;
+                if ever_connected {
+                    shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                ever_connected = true;
+                *shared.slot.lock() = Some(handle.clone());
+                while handle.alive.load(Ordering::Relaxed) && !shared.stop.load(Ordering::Relaxed) {
+                    thread::sleep(SUPERVISOR_POLL);
+                }
+                // Dead (or stopping): retract the handle, force both I/O
+                // threads off the socket, and reap them before redialing.
+                *shared.slot.lock() = None;
+                handle.alive.store(false, Ordering::Relaxed);
+                let _ = stream.shutdown(Shutdown::Both);
+                drop(handle);
+                let _ = sender.join();
+                let _ = reader.join();
+            }
+            Err(_) => {
+                let wait = config.reconnect.backoff(failures, &mut rng);
+                failures = failures.saturating_add(1);
+                sleep_unless_stopped(&shared.stop, wait);
+            }
+        }
+    }
+}
+
+fn sleep_unless_stopped(stop: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        thread::sleep((deadline - now).min(SUPERVISOR_POLL));
+    }
+}
+
 /// Drive one live device session against a running server.
+///
+/// The connection is supervised: if the server goes away the device
+/// degrades to local-only inference while a background loop redials with
+/// exponential backoff, and it resumes offloading when the server
+/// returns. During an outage every offload attempt fails immediately, so
+/// the controller sees `T` equal to the attempted rate and settles at
+/// the probe floor `0.1·F_s` (§III-A.1) — which is also what paces the
+/// probing. An unreachable server at start-up is therefore not an error.
 pub fn run_live_device(
     addr: SocketAddr,
     config: LiveDeviceConfig,
@@ -117,55 +350,34 @@ pub fn run_live_device(
     controller: &mut dyn Controller,
 ) -> io::Result<LiveRunSummary> {
     assert!(config.fs > 0.0 && config.local_rate_fps > 0.0);
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
+    config.reconnect.validate();
 
-    // Response reader: forwards (tag, status, arrival) events.
     let (event_tx, event_rx) = unbounded::<(u64, Status, Instant)>();
-    let reader_stream = stream.try_clone()?;
-    let reader = thread::Builder::new().name("ff-live-dev-reader".into()).spawn(move || {
-        let mut s = reader_stream;
-        while let Ok(Some(resp)) = read_response(&mut s) {
-            if event_tx.send((resp.tag, resp.status, Instant::now())).is_err() {
-                break;
-            }
-        }
-    })?;
-
-    // Paced sender: writes requests after the shim's serialization delay.
-    let (send_tx, send_rx) = unbounded::<(u64, u64, Instant)>();
-    let mut writer_stream = stream.try_clone()?;
-    let frame_payload = Bytes::from(vec![0u8; config.frame_bytes as usize]);
-    let sender_payload = frame_payload.clone();
-    let sender = thread::Builder::new().name("ff-live-dev-sender".into()).spawn(move || {
-        while let Ok((tag, bytes, send_at)) = send_rx.recv() {
-            let now = Instant::now();
-            if send_at > now {
-                thread::sleep(send_at - now);
-            }
-            let payload = if bytes as usize == sender_payload.len() {
-                sender_payload.clone()
-            } else {
-                Bytes::from(vec![0u8; bytes as usize])
-            };
-            let req = WireRequest { tag, payload };
-            if io::Write::write_all(&mut writer_stream, &encode_request(&req)).is_err() {
-                break;
-            }
-        }
-    })?;
+    let shared = Arc::new(ConnShared {
+        slot: Mutex::new(None),
+        reconnects: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("ff-live-dev-supervisor".into())
+            .spawn(move || supervisor_loop(addr, config, shared, event_tx))?
+    };
 
     // Local inference worker with a one-frame pending slot.
     let (local_tx, local_rx) = bounded::<()>(1);
     let local_completed = Arc::new(AtomicU64::new(0));
     let local_counter = Arc::clone(&local_completed);
     let service = Duration::from_secs_f64(1.0 / config.local_rate_fps);
-    let local = thread::Builder::new().name("ff-live-dev-local".into()).spawn(move || {
-        while local_rx.recv().is_ok() {
-            thread::sleep(service);
-            local_counter.fetch_add(1, Ordering::Relaxed);
-        }
-    })?;
+    let local = thread::Builder::new()
+        .name("ff-live-dev-local".into())
+        .spawn(move || {
+            while local_rx.recv().is_ok() {
+                thread::sleep(service);
+                local_counter.fetch_add(1, Ordering::Relaxed);
+            }
+        })?;
 
     // ---- main capture / control loop ----
     let start = Instant::now();
@@ -182,6 +394,7 @@ pub fn run_live_device(
     let mut offloaded: u64 = 0;
     let mut successes: u64 = 0;
     let mut timeouts: u64 = 0;
+    let mut failed_while_disconnected: u64 = 0;
     let mut latency_ms = LogHistogram::for_latency_ms();
     let mut interval_sent: u64 = 0;
     let mut interval_timeouts: u64 = 0;
@@ -204,14 +417,30 @@ pub fn run_live_device(
         if splitter.credit >= 1.0 {
             splitter.credit -= 1.0;
             let tag = i;
-            in_flight.insert(tag, captured_at);
             offloaded += 1;
             interval_sent += 1;
-            match shim.offer(config.frame_bytes) {
-                ShimVerdict::SendAfter(delay) => {
-                    let _ = send_tx.send((tag, config.frame_bytes, captured_at + delay));
+            match shared.current() {
+                Some(conn) => {
+                    in_flight.insert(tag, captured_at);
+                    match shim.offer(config.frame_bytes) {
+                        ShimVerdict::SendAfter(delay) => {
+                            let _ =
+                                conn.send_tx
+                                    .send((tag, config.frame_bytes, captured_at + delay));
+                        }
+                        ShimVerdict::Drop => {} // resolves as a timeout
+                    }
                 }
-                ShimVerdict::Drop => {} // resolves as a timeout
+                None => {
+                    // No connection: the attempt fails instantly (the live
+                    // analogue of ECONNREFUSED). Counting it as a timeout
+                    // now — not a deadline later — is what makes `T` track
+                    // the attempted rate and parks the controller at the
+                    // probe floor while the server is unreachable.
+                    timeouts += 1;
+                    interval_timeouts += 1;
+                    failed_while_disconnected += 1;
+                }
             }
         } else {
             let _ = local_tx.try_send(()); // full pending slot = frame skip
@@ -260,8 +489,10 @@ pub fn run_live_device(
             let po = interval_sent as f64 / dt;
             timeout_history.push(interval_timeouts as f64 / dt);
             let window = 3.min(timeout_history.len());
-            let t_avg =
-                timeout_history[timeout_history.len() - window..].iter().sum::<f64>() / window as f64;
+            let t_avg = timeout_history[timeout_history.len() - window..]
+                .iter()
+                .sum::<f64>()
+                / window as f64;
 
             let decision = controller.update(&Measurement {
                 fs: config.fs,
@@ -284,13 +515,19 @@ pub fn run_live_device(
             interval_sent = 0;
             interval_timeouts = 0;
 
-            // New heartbeat probe.
+            // New heartbeat probe (only if there is a link to probe on;
+            // while disconnected the heartbeat simply stays false).
             heartbeat_ok = false;
-            let ptag = PROBE_BIT | probe_seq;
-            probe_seq += 1;
-            probe_in_flight = Some((ptag, Instant::now()));
-            if let ShimVerdict::SendAfter(delay) = shim.offer(config.frame_bytes) {
-                let _ = send_tx.send((ptag, config.frame_bytes, Instant::now() + delay));
+            probe_in_flight = None;
+            if let Some(conn) = shared.current() {
+                let ptag = PROBE_BIT | probe_seq;
+                probe_seq += 1;
+                probe_in_flight = Some((ptag, Instant::now()));
+                if let ShimVerdict::SendAfter(delay) = shim.offer(config.frame_bytes) {
+                    let _ = conn
+                        .send_tx
+                        .send((ptag, config.frame_bytes, Instant::now() + delay));
+                }
             }
 
             next_tick += config.tick;
@@ -315,14 +552,12 @@ pub fn run_live_device(
     }
     timeouts += in_flight.len() as u64;
 
-    // Tear down: close the socket to stop the reader, drop channels to
-    // stop the sender and local worker.
-    drop(send_tx);
+    // Tear down: stop the supervisor (which closes the socket and reaps
+    // the I/O threads), then drop the local worker's channel.
+    shared.stop.store(true, Ordering::Relaxed);
     drop(local_tx);
-    let _ = stream.shutdown(Shutdown::Both);
-    let _ = sender.join();
+    let _ = supervisor.join();
     let _ = local.join();
-    let _ = reader.join();
 
     Ok(LiveRunSummary {
         records,
@@ -332,6 +567,8 @@ pub fn run_live_device(
         successes,
         timeouts,
         latency_ms,
+        reconnects: shared.reconnects.load(Ordering::Relaxed),
+        failed_while_disconnected,
     })
 }
 
@@ -363,6 +600,7 @@ mod tests {
             frame_bytes: 8_000,
             local_rate_fps: 20.0,
             tick: Duration::from_millis(300),
+            ..Default::default()
         }
     }
 
@@ -374,8 +612,7 @@ mod tests {
             RngFactory::new(1).stream("live"),
         ));
         let mut ctl = FrameFeedback::new();
-        let summary =
-            run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
+        let summary = run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
         assert!(summary.frames == 180);
         assert!(summary.offloaded > 0, "controller never offloaded");
         let first = summary.records.first().unwrap().po_target;
@@ -407,8 +644,7 @@ mod tests {
             RngFactory::new(2).stream("live"),
         ));
         let mut ctl = FrameFeedback::new();
-        let summary =
-            run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
+        let summary = run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
         assert!(summary.timeouts > 0, "throttled link must time out");
         let final_target = summary.records.last().unwrap().po_target;
         assert!(
@@ -426,8 +662,7 @@ mod tests {
             RngFactory::new(3).stream("live"),
         ));
         let mut ctl = ff_baselines_stub::LocalOnlyStub;
-        let summary =
-            run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
+        let summary = run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
         assert_eq!(summary.offloaded, 0);
         // ~20 fps for 3 s ≈ 60 local completions; allow scheduler slop.
         assert!(

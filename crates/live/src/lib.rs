@@ -19,10 +19,12 @@ mod proto;
 mod server;
 mod shim;
 
-pub use client::{run_live_device, LiveDeviceConfig, LiveQosRecord, LiveRunSummary};
-pub use proto::{
-    encode_request, read_request, read_response, write_response, Status, WireRequest,
-    WireResponse,
+pub use client::{
+    run_live_device, LiveDeviceConfig, LiveQosRecord, LiveRunSummary, ReconnectPolicy,
 };
-pub use server::{LiveServer, LiveServerConfig, LiveServerStats};
+pub use proto::{
+    encode_request, poll_request, poll_response, read_request, read_response, write_response, Poll,
+    Status, WireRequest, WireResponse,
+};
+pub use server::{ChaosConfig, ChaosHandle, LiveServer, LiveServerConfig, LiveServerStats};
 pub use shim::{Impairment, ImpairmentShim, ShimVerdict};

@@ -84,7 +84,9 @@ pub fn encode_request(req: &WireRequest) -> BytesMut {
 /// at a frame boundary.
 pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<WireRequest>> {
     let mut len_buf = [0u8; LEN_PREFIX];
-    if !read_exact_or_eof(r, &mut len_buf)? { return Ok(None) }
+    if !read_exact_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
     let len = u32::from_be_bytes(len_buf);
     if len < TAG_SIZE as u32 || len > MAX_FRAME {
         return Err(io::Error::new(
@@ -113,12 +115,94 @@ pub fn write_response<W: Write>(w: &mut W, resp: WireResponse) -> io::Result<()>
 /// Read one response. `Ok(None)` means clean EOF at a frame boundary.
 pub fn read_response<R: Read>(r: &mut R) -> io::Result<Option<WireResponse>> {
     let mut buf = [0u8; TAG_SIZE + 1];
-    if !read_exact_or_eof(r, &mut buf)? { return Ok(None) }
+    if !read_exact_or_eof(r, &mut buf)? {
+        return Ok(None);
+    }
     let tag = u64::from_be_bytes(buf[..TAG_SIZE].try_into().expect("fixed size"));
     Ok(Some(WireResponse {
         tag,
         status: Status::from_byte(buf[TAG_SIZE])?,
     }))
+}
+
+/// One poll of a stream that has a read timeout configured.
+///
+/// Distinguishes the three things a timed read can mean, which a plain
+/// `read_exact` conflates: a whole frame arrived, the peer is merely
+/// idle (timeout before the *first* byte), or the peer closed cleanly.
+/// A timeout in the *middle* of a frame is a stalled peer and surfaces
+/// as an error, which is what lets both sides treat their configured
+/// read timeout as a stall detector without false-positives on idle
+/// connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll<T> {
+    /// A complete frame arrived.
+    Frame(T),
+    /// The read timeout elapsed with no data: idle, not gone.
+    Idle,
+    /// Clean EOF at a frame boundary.
+    Closed,
+}
+
+/// Poll for one request on a stream with a read timeout.
+pub fn poll_request<R: Read>(r: &mut R) -> io::Result<Poll<WireRequest>> {
+    let mut len_buf = [0u8; LEN_PREFIX];
+    match poll_exact(r, &mut len_buf)? {
+        Poll::Idle => return Ok(Poll::Idle),
+        Poll::Closed => return Ok(Poll::Closed),
+        Poll::Frame(()) => {}
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len < TAG_SIZE as u32 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut cursor = &body[..];
+    let tag = cursor.get_u64();
+    Ok(Poll::Frame(WireRequest {
+        tag,
+        payload: Bytes::copy_from_slice(cursor),
+    }))
+}
+
+/// Poll for one response on a stream with a read timeout.
+pub fn poll_response<R: Read>(r: &mut R) -> io::Result<Poll<WireResponse>> {
+    let mut buf = [0u8; TAG_SIZE + 1];
+    match poll_exact(r, &mut buf)? {
+        Poll::Idle => return Ok(Poll::Idle),
+        Poll::Closed => return Ok(Poll::Closed),
+        Poll::Frame(()) => {}
+    }
+    let tag = u64::from_be_bytes(buf[..TAG_SIZE].try_into().expect("fixed size"));
+    Ok(Poll::Frame(WireResponse {
+        tag,
+        status: Status::from_byte(buf[TAG_SIZE])?,
+    }))
+}
+
+/// Fill `buf`, treating a timeout before the first byte as `Idle` and a
+/// clean EOF before the first byte as `Closed`. Once the first byte has
+/// arrived the rest must follow: timeouts and EOF mid-buffer are errors.
+fn poll_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<Poll<()>> {
+    loop {
+        match r.read(&mut buf[..1]) {
+            Ok(0) => return Ok(Poll::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(Poll::Idle)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    r.read_exact(&mut buf[1..])?;
+    Ok(Poll::Frame(()))
 }
 
 /// `read_exact`, but a clean EOF before the first byte returns `false`
@@ -218,6 +302,66 @@ mod tests {
         buf.extend_from_slice(&[0u8; 3]);
         let mut cursor = Cursor::new(buf);
         assert!(read_request(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn poll_parses_frames_then_reports_closed() {
+        let req = WireRequest {
+            tag: 3,
+            payload: Bytes::from_static(b"xyz"),
+        };
+        let mut cursor = Cursor::new(encode_request(&req).to_vec());
+        assert_eq!(poll_request(&mut cursor).unwrap(), Poll::Frame(req));
+        assert_eq!(poll_request(&mut cursor).unwrap(), Poll::Closed);
+
+        let resp = WireResponse {
+            tag: 3,
+            status: Status::Ok,
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(poll_response(&mut cursor).unwrap(), Poll::Frame(resp));
+        assert_eq!(poll_response(&mut cursor).unwrap(), Poll::Closed);
+    }
+
+    /// A reader that times out before the first byte, then mid-frame.
+    struct TimeoutAfter {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for TimeoutAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timed out"));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn poll_distinguishes_idle_from_mid_frame_stall() {
+        // No data at all: idle, not an error.
+        let mut idle = TimeoutAfter {
+            data: Vec::new(),
+            pos: 0,
+        };
+        assert_eq!(poll_response(&mut idle).unwrap(), Poll::Idle);
+
+        // A truncated frame followed by a timeout: stalled peer, an error.
+        let resp = WireResponse {
+            tag: 9,
+            status: Status::Ok,
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        buf.truncate(4);
+        let mut stalled = TimeoutAfter { data: buf, pos: 0 };
+        assert!(poll_response(&mut stalled).is_err());
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //! rejects the overflow. One reader and one writer thread per connection;
 //! `crossbeam` channels fan requests in and responses out.
 
-use crate::proto::{read_request, write_response, Status, WireResponse};
+use crate::proto::{poll_request, write_response, Poll, Status, WireResponse};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// How long a connection reader blocks before re-checking the stop flag.
+/// Also the stall detector: a request that pauses mid-frame longer than
+/// this is treated as a dead peer.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Server batching parameters (wall-clock analogue of `GpuProfile`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,11 +55,165 @@ pub struct LiveServerStats {
     pub rejections: AtomicU64,
     /// Batches executed.
     pub batches: AtomicU64,
+    /// Requests swallowed by chaos (no reply ever sent).
+    pub chaos_drops: AtomicU64,
+    /// Connections killed by chaos.
+    pub chaos_disconnects: AtomicU64,
+    /// Replies delayed by chaos.
+    pub chaos_stalls: AtomicU64,
+}
+
+/// Fault-injection settings for resilience testing.
+///
+/// Each probability is evaluated per request, independently, in the
+/// order disconnect → drop → stall. All zeros (the default) is a
+/// well-behaved server. The knobs can also be changed while the server
+/// runs through [`LiveServer::chaos`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability that reading a request kills its connection.
+    pub disconnect_per_request: f64,
+    /// Probability that a request is swallowed with no reply.
+    pub drop_per_request: f64,
+    /// Probability that a reply is delayed by [`stall`](Self::stall).
+    pub stall_per_request: f64,
+    /// How long a stalled reply is held back.
+    pub stall: Duration,
+    /// Seed for the per-connection chaos RNG streams.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            disconnect_per_request: 0.0,
+            drop_per_request: 0.0,
+            stall_per_request: 0.0,
+            stall: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    fn validate(&self) {
+        for (name, p) in [
+            ("disconnect_per_request", self.disconnect_per_request),
+            ("drop_per_request", self.drop_per_request),
+            ("stall_per_request", self.stall_per_request),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
+        }
+    }
+}
+
+/// Probabilities stored in millionths so they fit in atomics and can be
+/// retuned while connections are live.
+#[derive(Debug)]
+struct ChaosState {
+    disconnect_ppm: AtomicU32,
+    drop_ppm: AtomicU32,
+    stall_ppm: AtomicU32,
+    stall_micros: AtomicU64,
+    /// Overrides the probabilities: swallow every request, reply to none.
+    fail_all: AtomicBool,
+    seed: u64,
+    next_conn: AtomicU64,
+}
+
+const PPM: f64 = 1_000_000.0;
+
+fn to_ppm(p: f64) -> u32 {
+    (p.clamp(0.0, 1.0) * PPM).round() as u32
+}
+
+impl ChaosState {
+    fn new(config: ChaosConfig) -> Self {
+        config.validate();
+        ChaosState {
+            disconnect_ppm: AtomicU32::new(to_ppm(config.disconnect_per_request)),
+            drop_ppm: AtomicU32::new(to_ppm(config.drop_per_request)),
+            stall_ppm: AtomicU32::new(to_ppm(config.stall_per_request)),
+            stall_micros: AtomicU64::new(config.stall.as_micros() as u64),
+            fail_all: AtomicBool::new(false),
+            seed: config.seed,
+            next_conn: AtomicU64::new(0),
+        }
+    }
+
+    fn hit(ppm: u32, rng: &mut SmallRng) -> bool {
+        ppm > 0 && rng.gen_range(0u32..1_000_000) < ppm
+    }
+}
+
+/// What chaos decided for one request.
+enum ChaosVerdict {
+    Pass,
+    Drop,
+    Disconnect,
+    Stall(Duration),
+}
+
+fn chaos_verdict(state: &ChaosState, rng: &mut SmallRng) -> ChaosVerdict {
+    if state.fail_all.load(Ordering::Relaxed) {
+        return ChaosVerdict::Drop;
+    }
+    if ChaosState::hit(state.disconnect_ppm.load(Ordering::Relaxed), rng) {
+        return ChaosVerdict::Disconnect;
+    }
+    if ChaosState::hit(state.drop_ppm.load(Ordering::Relaxed), rng) {
+        return ChaosVerdict::Drop;
+    }
+    if ChaosState::hit(state.stall_ppm.load(Ordering::Relaxed), rng) {
+        let stall = Duration::from_micros(state.stall_micros.load(Ordering::Relaxed));
+        return ChaosVerdict::Stall(stall);
+    }
+    ChaosVerdict::Pass
+}
+
+/// Runtime handle to a server's chaos knobs (cloneable, thread-safe).
+#[derive(Debug, Clone)]
+pub struct ChaosHandle {
+    state: Arc<ChaosState>,
+}
+
+impl ChaosHandle {
+    /// Swallow every request with no reply (`true`), or restore the
+    /// configured probabilities (`false`). This is the "server is up but
+    /// offloading totally fails" scenario of the resilience tests.
+    pub fn fail_all(&self, on: bool) {
+        self.state.fail_all.store(on, Ordering::Relaxed);
+    }
+
+    /// Retune the per-request disconnect probability.
+    pub fn set_disconnect_probability(&self, p: f64) {
+        self.state
+            .disconnect_ppm
+            .store(to_ppm(p), Ordering::Relaxed);
+    }
+
+    /// Retune the per-request drop probability.
+    pub fn set_drop_probability(&self, p: f64) {
+        self.state.drop_ppm.store(to_ppm(p), Ordering::Relaxed);
+    }
+
+    /// Retune the reply-stall probability and duration.
+    pub fn set_stall(&self, p: f64, stall: Duration) {
+        self.state.stall_ppm.store(to_ppm(p), Ordering::Relaxed);
+        self.state
+            .stall_micros
+            .store(stall.as_micros() as u64, Ordering::Relaxed);
+    }
 }
 
 struct BatchItem {
     tag: u64,
-    reply: Sender<WireResponse>,
+    /// Chaos-injected delay applied before this request's reply is written.
+    stall: Option<Duration>,
+    reply: Sender<(WireResponse, Option<Duration>)>,
 }
 
 /// A running live server. Dropping it (or calling [`LiveServer::shutdown`])
@@ -61,6 +222,7 @@ pub struct LiveServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<LiveServerStats>,
+    chaos: Arc<ChaosState>,
     accept_handle: Option<JoinHandle<()>>,
     batcher_handle: Option<JoinHandle<()>>,
 }
@@ -68,12 +230,32 @@ pub struct LiveServer {
 impl LiveServer {
     /// Bind `127.0.0.1:0` (or any address) and start serving.
     pub fn start(bind: &str, config: LiveServerConfig) -> io::Result<LiveServer> {
-        assert!(config.batch_limit > 0, "batch limit must be positive");
         let listener = TcpListener::bind(bind)?;
+        Self::start_with(listener, config)
+    }
+
+    /// Serve on an already-bound listener with a well-behaved server.
+    ///
+    /// Taking the listener (rather than an address) lets restart tests
+    /// keep a `try_clone` of it across a stop/start cycle, so the port
+    /// stays continuously held and a restarted server reappears at the
+    /// same address with no `EADDRINUSE` window.
+    pub fn start_with(listener: TcpListener, config: LiveServerConfig) -> io::Result<LiveServer> {
+        Self::start_chaotic(listener, config, ChaosConfig::default())
+    }
+
+    /// Serve on an already-bound listener with fault injection enabled.
+    pub fn start_chaotic(
+        listener: TcpListener,
+        config: LiveServerConfig,
+        chaos: ChaosConfig,
+    ) -> io::Result<LiveServer> {
+        assert!(config.batch_limit > 0, "batch limit must be positive");
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(LiveServerStats::default());
+        let chaos = Arc::new(ChaosState::new(chaos));
 
         let (batch_tx, batch_rx) = unbounded::<BatchItem>();
 
@@ -88,18 +270,27 @@ impl LiveServer {
         let accept_handle = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let chaos = Arc::clone(&chaos);
             thread::Builder::new()
                 .name("ff-live-accept".into())
-                .spawn(move || accept_loop(listener, batch_tx, stop, stats))?
+                .spawn(move || accept_loop(listener, batch_tx, stop, stats, chaos))?
         };
 
         Ok(LiveServer {
             addr,
             stop,
             stats,
+            chaos,
             accept_handle: Some(accept_handle),
             batcher_handle: Some(batcher_handle),
         })
+    }
+
+    /// Runtime handle to the fault-injection knobs.
+    pub fn chaos(&self) -> ChaosHandle {
+        ChaosHandle {
+            state: Arc::clone(&self.chaos),
+        }
     }
 
     /// The bound address (use `127.0.0.1:0` + this to avoid port clashes).
@@ -139,6 +330,7 @@ fn accept_loop(
     batch_tx: Sender<BatchItem>,
     stop: Arc<AtomicBool>,
     stats: Arc<LiveServerStats>,
+    chaos: Arc<ChaosState>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -146,9 +338,10 @@ fn accept_loop(
                 let tx = batch_tx.clone();
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
+                let chaos = Arc::clone(&chaos);
                 let _ = thread::Builder::new()
                     .name("ff-live-conn".into())
-                    .spawn(move || connection_loop(stream, tx, stop, stats));
+                    .spawn(move || connection_loop(stream, tx, stop, stats, chaos));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(5));
@@ -163,18 +356,35 @@ fn connection_loop(
     batch_tx: Sender<BatchItem>,
     stop: Arc<AtomicBool>,
     stats: Arc<LiveServerStats>,
+    chaos: Arc<ChaosState>,
 ) {
+    // Bounded reads: the loop re-checks the stop flag at least every
+    // CONN_READ_TIMEOUT, so shutdown no longer waits on client EOF, and
+    // a peer that stalls mid-frame is dropped rather than pinned forever.
+    if stream.set_read_timeout(Some(CONN_READ_TIMEOUT)).is_err() {
+        return;
+    }
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    // Writer thread: serializes responses onto this connection.
-    let (reply_tx, reply_rx) = unbounded::<WireResponse>();
+    let conn_id = chaos.next_conn.fetch_add(1, Ordering::Relaxed);
+    let mut chaos_rng =
+        SmallRng::seed_from_u64(chaos.seed ^ conn_id.wrapping_mul(0x9E3779B97F4A7C15));
+
+    // Writer thread: serializes responses onto this connection, applying
+    // any chaos-injected stall before the write.
+    let (reply_tx, reply_rx) = unbounded::<(WireResponse, Option<Duration>)>();
+    let writer_stats = Arc::clone(&stats);
     let writer_handle = thread::Builder::new()
         .name("ff-live-writer".into())
         .spawn(move || {
             let mut stream = stream;
-            while let Ok(resp) = reply_rx.recv() {
+            while let Ok((resp, stall)) = reply_rx.recv() {
+                if let Some(d) = stall {
+                    writer_stats.chaos_stalls.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(d);
+                }
                 if write_response(&mut stream, resp).is_err() {
                     break;
                 }
@@ -187,12 +397,26 @@ fn connection_loop(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        match read_request(&mut reader) {
-            Ok(Some(req)) => {
+        match poll_request(&mut reader) {
+            Ok(Poll::Frame(req)) => {
                 stats.requests.fetch_add(1, Ordering::Relaxed);
+                let stall = match chaos_verdict(&chaos, &mut chaos_rng) {
+                    ChaosVerdict::Pass => None,
+                    ChaosVerdict::Stall(d) => Some(d),
+                    ChaosVerdict::Drop => {
+                        stats.chaos_drops.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    ChaosVerdict::Disconnect => {
+                        stats.chaos_disconnects.fetch_add(1, Ordering::Relaxed);
+                        let _ = reader.shutdown(Shutdown::Both);
+                        break;
+                    }
+                };
                 if batch_tx
                     .send(BatchItem {
                         tag: req.tag,
+                        stall,
                         reply: reply_tx.clone(),
                     })
                     .is_err()
@@ -200,7 +424,8 @@ fn connection_loop(
                     break;
                 }
             }
-            Ok(None) => break, // clean EOF
+            Ok(Poll::Idle) => continue, // timeout with no data: re-check stop
+            Ok(Poll::Closed) => break,  // clean EOF
             Err(_) => break,
         }
     }
@@ -236,10 +461,13 @@ fn batcher_loop(
         let batch: Vec<BatchItem> = queue.drain(..take).collect();
         for rejected in queue.drain(..) {
             stats.rejections.fetch_add(1, Ordering::Relaxed);
-            let _ = rejected.reply.send(WireResponse {
-                tag: rejected.tag,
-                status: Status::Rejected,
-            });
+            let _ = rejected.reply.send((
+                WireResponse {
+                    tag: rejected.tag,
+                    status: Status::Rejected,
+                },
+                rejected.stall,
+            ));
         }
 
         // "Execute" the batch on the simulated GPU.
@@ -247,10 +475,13 @@ fn batcher_loop(
         stats.batches.fetch_add(1, Ordering::Relaxed);
         for item in batch {
             stats.completions.fetch_add(1, Ordering::Relaxed);
-            let _ = item.reply.send(WireResponse {
-                tag: item.tag,
-                status: Status::Ok,
-            });
+            let _ = item.reply.send((
+                WireResponse {
+                    tag: item.tag,
+                    status: Status::Ok,
+                },
+                item.stall,
+            ));
         }
 
         // Requests that arrived during execution form the next batch.
@@ -374,6 +605,117 @@ mod tests {
         server.shutdown();
     }
 
+    fn one_request(conn: &mut TcpStream, tag: u64) {
+        let req = WireRequest {
+            tag,
+            payload: Bytes::from(vec![0u8; 64]),
+        };
+        conn.write_all(&encode_request(&req)).unwrap();
+    }
+
+    #[test]
+    fn fail_all_swallows_requests_until_restored() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = LiveServer::start_with(listener, fast_config()).unwrap();
+        let chaos = server.chaos();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+
+        chaos.fail_all(true);
+        one_request(&mut conn, 1);
+        let err = read_response(&mut conn).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a read timeout while failing, got {err:?}"
+        );
+        assert!(server.stats().chaos_drops.load(Ordering::Relaxed) >= 1);
+
+        chaos.fail_all(false);
+        one_request(&mut conn, 2);
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let resp = read_response(&mut conn).unwrap().unwrap();
+        assert_eq!(resp.tag, 2);
+        assert_eq!(resp.status, Status::Ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_disconnect_closes_the_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = LiveServer::start_chaotic(
+            listener,
+            fast_config(),
+            ChaosConfig {
+                disconnect_per_request: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        one_request(&mut conn, 1);
+        // The server hangs up instead of replying.
+        let outcome = read_response(&mut conn);
+        assert!(
+            matches!(&outcome, Ok(None)) || outcome.is_err(),
+            "expected EOF or reset, got {outcome:?}"
+        );
+        assert_eq!(server.stats().chaos_disconnects.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_stall_delays_the_reply() {
+        let stall = Duration::from_millis(150);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = LiveServer::start_chaotic(
+            listener,
+            fast_config(),
+            ChaosConfig {
+                stall_per_request: 1.0,
+                stall,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let start = Instant::now();
+        one_request(&mut conn, 1);
+        let resp = read_response(&mut conn).unwrap().unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert!(
+            start.elapsed() >= stall,
+            "reply arrived in {:?}, before the {stall:?} stall",
+            start.elapsed()
+        );
+        assert_eq!(server.stats().chaos_stalls.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn restart_on_a_cloned_listener_keeps_the_address() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let spare = listener.try_clone().unwrap();
+        let server = LiveServer::start_with(listener, fast_config()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+
+        // The cloned handle kept the port; a restarted server reappears
+        // at the same address with no rebind race.
+        let server = LiveServer::start_with(spare, fast_config()).unwrap();
+        assert_eq!(server.addr(), addr);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        one_request(&mut conn, 42);
+        let resp = read_response(&mut conn).unwrap().unwrap();
+        assert_eq!(resp.tag, 42);
+        assert_eq!(resp.status, Status::Ok);
+        server.shutdown();
+    }
+
     #[test]
     fn shutdown_is_idempotent_and_joins() {
         let server = LiveServer::start("127.0.0.1:0", fast_config()).unwrap();
@@ -382,13 +724,16 @@ mod tests {
         // The port should stop accepting (connect may succeed briefly due
         // to the OS backlog, but a request will never be answered).
         if let Ok(mut conn) = TcpStream::connect(addr) {
-            conn.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+            conn.set_read_timeout(Some(Duration::from_millis(100)))
+                .unwrap();
             let req = WireRequest {
                 tag: 1,
                 payload: Bytes::new(),
             };
             let _ = conn.write_all(&encode_request(&req));
-            assert!(read_response(&mut conn).is_err() || read_response(&mut conn).unwrap().is_none());
+            assert!(
+                read_response(&mut conn).is_err() || read_response(&mut conn).unwrap().is_none()
+            );
         }
     }
 }

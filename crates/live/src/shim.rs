@@ -158,7 +158,10 @@ mod tests {
             _ => panic!(),
         };
         assert!(d2 > d1, "second send must queue behind the first");
-        assert!(d2 >= Duration::from_millis(35), "expected ~40 ms, got {d2:?}");
+        assert!(
+            d2 >= Duration::from_millis(35),
+            "expected ~40 ms, got {d2:?}"
+        );
     }
 
     #[test]

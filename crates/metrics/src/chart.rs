@@ -52,7 +52,10 @@ pub fn render_chart(config: &ChartConfig, series: &[ChartSeries<'_>]) -> String 
     let mut y_max = f64::NEG_INFINITY;
     let mut any = false;
     for &(x, y) in all_points {
-        assert!(x.is_finite() && y.is_finite(), "chart points must be finite");
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "chart points must be finite"
+        );
         any = true;
         x_min = x_min.min(x);
         x_max = x_max.max(x);

@@ -112,13 +112,20 @@ impl WindowedRate {
     pub fn reset(&mut self) {
         self.events.clear();
         self.total_in_window = 0;
+        self.lifetime_total = 0;
     }
 }
 
-/// Exponentially weighted moving average over irregularly sampled data.
+/// Exponentially weighted moving average.
 ///
 /// Used for optional smoothing of noisy measurements; `alpha` is the weight
 /// of the newest sample (0 < alpha <= 1).
+///
+/// [`update`](Ewma::update) assumes evenly spaced samples (one controller
+/// interval apart). For irregular spacing use
+/// [`update_dt`](Ewma::update_dt), which scales the decay to the elapsed
+/// time so a sample arriving after two intervals discounts history as much
+/// as two unit-spaced samples would.
 #[derive(Debug, Clone)]
 pub struct Ewma {
     alpha: f64,
@@ -135,11 +142,31 @@ impl Ewma {
         Ewma { alpha, value: None }
     }
 
-    /// Fold in a new observation and return the updated average.
+    /// Fold in a new observation one unit interval after the previous
+    /// one and return the updated average.
     pub fn update(&mut self, x: f64) -> f64 {
+        self.update_dt(x, 1.0)
+    }
+
+    /// Fold in an observation taken `dt` intervals after the previous
+    /// one and return the updated average.
+    ///
+    /// The effective weight is `1 - (1 - alpha)^dt`, so the retained
+    /// history decays by exactly `(1 - alpha)` per unit of elapsed time
+    /// regardless of how the samples are spaced. `dt = 1` is identical
+    /// to [`update`](Ewma::update); `dt = 0` leaves the average at the
+    /// previous value when one exists.
+    pub fn update_dt(&mut self, x: f64, dt: f64) -> f64 {
+        assert!(
+            dt >= 0.0 && dt.is_finite(),
+            "EWMA dt must be finite and >= 0, got {dt}"
+        );
         let v = match self.value {
             None => x,
-            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+            Some(prev) => {
+                let alpha_eff = 1.0 - (1.0 - self.alpha).powf(dt);
+                alpha_eff * x + (1.0 - alpha_eff) * prev
+            }
         };
         self.value = Some(v);
         v
@@ -236,6 +263,16 @@ mod tests {
         r.record_n(s(1), 7);
         r.reset();
         assert_eq!(r.count_at(s(1)), 0);
+        assert_eq!(
+            r.lifetime_total(),
+            0,
+            "reset must clear the lifetime counter too"
+        );
+        // A reset estimator behaves like a fresh one: counts restart and
+        // earlier timestamps are admissible again.
+        r.record_n(s(0), 2);
+        assert_eq!(r.count_at(s(0)), 2);
+        assert_eq!(r.lifetime_total(), 2);
     }
 
     #[test]
@@ -264,5 +301,28 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn ewma_rejects_bad_alpha() {
         let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn ewma_update_dt_matches_unit_steps() {
+        // One sample after dt=3 must equal three unit-spaced samples of
+        // the same value: decay depends on elapsed time, not sample count.
+        let mut stepped = Ewma::new(0.3);
+        let mut jumped = Ewma::new(0.3);
+        stepped.update(10.0);
+        jumped.update(10.0);
+        for _ in 0..3 {
+            stepped.update(0.0);
+        }
+        jumped.update_dt(0.0, 3.0);
+        let (a, b) = (stepped.value().unwrap(), jumped.value().unwrap());
+        assert!((a - b).abs() < 1e-12, "stepped {a} vs jumped {b}");
+    }
+
+    #[test]
+    fn ewma_update_dt_zero_keeps_value() {
+        let mut e = Ewma::new(0.5);
+        e.update(8.0);
+        assert_eq!(e.update_dt(1000.0, 0.0), 8.0);
     }
 }

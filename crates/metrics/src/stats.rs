@@ -55,15 +55,12 @@ pub fn bootstrap_mean_ci<R: Rng>(
 
     let mut means = Vec::with_capacity(resamples);
     for _ in 0..resamples {
-        let resample_mean =
-            (0..n).map(|_| sample[rng.gen_range(0..n)]).sum::<f64>() / n as f64;
+        let resample_mean = (0..n).map(|_| sample[rng.gen_range(0..n)]).sum::<f64>() / n as f64;
         means.push(resample_mean);
     }
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| {
-        (((resamples - 1) as f64) * q).round() as usize
-    };
+    let idx = |q: f64| (((resamples - 1) as f64) * q).round() as usize;
     ConfidenceInterval {
         mean,
         lo: means[idx(alpha)],
@@ -111,7 +108,9 @@ mod tests {
     fn known_shift_is_detected() {
         // A sample centred at 2.0 with modest spread: the 95% CI for the
         // mean must exclude 1.0.
-        let sample: Vec<f64> = (0..30).map(|i| 2.0 + 0.3 * ((i % 7) as f64 - 3.0)).collect();
+        let sample: Vec<f64> = (0..30)
+            .map(|i| 2.0 + 0.3 * ((i % 7) as f64 - 3.0))
+            .collect();
         let ci = bootstrap_mean_ci(&sample, 0.95, 2_000, &mut rng());
         assert!(ci.excludes(1.0), "CI [{:.2}, {:.2}]", ci.lo, ci.hi);
         assert!(!ci.excludes(2.0));

@@ -94,7 +94,10 @@ mod tests {
         let l1 = gpu.batch_latency_ms(ModelKind::MobileNetV3Small, 1);
         let l2 = gpu.batch_latency_ms(ModelKind::MobileNetV3Small, 2);
         let l3 = gpu.batch_latency_ms(ModelKind::MobileNetV3Small, 3);
-        assert!(((l2 - l1) - (l3 - l2)).abs() < 1e-12, "constant marginal cost");
+        assert!(
+            ((l2 - l1) - (l3 - l2)).abs() < 1e-12,
+            "constant marginal cost"
+        );
         assert!(l1 > 0.0);
     }
 
@@ -157,6 +160,9 @@ mod tests {
         let gpu = GpuProfile::default();
         let gpu_ms = gpu.batch_latency_ms(ModelKind::MobileNetV3Small, 1);
         let pi_ms = DeviceKind::Pi4BRev14.local_service_ms(ModelKind::MobileNetV3Small);
-        assert!(gpu_ms < pi_ms, "GPU single-frame {gpu_ms}ms vs Pi {pi_ms}ms");
+        assert!(
+            gpu_ms < pi_ms,
+            "GPU single-frame {gpu_ms}ms vs Pi {pi_ms}ms"
+        );
     }
 }

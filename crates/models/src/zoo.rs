@@ -99,14 +99,8 @@ mod tests {
             "EfficientNetB0 must be 77.1%"
         );
         assert_eq!(ModelKind::EfficientNetB4.profile().top1_accuracy, 0.829);
-        assert_eq!(
-            ModelKind::MobileNetV3Small.profile().top1_accuracy,
-            0.674
-        );
-        assert_eq!(
-            ModelKind::MobileNetV3Large.profile().top1_accuracy,
-            0.752
-        );
+        assert_eq!(ModelKind::MobileNetV3Small.profile().top1_accuracy, 0.674);
+        assert_eq!(ModelKind::MobileNetV3Large.profile().top1_accuracy, 0.752);
     }
 
     #[test]
@@ -132,10 +126,7 @@ mod tests {
     #[test]
     fn accuracy_tracks_cost_within_family() {
         // More expensive models in the zoo are more accurate.
-        let mut by_cost: Vec<_> = ModelKind::ALL
-            .iter()
-            .map(|k| k.profile())
-            .collect();
+        let mut by_cost: Vec<_> = ModelKind::ALL.iter().map(|k| k.profile()).collect();
         by_cost.sort_by(|a, b| a.relative_cost.partial_cmp(&b.relative_cost).unwrap());
         let accs: Vec<f64> = by_cost.iter().map(|p| p.top1_accuracy).collect();
         assert!(accs.windows(2).all(|w| w[0] < w[1]), "{accs:?}");

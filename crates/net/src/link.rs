@@ -131,7 +131,8 @@ impl<R: Rng> Link<R> {
     /// i.i.d. Bernoulli at the new rate (NetEm `loss X%` semantics).
     pub fn set_conditions(&mut self, c: NetworkConditions) {
         self.conditions = c;
-        self.loss.set_model(LossModel::bernoulli(c.loss_probability()));
+        self.loss
+            .set_model(LossModel::bernoulli(c.loss_probability()));
     }
 
     /// Replace the packet-loss process (e.g. a Gilbert–Elliott burst

@@ -69,8 +69,7 @@ impl GilbertElliott {
 
     /// The stationary (long-run average) loss probability.
     pub fn stationary_loss(&self) -> f64 {
-        let pi_bad =
-            self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good);
+        let pi_bad = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good);
         pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
     }
 

@@ -15,6 +15,4 @@ mod server;
 
 pub use background::PoissonArrivals;
 pub use policy::{jain_fairness_index, OverflowPolicy};
-pub use server::{
-    Completion, EdgeServer, Rejection, Request, ServerStats, Submit, TenantId,
-};
+pub use server::{Completion, EdgeServer, Rejection, Request, ServerStats, Submit, TenantId};

@@ -109,7 +109,10 @@ mod tests {
     fn reject_newest_drops_from_the_back() {
         let mut q = queue_of(&[(0, 1), (1, 2), (0, 3), (1, 4)]);
         let victims = OverflowPolicy::RejectNewest.drain_overflow(&mut q, 2);
-        assert_eq!(victims.iter().map(|r| r.tag).collect::<Vec<_>>(), vec![4, 3]);
+        assert_eq!(
+            victims.iter().map(|r| r.tag).collect::<Vec<_>>(),
+            vec![4, 3]
+        );
         assert_eq!(q.len(), 2);
         assert_eq!(q[0].tag, 1);
     }
@@ -127,7 +130,10 @@ mod tests {
         // Tenant 1's single request survives.
         assert!(q.iter().any(|r| r.tenant == TenantId(1)));
         // Victims are the flooding tenant's newest requests.
-        assert_eq!(victims.iter().map(|r| r.tag).collect::<Vec<_>>(), vec![6, 5, 4]);
+        assert_eq!(
+            victims.iter().map(|r| r.tag).collect::<Vec<_>>(),
+            vec![6, 5, 4]
+        );
     }
 
     #[test]

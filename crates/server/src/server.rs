@@ -173,6 +173,17 @@ impl EdgeServer {
         self.running.is_some()
     }
 
+    /// Simulate an abrupt process crash: the queue and any running batch
+    /// are lost — from the clients' view those requests simply vanish
+    /// (no completion, no rejection). Cumulative statistics survive, as
+    /// they describe the run, not the process. The caller is responsible
+    /// for discarding any batch-done event it scheduled for the lost
+    /// batch.
+    pub fn crash(&mut self) {
+        self.queue.clear();
+        self.running = None;
+    }
+
     /// Offer a request. If the GPU is idle the request forms a batch and
     /// starts immediately; otherwise it waits for the current batch.
     pub fn submit(&mut self, now: SimTime, request: Request) -> Submit {
@@ -312,6 +323,26 @@ mod tests {
     }
 
     #[test]
+    fn crash_loses_work_in_progress_but_keeps_stats() {
+        let mut s = server();
+        s.submit(SimTime::ZERO, req(0, SimTime::ZERO, 1));
+        s.submit(SimTime::ZERO, req(0, SimTime::ZERO, 2));
+        assert!(s.busy());
+        assert_eq!(s.queue_len(), 1);
+
+        s.crash();
+        assert!(!s.busy());
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.stats().requests_received, 2, "counters survive the crash");
+        assert_eq!(s.stats().completions, 0, "lost requests never complete");
+
+        // A restarted server accepts work immediately.
+        let at = SimTime::from_millis(100);
+        let out = s.submit(at, req(0, at, 3));
+        assert!(matches!(out, Submit::BatchStarted { .. }));
+    }
+
+    #[test]
     fn idle_server_starts_batch_immediately() {
         let mut s = server();
         let out = s.submit(SimTime::ZERO, req(0, SimTime::ZERO, 1));
@@ -378,7 +409,10 @@ mod tests {
             panic!()
         };
         for tag in 1..=14 {
-            s.submit(SimTime::from_millis(1), req(0, SimTime::from_millis(1), tag));
+            s.submit(
+                SimTime::from_millis(1),
+                req(0, SimTime::from_millis(1), tag),
+            );
         }
         let (_, _, next) = s.on_batch_done(done_at);
         // Batch of 14: 40 + 14*4.3 = 100.2 ms.
@@ -393,17 +427,23 @@ mod tests {
             panic!()
         };
         for (tenant, tag) in [(1, 100), (2, 200), (1, 101)] {
-            s.submit(SimTime::from_millis(5), req(tenant, SimTime::from_millis(5), tag));
+            s.submit(
+                SimTime::from_millis(5),
+                req(tenant, SimTime::from_millis(5), tag),
+            );
         }
         let (_, _, _next) = s.on_batch_done(done_at);
-        assert_eq!(s.running_batch_size(), Some(3), "all tenants share the batch");
+        assert_eq!(
+            s.running_batch_size(),
+            Some(3),
+            "all tenants share the batch"
+        );
     }
 
     #[test]
     fn single_model_batches_keep_other_models_queued() {
         let mut s = server();
-        let Submit::BatchStarted { done_at } =
-            s.submit(SimTime::ZERO, req(0, SimTime::ZERO, 0))
+        let Submit::BatchStarted { done_at } = s.submit(SimTime::ZERO, req(0, SimTime::ZERO, 0))
         else {
             panic!()
         };
@@ -488,8 +528,7 @@ mod tests {
             }
         }
         let fps = completed as f64 / 20.0;
-        let expected = GpuProfile::default()
-            .saturation_throughput_fps(ModelKind::MobileNetV3Small);
+        let expected = GpuProfile::default().saturation_throughput_fps(ModelKind::MobileNetV3Small);
         assert!(
             (fps - expected).abs() / expected < 0.1,
             "measured {fps:.1} fps vs model {expected:.1} fps"

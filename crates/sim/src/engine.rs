@@ -187,7 +187,9 @@ impl<M: SimModel> Simulation<M> {
     /// Run at most `budget` events (or until drained/stopped).
     pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
         for _ in 0..budget {
-            if self.queue.peek_time().is_none() { return RunOutcome::QueueEmpty }
+            if self.queue.peek_time().is_none() {
+                return RunOutcome::QueueEmpty;
+            }
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.now = t;
             self.events_handled += 1;

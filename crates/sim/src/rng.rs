@@ -80,8 +80,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let f = RngFactory::new(42);
-        let a: Vec<u64> = f.stream("loss").sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u64> = f.stream("loss").sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u64> = f
+            .stream("loss")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u64> = f
+            .stream("loss")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 

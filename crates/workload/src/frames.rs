@@ -180,7 +180,9 @@ mod tests {
         let mut cfg = StreamConfig::default();
         cfg.total_frames = 5;
         let mut s = source(cfg);
-        let ids: Vec<u64> = std::iter::from_fn(|| s.next_frame()).map(|f| f.id.0).collect();
+        let ids: Vec<u64> = std::iter::from_fn(|| s.next_frame())
+            .map(|f| f.id.0)
+            .collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
         assert!(s.exhausted());
         assert!(s.next_frame().is_none());
@@ -192,11 +194,16 @@ mod tests {
         let cfg = StreamConfig::default();
         let mean = cfg.compression.mean_frame_bytes() as f64;
         let mut s = source(cfg);
-        let sizes: Vec<u64> = std::iter::from_fn(|| s.next_frame()).map(|f| f.bytes).collect();
+        let sizes: Vec<u64> = std::iter::from_fn(|| s.next_frame())
+            .map(|f| f.bytes)
+            .collect();
         let lo = mean * (1.0 - cfg.size_jitter) - 1.0;
         let hi = mean * (1.0 + cfg.size_jitter) + 1.0;
         for &b in &sizes {
-            assert!((lo..=hi).contains(&(b as f64)), "size {b} outside [{lo}, {hi}]");
+            assert!(
+                (lo..=hi).contains(&(b as f64)),
+                "size {b} outside [{lo}, {hi}]"
+            );
         }
         let avg = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
         assert!((avg - mean).abs() / mean < 0.02, "avg {avg} vs mean {mean}");

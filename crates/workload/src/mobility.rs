@@ -46,11 +46,17 @@ impl Default for MobilityConfig {
 }
 
 /// Generate a mobility trace with the given RNG (deterministic per seed).
-pub fn mobility_trace<R: Rng>(config: &MobilityConfig, rng: &mut R) -> StepSchedule<NetworkConditions> {
+pub fn mobility_trace<R: Rng>(
+    config: &MobilityConfig,
+    rng: &mut R,
+) -> StepSchedule<NetworkConditions> {
     assert!(config.duration_secs > 0.0, "duration must be positive");
     assert!(config.dwell_secs > 0.0, "dwell must be positive");
     let (lo, hi) = config.bandwidth_range;
-    assert!(lo > 0.0 && hi > lo, "bandwidth range must satisfy 0 < lo < hi");
+    assert!(
+        lo > 0.0 && hi > lo,
+        "bandwidth range must satisfy 0 < lo < hi"
+    );
     assert!(
         (0.0..=1.0).contains(&config.loss_episode_prob),
         "episode probability must be in [0, 1]"

@@ -44,7 +44,11 @@ fn main() {
     println!("legend: o=offload-ok X=net-timeout x=load-timeout L=local .=skipped ?=unresolved\n");
     for (second, chunk) in trace.chunks(30).enumerate() {
         let row: String = chunk.iter().map(|r| glyph(r.fate)).collect();
-        let marker = if second == 30 { " <- 2 Mbps squeeze" } else { "" };
+        let marker = if second == 30 {
+            " <- 2 Mbps squeeze"
+        } else {
+            ""
+        };
         println!("{second:>4}s {row}{marker}");
     }
 

@@ -51,11 +51,7 @@ fn main() {
         "device", "model", "P", "offloaded", "timeouts", "Po* end"
     );
     for d in &result.devices {
-        let final_target = d
-            .qos
-            .records()
-            .last()
-            .map_or(f64::NAN, |r| r.po_target);
+        let final_target = d.qos.records().last().map_or(f64::NAN, |r| r.po_target);
         println!(
             "{:<14} {:<18} {:>8.1} {:>10} {:>10} {:>9.1}",
             d.device,

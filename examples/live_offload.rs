@@ -51,14 +51,18 @@ fn main() {
         frame_bytes: 25_000,
         local_rate_fps: 13.0,
         tick: Duration::from_secs(1),
+        ..Default::default()
     };
 
     let mut controller = FrameFeedback::new();
-    let summary = run_live_device(server.addr(), config, shim, &mut controller)
-        .expect("device session");
+    let summary =
+        run_live_device(server.addr(), config, shim, &mut controller).expect("device session");
 
     println!("\nper-second control trace:");
-    println!("{:>6} {:>7} {:>7} {:>9} {:>7}", "t(s)", "P_l", "P_o", "timeouts", "Po*");
+    println!(
+        "{:>6} {:>7} {:>7} {:>9} {:>7}",
+        "t(s)", "P_l", "P_o", "timeouts", "Po*"
+    );
     for r in &summary.records {
         println!(
             "{:>6.0} {:>7.1} {:>7.1} {:>9.1} {:>7.1}",
@@ -70,9 +74,7 @@ fn main() {
         summary.latency_ms.percentile(0.5),
         summary.latency_ms.percentile(0.95),
     ) {
-        println!(
-            "\noffload latency over TCP: p50 {p50:.0} ms, p95 {p95:.0} ms (deadline 250 ms)"
-        );
+        println!("\noffload latency over TCP: p50 {p50:.0} ms, p95 {p95:.0} ms (deadline 250 ms)");
     }
     println!(
         "frames {}  offloaded {}  local {}  successes {}  timeouts {}  mean P {:.1}",

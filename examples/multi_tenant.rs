@@ -48,9 +48,16 @@ fn main() {
     println!("\nserver-side view:");
     println!("  requests received : {}", s.requests_received);
     println!("  completions       : {}", s.completions);
-    println!("  rejections        : {} (batch-overflow, the T_l source)", s.rejections);
-    println!("  batches executed  : {} (mean size {:.1}, {} at the cap)",
-        s.batches_executed, s.mean_batch_size(), s.full_batches);
+    println!(
+        "  rejections        : {} (batch-overflow, the T_l source)",
+        s.rejections
+    );
+    println!(
+        "  batches executed  : {} (mean size {:.1}, {} at the cap)",
+        s.batches_executed,
+        s.mean_batch_size(),
+        s.full_batches
+    );
 
     let peak = result.qos.aggregate(50.0, 60.0).unwrap();
     let calm = result.qos.aggregate(110.0, 130.0).unwrap();

@@ -50,16 +50,20 @@ fn main() {
         let a = r.qos.aggregate(32.0, 45.0).unwrap();
         println!(
             "{:<16} P = {:>5.1}  (local {:>4.1} + offload {:>4.1} - timeouts {:>4.1})",
-            r.controller,
-            a.mean_throughput,
-            a.mean_pl,
-            a.mean_po,
-            a.mean_timeouts
+            r.controller, a.mean_throughput, a.mean_pl, a.mean_po, a.mean_timeouts
         );
     }
 
-    let ff = results[0].qos.aggregate(32.0, 45.0).unwrap().mean_throughput;
-    let aon = results[3].qos.aggregate(32.0, 45.0).unwrap().mean_throughput;
+    let ff = results[0]
+        .qos
+        .aggregate(32.0, 45.0)
+        .unwrap()
+        .mean_throughput;
+    let aon = results[3]
+        .qos
+        .aggregate(32.0, 45.0)
+        .unwrap()
+        .mean_throughput;
     println!(
         "\nFrameFeedback / all-or-nothing in the intermediate phase: {:.2}x \
          (the paper reports 50% to 3x)",

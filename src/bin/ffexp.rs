@@ -88,20 +88,8 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     .parse()
                     .map_err(|e| format!("--frames: {e}"))?
             }
-            "--kp" => {
-                config.kp = Some(
-                    value("--kp")?
-                        .parse()
-                        .map_err(|e| format!("--kp: {e}"))?,
-                )
-            }
-            "--kd" => {
-                config.kd = Some(
-                    value("--kd")?
-                        .parse()
-                        .map_err(|e| format!("--kd: {e}"))?,
-                )
-            }
+            "--kp" => config.kp = Some(value("--kp")?.parse().map_err(|e| format!("--kp: {e}"))?),
+            "--kd" => config.kd = Some(value("--kd")?.parse().map_err(|e| format!("--kd: {e}"))?),
             "--json" => config.json = Some(value("--json")?),
             "--config" => config.config_path = Some(value("--config")?),
             "--dump-config" => config.dump_config = true,
@@ -121,7 +109,10 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     ]
     .contains(&config.controller.as_str())
     {
-        return Err(format!("unknown controller {:?}\n\n{USAGE}", config.controller));
+        return Err(format!(
+            "unknown controller {:?}\n\n{USAGE}",
+            config.controller
+        ));
     }
     if (config.kp.is_some() || config.kd.is_some()) && config.controller != "framefeedback" {
         return Err("--kp/--kd only apply to the framefeedback controller".into());
@@ -152,8 +143,8 @@ fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
     if let Some(path) = &cli.config_path {
         let body = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read --config {path}: {e}"));
-        let mut config: ExperimentConfig = serde_json::from_str(&body)
-            .unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
+        let mut config: ExperimentConfig =
+            serde_json::from_str(&body).unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
         // CLI flags still override file values.
         config.seed = cli.seed;
         if cli.frames != CliConfig::default().frames {

@@ -33,10 +33,7 @@ fn condition_grid() -> Vec<(f64, f64, f64)> {
 #[test]
 fn po_target_always_within_bounds_under_all_conditions() {
     for (bw, loss, bg) in condition_grid() {
-        let r = run_experiment(
-            config_with(bw, loss, bg, 5),
-            Box::new(FrameFeedback::new()),
-        );
+        let r = run_experiment(config_with(bw, loss, bg, 5), Box::new(FrameFeedback::new()));
         for rec in r.qos.records() {
             assert!(
                 (0.0..=30.0 + 1e-9).contains(&rec.po_target),
@@ -50,10 +47,7 @@ fn po_target_always_within_bounds_under_all_conditions() {
 #[test]
 fn throughput_never_exceeds_the_source_rate() {
     for (bw, loss, bg) in condition_grid() {
-        let r = run_experiment(
-            config_with(bw, loss, bg, 6),
-            Box::new(FrameFeedback::new()),
-        );
+        let r = run_experiment(config_with(bw, loss, bg, 6), Box::new(FrameFeedback::new()));
         for rec in r.qos.records() {
             // Per-interval P can jitter past F_s by discretization (a
             // response burst lands in one interval); bound it loosely.
@@ -76,10 +70,7 @@ fn steady_state_throughput_never_falls_far_below_the_local_floor() {
     // §II-A.5: "the controller should always strive to keep P >= P_l."
     // Allow slack for the adaptation transient by skipping the first 15 s.
     for (bw, loss, bg) in condition_grid() {
-        let r = run_experiment(
-            config_with(bw, loss, bg, 7),
-            Box::new(FrameFeedback::new()),
-        );
+        let r = run_experiment(config_with(bw, loss, bg, 7), Box::new(FrameFeedback::new()));
         let steady = r.qos.aggregate(15.0, 40.0).unwrap().mean_throughput;
         assert!(
             steady > 10.0,
@@ -91,10 +82,7 @@ fn steady_state_throughput_never_falls_far_below_the_local_floor() {
 #[test]
 fn accounting_identities_hold() {
     for (bw, loss, bg) in condition_grid() {
-        let r = run_experiment(
-            config_with(bw, loss, bg, 8),
-            Box::new(FrameFeedback::new()),
-        );
+        let r = run_experiment(config_with(bw, loss, bg, 8), Box::new(FrameFeedback::new()));
         // Every generated frame was routed somewhere.
         assert_eq!(
             r.frames_generated,
@@ -124,9 +112,18 @@ fn accounting_identities_hold() {
 #[test]
 fn worse_conditions_never_help() {
     // Monotonicity spot-checks: strictly worse network ⇒ no higher mean P.
-    let base = run_experiment(config_with(10.0, 0.0, 0.0, 9), Box::new(FrameFeedback::new()));
-    let slower = run_experiment(config_with(4.0, 0.0, 0.0, 9), Box::new(FrameFeedback::new()));
-    let lossy = run_experiment(config_with(4.0, 7.0, 0.0, 9), Box::new(FrameFeedback::new()));
+    let base = run_experiment(
+        config_with(10.0, 0.0, 0.0, 9),
+        Box::new(FrameFeedback::new()),
+    );
+    let slower = run_experiment(
+        config_with(4.0, 0.0, 0.0, 9),
+        Box::new(FrameFeedback::new()),
+    );
+    let lossy = run_experiment(
+        config_with(4.0, 7.0, 0.0, 9),
+        Box::new(FrameFeedback::new()),
+    );
     assert!(
         base.mean_throughput >= slower.mean_throughput - 0.5,
         "10 Mbps {:.1} vs 4 Mbps {:.1}",
@@ -143,8 +140,14 @@ fn worse_conditions_never_help() {
 
 #[test]
 fn cpu_usage_tracks_the_offloading_share() {
-    let local_heavy = run_experiment(config_with(1.0, 30.0, 0.0, 10), Box::new(FrameFeedback::new()));
-    let offload_heavy = run_experiment(config_with(10.0, 0.0, 0.0, 10), Box::new(FrameFeedback::new()));
+    let local_heavy = run_experiment(
+        config_with(1.0, 30.0, 0.0, 10),
+        Box::new(FrameFeedback::new()),
+    );
+    let offload_heavy = run_experiment(
+        config_with(10.0, 0.0, 0.0, 10),
+        Box::new(FrameFeedback::new()),
+    );
     assert!(
         offload_heavy.cpu_usage_pct < local_heavy.cpu_usage_pct,
         "offloading run should use less CPU: {:.1}% vs {:.1}%",

@@ -47,8 +47,14 @@ fn framefeedback_beats_every_baseline_at_peak_load() {
 
     let peak = |r: &ExperimentResult| r.qos.aggregate(45.0, 60.0).unwrap().mean_throughput;
     let (f, a, n, l) = (peak(&ff), peak(&ao), peak(&aon), peak(&local));
-    assert!(f > a, "peak load: FF {f:.1} must beat always-offload {a:.1}");
-    assert!(f > n, "peak load: FF {f:.1} must beat all-or-nothing {n:.1}");
+    assert!(
+        f > a,
+        "peak load: FF {f:.1} must beat always-offload {a:.1}"
+    );
+    assert!(
+        f > n,
+        "peak load: FF {f:.1} must beat all-or-nothing {n:.1}"
+    );
     assert!(f > l, "peak load: FF {f:.1} must beat local-only {l:.1}");
 }
 
@@ -90,7 +96,10 @@ fn batches_grow_with_load() {
         "background load should produce multi-frame batches, got {:.1}",
         stats.mean_batch_size()
     );
-    assert!(stats.full_batches > 0, "peak load should hit the 15-frame cap");
+    assert!(
+        stats.full_batches > 0,
+        "peak load should hit the 15-frame cap"
+    );
 }
 
 #[test]

@@ -58,7 +58,10 @@ fn always_offload_collapses_under_degradation_but_framefeedback_holds_the_floor(
     let pa = ao.qos.aggregate(47.0, 60.0).unwrap().mean_throughput;
     let pl = local.qos.aggregate(47.0, 60.0).unwrap().mean_throughput;
 
-    assert!(pa < 5.0, "always-offload should collapse at 1 Mbps, got {pa:.1}");
+    assert!(
+        pa < 5.0,
+        "always-offload should collapse at 1 Mbps, got {pa:.1}"
+    );
     assert!(
         pf > pl - 2.0,
         "FrameFeedback ({pf:.1}) must hold ~the local floor ({pl:.1})"

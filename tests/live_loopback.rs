@@ -3,22 +3,23 @@
 
 use framefeedback::controller::FrameFeedback;
 use framefeedback::live::{
-    run_live_device, Impairment, ImpairmentShim, LiveDeviceConfig, LiveServer, LiveServerConfig,
+    run_live_device, Impairment, ImpairmentShim, LiveDeviceConfig, LiveQosRecord, LiveServer,
+    LiveServerConfig, ReconnectPolicy,
 };
 use framefeedback::sim::RngFactory;
 use std::sync::Arc;
 use std::time::Duration;
 
+fn server_config() -> LiveServerConfig {
+    LiveServerConfig {
+        batch_limit: 15,
+        batch_base: Duration::from_millis(10),
+        per_frame: Duration::from_millis(1),
+    }
+}
+
 fn fast_server() -> LiveServer {
-    LiveServer::start(
-        "127.0.0.1:0",
-        LiveServerConfig {
-            batch_limit: 15,
-            batch_base: Duration::from_millis(10),
-            per_frame: Duration::from_millis(1),
-        },
-    )
-    .expect("bind loopback")
+    LiveServer::start("127.0.0.1:0", server_config()).expect("bind loopback")
 }
 
 fn fast_device(secs: u64) -> LiveDeviceConfig {
@@ -29,7 +30,36 @@ fn fast_device(secs: u64) -> LiveDeviceConfig {
         frame_bytes: 8_000,
         local_rate_fps: 20.0,
         tick: Duration::from_millis(250),
+        ..Default::default()
     }
+}
+
+/// Device settings for the outage tests: a slower tick (less timeout-rate
+/// quantization noise around the probe floor) and an aggressive reconnect
+/// policy so redial latency is small against the 500 ms intervals.
+fn outage_device(secs: u64) -> LiveDeviceConfig {
+    LiveDeviceConfig {
+        tick: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(1),
+        reconnect: ReconnectPolicy {
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(250),
+            multiplier: 2.0,
+            jitter: 0.5,
+        },
+        ..fast_device(secs)
+    }
+}
+
+/// Mean `po_target` over the records inside `[from, to)` seconds.
+fn mean_target(records: &[LiveQosRecord], from: f64, to: f64) -> f64 {
+    let window: Vec<f64> = records
+        .iter()
+        .filter(|r| r.t_secs >= from && r.t_secs < to)
+        .map(|r| r.po_target)
+        .collect();
+    assert!(!window.is_empty(), "no records in [{from}, {to})");
+    window.iter().sum::<f64>() / window.len() as f64
 }
 
 #[test]
@@ -115,6 +145,146 @@ fn live_server_survives_device_churn() {
     server.shutdown();
 }
 
+/// Outage timeline shared by the two degradation tests below. The long
+/// hold is deliberate: the timeout spike at the moment of failure kicks
+/// the derivative term hard (undershooting the floor), and with K_P = 0.2
+/// the remaining gap then closes geometrically (~0.8× per interval), so
+/// the target needs >10 s of sustained failure to settle within ±0.5 fps
+/// of the probe floor.
+const OUTAGE_START_SECS: u64 = 2;
+const OUTAGE_END_SECS: u64 = 16;
+const RUN_SECS: u64 = 21;
+
+/// Kill the server mid-run, then bring it back on the same address.
+///
+/// While the server is gone every dial fails, so offload attempts fail
+/// instantly, `T` tracks the attempted rate, and the controller must park
+/// `P_o` at the probe floor `0.1·F_s` (§III-A.1). Once the server returns
+/// the reconnect supervisor redials and the target climbs off the floor
+/// within five control intervals.
+#[test]
+fn server_outage_parks_target_at_probe_floor_then_recovers() {
+    let server = fast_server();
+    let addr = server.addr();
+    let cfg = outage_device(RUN_SECS);
+    let fs = cfg.fs;
+    let floor = 0.1 * fs;
+
+    // Kill at t=2s, restart on the same port at t=13s. std's TcpListener
+    // binds with SO_REUSEADDR, so lingering TIME_WAIT entries from the
+    // first server's connections don't block the rebind.
+    let chaos_monkey = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(OUTAGE_START_SECS));
+        server.shutdown();
+        std::thread::sleep(Duration::from_secs(OUTAGE_END_SECS - OUTAGE_START_SECS));
+        LiveServer::start(&addr.to_string(), server_config()).expect("rebind same port")
+    });
+
+    let shim = Arc::new(ImpairmentShim::new(
+        Impairment::ideal(),
+        RngFactory::new(31).stream("it-outage"),
+    ));
+    let mut ctl = FrameFeedback::new();
+    let summary = run_live_device(addr, cfg, shim, &mut ctl).unwrap();
+    let server2 = chaos_monkey.join().unwrap();
+
+    // Settled on the probe floor: ±0.5 fps on average over the tail of the
+    // outage, and no single interval wandering far off.
+    let tail_from = (OUTAGE_END_SECS - 3) as f64;
+    let tail_to = OUTAGE_END_SECS as f64;
+    let settled = mean_target(&summary.records, tail_from, tail_to);
+    assert!(
+        (settled - floor).abs() <= 0.5,
+        "settled target {settled:.2} fps vs probe floor {floor:.1} fps"
+    );
+    for r in summary
+        .records
+        .iter()
+        .filter(|r| r.t_secs >= tail_from && r.t_secs < tail_to)
+    {
+        assert!(
+            (r.po_target - floor).abs() <= 2.0,
+            "t={:.1}s: target {:.2} strayed from the floor",
+            r.t_secs,
+            r.po_target
+        );
+    }
+
+    // Recovery: back above the floor within 5 control intervals of the
+    // server returning.
+    let recovered_at = summary
+        .records
+        .iter()
+        .find(|r| r.t_secs >= tail_to && r.po_target > floor + 0.5)
+        .map(|r| r.t_secs)
+        .expect("target never rose above the probe floor after the restart");
+    assert!(
+        recovered_at <= tail_to + 5.0 * 0.5,
+        "recovered only at t={recovered_at:.1}s"
+    );
+
+    assert!(summary.reconnects >= 1, "supervisor never reconnected");
+    assert!(
+        summary.failed_while_disconnected > 0,
+        "no attempts were made while the server was down"
+    );
+    server2.shutdown();
+}
+
+/// Chaos forcing total offload failure: the server keeps every TCP
+/// connection healthy but silently swallows all requests, so every
+/// attempt dies by deadline rather than by dial failure. The controller
+/// must still find the probe floor, and must recover within five control
+/// intervals once the fault clears — all without a single reconnect.
+#[test]
+fn chaos_total_failure_settles_at_probe_floor_without_reconnecting() {
+    let server = fast_server();
+    let chaos = server.chaos();
+    let cfg = outage_device(RUN_SECS);
+    let fs = cfg.fs;
+    let floor = 0.1 * fs;
+
+    let fault = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(OUTAGE_START_SECS));
+        chaos.fail_all(true);
+        std::thread::sleep(Duration::from_secs(OUTAGE_END_SECS - OUTAGE_START_SECS));
+        chaos.fail_all(false);
+    });
+
+    let shim = Arc::new(ImpairmentShim::new(
+        Impairment::ideal(),
+        RngFactory::new(32).stream("it-chaos"),
+    ));
+    let mut ctl = FrameFeedback::new();
+    let summary = run_live_device(server.addr(), cfg, shim, &mut ctl).unwrap();
+    fault.join().unwrap();
+
+    let tail_from = (OUTAGE_END_SECS - 3) as f64;
+    let tail_to = OUTAGE_END_SECS as f64;
+    let settled = mean_target(&summary.records, tail_from, tail_to);
+    assert!(
+        (settled - floor).abs() <= 0.5,
+        "settled target {settled:.2} fps vs probe floor {floor:.1} fps"
+    );
+
+    let recovered_at = summary
+        .records
+        .iter()
+        .find(|r| r.t_secs >= tail_to && r.po_target > floor + 0.5)
+        .map(|r| r.t_secs)
+        .expect("target never rose above the probe floor after the fault cleared");
+    assert!(
+        recovered_at <= tail_to + 5.0 * 0.5,
+        "recovered only at t={recovered_at:.1}s"
+    );
+
+    // The link itself never went down: degradation and recovery happened
+    // entirely through the controller, not the reconnect path.
+    assert_eq!(summary.reconnects, 0);
+    assert!(summary.timeouts > 0);
+    server.shutdown();
+}
+
 #[test]
 fn three_concurrent_live_devices_share_one_server() {
     let server = fast_server();
@@ -133,7 +303,10 @@ fn three_concurrent_live_devices_share_one_server() {
         .collect();
     let summaries: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let total_offloaded: u64 = summaries.iter().map(|s| s.offloaded).sum();
-    assert!(total_offloaded > 60, "fleet offloaded only {total_offloaded}");
+    assert!(
+        total_offloaded > 60,
+        "fleet offloaded only {total_offloaded}"
+    );
     for (i, s) in summaries.iter().enumerate() {
         assert_eq!(s.frames, 180, "device {i}");
         let resolved = s.successes + s.timeouts;

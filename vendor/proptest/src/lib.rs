@@ -1,0 +1,280 @@
+//! Minimal in-tree replacement for `proptest`.
+//!
+//! Covers the slice of the API the workspace tests use: numeric range
+//! strategies, `any::<T>()`, `collection::vec`, and the `proptest!` /
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! ChaCha8 stream seeded by the test name, so failures reproduce
+//! exactly on re-run. No shrinking: the failing case's inputs are what
+//! the panic message's case index regenerates.
+
+use rand::chacha::ChaCha8Rng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies; deterministic per (test name, case).
+pub type TestRng = ChaCha8Rng;
+
+/// Number of cases each `proptest!` test runs.
+pub const CASES: u32 = 64;
+
+/// A generator of values of `Value`. (Real proptest also carries a
+/// shrinking value tree; this shim only generates.)
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: rand::distributions::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: rand::distributions::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`: full-range integers, unit-interval
+/// floats, fair booleans.
+pub fn any<T>() -> Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range {r:?}");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Driver behind `proptest!`-generated tests: run `f` for [`CASES`]
+/// deterministic cases, panicking with the case index on failure.
+pub fn run_cases<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    for case in 0..CASES {
+        let seed = fnv1a(name) ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!("proptest `{name}` failed at case {case}/{CASES}: {msg}");
+        }
+    }
+}
+
+/// Define property tests: `fn name(pattern in strategy, ...) { body }`.
+/// Each runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::proptest!($($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}`: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("{}: {:?} != {:?}", format!($($fmt)+), l, r));
+        }
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}`: both {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    proptest! {
+        /// Range strategies stay within bounds.
+        #[test]
+        fn prop_ranges_in_bounds(x in 3u64..10, y in 0.5f64..=2.0, flag in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=2.0).contains(&y));
+            // `flag` exercises the bool strategy; either value is valid.
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        /// Vec strategies honour the size range.
+        #[test]
+        fn prop_vec_sizes(v in crate::collection::vec(0u32..100, 2..7), mut w in crate::collection::vec(any::<bool>(), 5)) {
+            prop_assert!((2..=6).contains(&v.len()), "len {}", v.len());
+            prop_assert_eq!(w.len(), 5);
+            w.clear();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = 0u64..1_000_000;
+        let mut a = crate::TestRng::seed_from_u64(42);
+        let mut b = crate::TestRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_index() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", |_| Err("boom".to_string()));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("case 0"), "unexpected message: {msg}");
+    }
+
+    use rand::SeedableRng;
+}

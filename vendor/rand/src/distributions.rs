@@ -1,0 +1,143 @@
+//! Distributions: the `Standard` distribution and uniform range
+//! sampling, mirroring the slice of `rand::distributions` the workspace
+//! uses.
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: full-range integers, unit-interval
+/// floats, fair booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on [0, 1) with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on [0, 1) with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform over `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform over `[low, high]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Lemire multiply-shift: u64 draw scaled into the span.
+                let scaled = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as $wide).wrapping_add(scaled as $wide) as $t
+            }
+
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                if low == high {
+                    return low;
+                }
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let scaled = ((rng.next_u64() as u128 * (span + 1) as u128) >> 64) as u64;
+                (low as $wide).wrapping_add(scaled as $wide) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let unit: $t = Distribution::<$t>::sample(&Standard, rng); // [0, 1)
+                let v = low + unit * (high - low);
+                // Guard the open upper bound against rounding.
+                if v >= high { low.max(<$t>::from_bits(high.to_bits() - 1)) } else { v }
+            }
+
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                let unit: $t = Distribution::<$t>::sample(&Standard, rng);
+                (low + unit * (high - low)).clamp(low, high)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Range forms accepted by `gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}

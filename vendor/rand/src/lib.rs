@@ -1,0 +1,253 @@
+//! Minimal in-tree replacement for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the API slice it uses: the [`RngCore`]/[`SeedableRng`]/[`Rng`]
+//! traits, the [`distributions::Standard`] distribution, uniform
+//! `gen_range` over numeric ranges, and a deterministic ChaCha8 generator
+//! (consumed via the sibling `rand_chacha` shim).
+//!
+//! Determinism contract: for a given seed the output sequence of
+//! [`chacha::ChaCha8Rng`] is the RFC-8439 ChaCha keystream with 8 rounds,
+//! fixed forever — reseeding experiments stay bit-reproducible across
+//! toolchains, which is the property `ff-sim::RngFactory` documents.
+//! The *numeric values* differ from the real `rand_chacha` crate's
+//! stream (block layout details), so golden values recorded against the
+//! crates.io implementation must be re-pinned once, deliberately.
+
+pub mod chacha;
+pub mod distributions;
+
+use distributions::{Distribution, SampleRange, SampleUniform, Standard};
+
+/// The core of every generator: raw random words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through SplitMix64 exactly as
+    /// `rand_core`'s default implementation does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// A Bernoulli draw with success probability `p` (must be in [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0, 1]");
+        // p == 1.0 must always win; a [0, 1) uniform draw is strictly
+        // below it. p == 0.0 never wins.
+        Distribution::<f64>::sample(&Standard, self) < p
+    }
+
+    /// Sample a value from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// An iterator of samples from `distr`, consuming the generator.
+    fn sample_iter<T, D: Distribution<T>>(self, distr: D) -> DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        DistIter {
+            distr,
+            rng: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Iterator returned by [`Rng::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// Namespaced standard generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::chacha::ChaCha8Rng;
+    use super::{RngCore, SeedableRng};
+
+    /// The "standard" generator: ChaCha8 here (the real crate uses
+    /// ChaCha12; only determinism-per-seed matters to this workspace).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(ChaCha8Rng);
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng(ChaCha8Rng::from_seed(seed))
+        }
+    }
+
+    /// A small fast generator: xoshiro-style SplitMix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            SmallRng {
+                state: u64::from_le_bytes(seed),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::chacha::ChaCha8Rng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(x > 0.0 && x < 1.0);
+            let y: usize = rng.gen_range(0..17);
+            assert!(y < 17);
+            let z = rng.gen_range(2.0f64..=3.0);
+            assert!((2.0..=3.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn sample_iter_streams() {
+        let rng = ChaCha8Rng::seed_from_u64(4);
+        let v: Vec<u64> = rng.sample_iter(distributions::Standard).take(4).collect();
+        let rng = ChaCha8Rng::seed_from_u64(4);
+        let w: Vec<u64> = rng.sample_iter(distributions::Standard).take(4).collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

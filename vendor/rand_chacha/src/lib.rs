@@ -1,0 +1,10 @@
+//! Minimal in-tree replacement for `rand_chacha`: re-exports the ChaCha8
+//! generator implemented in the vendored `rand` shim, plus a `rand_core`
+//! facade for callers that import `rand_chacha::rand_core::SeedableRng`.
+
+pub use rand::chacha::ChaCha8Rng;
+
+/// Facade matching `rand_chacha`'s re-export of `rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}

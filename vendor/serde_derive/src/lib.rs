@@ -1,0 +1,467 @@
+//! Minimal in-tree replacement for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored
+//! `serde` shim's concrete `Value` data model. The parser walks the raw
+//! `TokenStream` directly (no `syn`/`quote` available offline) — it
+//! only needs item names, type-parameter names, and field names, since
+//! all per-type behaviour is dispatched through the trait impls.
+//!
+//! Supported shapes (everything the workspace derives): named-field
+//! structs, newtype structs (transparent), tuple structs (arrays), unit
+//! structs (null), and enums with unit / newtype / tuple / struct
+//! variants (externally tagged). Generic type parameters get a
+//! `Serialize`/`Deserialize` bound each. `#[serde(...)]` attributes are
+//! not supported and are not used in the workspace.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Item {
+    name: String,
+    /// Type-parameter names, e.g. `["T"]` for `StepSchedule<T>`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---- parsing ----
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &mut Toks) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn next_ident(toks: &mut Toks, ctx: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier ({ctx}), found {other:?}"),
+    }
+}
+
+/// Parse `<...>` generics if present, returning type-parameter names.
+fn parse_generics(toks: &mut Toks) -> Vec<String> {
+    let mut params = Vec::new();
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            toks.next();
+        }
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut expect_param = true; // at a position where a new param name may start
+    let mut skip_next_ident = false; // after `'` (lifetime) or `const`
+    while depth > 0 {
+        match toks.next().expect("serde_derive: unbalanced generics") {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                ':' if depth == 1 => expect_param = false,
+                '\'' => skip_next_ident = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                if skip_next_ident {
+                    skip_next_ident = false;
+                } else if depth == 1 && expect_param {
+                    let s = id.to_string();
+                    if s == "const" {
+                        skip_next_ident = true;
+                    } else {
+                        params.push(s);
+                        expect_param = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Skip tokens up to a `,` at angle-bracket depth 0 (or the end).
+/// Used to skip past field types and enum discriminants.
+fn skip_to_comma(toks: &mut Toks) {
+    let mut angle = 0i64;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        skip_to_comma(&mut toks); // the `: Type` part
+    }
+    fields
+}
+
+/// Count tuple-struct / tuple-variant fields inside a paren group.
+fn count_tuple_fields(group: &Group) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i64;
+    let mut pending = false; // saw tokens since the last separator
+    for tok in group.stream() {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 => {
+                    if pending {
+                        count += 1;
+                    }
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                toks.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                toks.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        skip_to_comma(&mut toks); // trailing `,` or a `= discriminant`
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let keyword = next_ident(&mut toks, "struct/enum keyword");
+    let name = next_ident(&mut toks, "item name");
+    let generics = parse_generics(&mut toks);
+    // Scan past any where clause to the body.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if keyword == "enum" {
+                    Kind::Enum(parse_variants(&g))
+                } else {
+                    Kind::NamedStruct(parse_named_fields(&g))
+                };
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+            {
+                break Kind::TupleStruct(count_tuple_fields(&g));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Kind::UnitStruct,
+            Some(_) => continue, // where-clause tokens
+            None => panic!("serde_derive: no item body found for `{name}`"),
+        }
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+// ---- codegen ----
+
+/// `(impl_generics, ty_generics)`: e.g. `("<T: ::serde::Serialize>", "<T>")`.
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g = item
+        .generics
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ty_g = item.generics.join(", ");
+    (format!("<{impl_g}>"), format!("<{ty_g}>"))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_for(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{entries}])")
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{items}])")
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants.iter().map(gen_variant_ser).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_variant_ser(v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+        }
+        Shape::Tuple(1) => format!(
+            "Self::{vn}(x0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+             ::serde::Serialize::to_value(x0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("x{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(x{i}),"))
+                .collect();
+            format!(
+                "Self::{vn}({binds}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Arr(vec![{items}]))]),"
+            )
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "Self::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                 ::serde::Value::Obj(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+/// Field extraction used by named structs and struct variants: present
+/// fields deserialize from their value; a missing field deserializes
+/// from `Null` (so `Option` fields default to `None`, matching serde),
+/// with the fallback error reporting the missing name.
+fn named_field_expr(f: &str, src: &str) -> String {
+    format!(
+        "{f}: match ::serde::Value::get({src}, \"{f}\") {{ \
+           Some(x) => ::serde::Deserialize::from_value(x)?, \
+           None => ::serde::Deserialize::from_value(&::serde::Value::Null) \
+             .map_err(|_| ::serde::DeError(\"missing field `{f}`\".to_string()))?, \
+         }},"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_for(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: String = fields.iter().map(|f| named_field_expr(f, "v")).collect();
+            format!(
+                "if v.as_obj().is_none() {{ \
+                   return Err(::serde::DeError::expected(\"object\", v)); \
+                 }} \
+                 Ok(Self {{ {inits} }})"
+            )
+        }
+        Kind::TupleStruct(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Kind::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = v.as_arr().ok_or_else(|| \
+                   ::serde::DeError::expected(\"array\", v))?; \
+                 if items.len() != {n} {{ \
+                   return Err(::serde::DeError(format!( \
+                     \"expected {n} elements for `{name}`, found {{}}\", items.len()))); \
+                 }} \
+                 Ok(Self({inits}))"
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match v {{ \
+               ::serde::Value::Null => Ok(Self), \
+               other => Err(::serde::DeError::expected(\"null (unit struct `{name}`)\", other)), \
+             }}"
+        ),
+        Kind::Enum(variants) => gen_enum_de(name, variants),
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{ \
+           fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{vn}\" => Ok(Self::{vn}),", vn = v.name))
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                Shape::Unit => unreachable!(),
+                Shape::Tuple(1) => {
+                    format!("\"{vn}\" => Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),")
+                }
+                Shape::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{ \
+                           let items = inner.as_arr().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", inner))?; \
+                           if items.len() != {n} {{ \
+                             return Err(::serde::DeError(format!( \
+                               \"expected {n} elements for `{name}::{vn}`, found {{}}\", \
+                               items.len()))); \
+                           }} \
+                           Ok(Self::{vn}({inits})) \
+                         }}"
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| named_field_expr(f, "inner"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{ \
+                           if inner.as_obj().is_none() {{ \
+                             return Err(::serde::DeError::expected(\"object\", inner)); \
+                           }} \
+                           Ok(Self::{vn} {{ {inits} }}) \
+                         }}"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match v {{ \
+           ::serde::Value::Str(s) => match s.as_str() {{ \
+             {unit_arms} \
+             other => Err(::serde::DeError(format!( \
+               \"unknown variant `{{other}}` of enum `{name}`\"))), \
+           }}, \
+           ::serde::Value::Obj(entries) if entries.len() == 1 => {{ \
+             let (tag, inner) = &entries[0]; \
+             let _ = inner; \
+             match tag.as_str() {{ \
+               {data_arms} \
+               other => Err(::serde::DeError(format!( \
+                 \"unknown variant `{{other}}` of enum `{name}`\"))), \
+             }} \
+           }}, \
+           other => Err(::serde::DeError::expected( \
+             \"string or single-key object (enum `{name}`)\", other)), \
+         }}"
+    )
+}
