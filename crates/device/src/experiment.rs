@@ -5,16 +5,26 @@
 //! This is the substitution for the paper's physical testbed (§IV-A).
 //! Every evaluation artifact (Figures 2–4, Tables V & VI, the CPU-usage
 //! observation) is produced by configuring and running this model.
+//!
+//! The device control loop itself (splitting, deadline tracking, probes,
+//! interval aggregation, `Controller::update`) lives in the shared
+//! [`DeviceRuntime`](crate::runtime::DeviceRuntime); this module is the
+//! discrete-event **adapter**: it turns simulation events into runtime
+//! calls and implements [`Transport`] over the emulated `ff-net` uplink.
+//! The wall-clock TCP client in `ff-live` is the other adapter over the
+//! very same runtime.
 
 use crate::cpu::CpuModel;
 use crate::local::{LocalEngine, LocalOutcome};
-use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
 use crate::quality::{QualityAdapter, QualityConfig};
+use crate::runtime::{
+    DeviceRuntime, FrameOutcome, RuntimeConfig, SubmitOutcome, Transport, BACKGROUND_TAG_BASE,
+};
 use crate::selector::{ModelSelector, SelectorConfig};
-use crate::splitter::{FrameSplitter, Route};
+use crate::splitter::Route;
 use crate::trace::{timeout_fate, FrameFate, FrameRecord, FrameTrace};
-use ff_core::{Controller, Measurement};
-use ff_metrics::{LatencyStats, LatencySummary, QosLog, WindowedRate};
+use ff_core::Controller;
+use ff_metrics::{LatencyStats, LatencySummary, QosLog};
 use ff_models::{DeviceKind, GpuProfile, ModelKind};
 use ff_net::{Link, LinkConfig, LinkStats, LossModel, NetworkConditions, SendOutcome};
 use ff_server::{EdgeServer, PoissonArrivals, Request, ServerStats, Submit, TenantId};
@@ -22,12 +32,6 @@ use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
 use ff_workload::{FrameSource, StepSchedule, StreamConfig};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-
-/// Tag space partitioning: device frames use their frame id; heartbeat
-/// probes and background requests live in disjoint high ranges.
-const PROBE_TAG_BASE: u64 = 1 << 62;
-const BACKGROUND_TAG_BASE: u64 = 1 << 61;
 
 /// The measured device's tenant id; background tenants start at 1000.
 const DEVICE_TENANT: TenantId = TenantId(0);
@@ -180,15 +184,6 @@ pub struct ExperimentResult {
     pub mean_local_accuracy: Option<f64>,
 }
 
-/// Interval counters reset at every controller tick.
-#[derive(Debug, Default, Clone, Copy)]
-struct IntervalCounters {
-    sent: u64,
-    local_done: u64,
-    timeouts_network: u64,
-    timeouts_load: u64,
-}
-
 enum Event {
     Capture,
     LocalDone,
@@ -215,32 +210,42 @@ enum Event {
     ServerRecover,
 }
 
+/// The sim side of the [`Transport`] seam: frames enter the emulated
+/// uplink, and deliveries become `Uplinked` events on the simulation's
+/// calendar.
+struct SimTransport<'a, 'b> {
+    ctx: &'a mut Ctx<'b, Event>,
+    link: &'a mut Link<ChaCha8Rng>,
+}
+
+impl Transport for SimTransport<'_, '_> {
+    fn send(&mut self, tag: u64, bytes: u64, now: SimTime) -> SubmitOutcome {
+        debug_assert_eq!(now, self.ctx.now(), "sim transport called out of sync");
+        match self.link.send(now, bytes) {
+            SendOutcome::Delivered { at } => {
+                self.ctx.schedule_at(at, Event::Uplinked { tag });
+                SubmitOutcome::Accepted
+            }
+            SendOutcome::Dropped(_) => SubmitOutcome::DroppedInNetwork,
+        }
+    }
+}
+
 struct World {
     config: ExperimentConfig,
     controller: Box<dyn Controller>,
+    runtime: DeviceRuntime,
     source: FrameSource<ChaCha8Rng>,
-    splitter: FrameSplitter,
     engine: LocalEngine<ChaCha8Rng>,
     link: Link<ChaCha8Rng>,
     server: EdgeServer,
-    tracker: OffloadTracker,
     bg_arrivals: PoissonArrivals<ChaCha8Rng>,
     bg_rate: f64,
     bg_pending: bool,
     bg_seq: u64,
-    /// Frame sizes of in-flight offloads are not needed; capture times are
-    /// tracked by `tracker`. Probes keep their own small table.
-    probes: HashMap<u64, SimTime>,
-    probe_seq: u64,
-    last_heartbeat_ok: bool,
-    po_target: f64,
-    interval: IntervalCounters,
-    timeout_rate: WindowedRate,
-    qos: QosLog,
     latencies: LatencyStats,
     uplink_latencies: LatencyStats,
     server_latencies: LatencyStats,
-    frames_offloaded: u64,
     frames_local: u64,
     quality: Option<QualityAdapter>,
     accuracy_sum: f64,
@@ -265,17 +270,15 @@ impl World {
         captured_at: SimTime,
         bytes: u64,
     ) {
-        self.tracker.sent(tag, captured_at);
-        self.interval.sent += 1;
-        self.frames_offloaded += 1;
-        match self.link.send(ctx.now(), bytes) {
-            SendOutcome::Delivered { at } => ctx.schedule_at(at, Event::Uplinked { tag }),
-            SendOutcome::Dropped(_) => self.tracker.network_dropped(tag),
-        }
-        ctx.schedule_at(
-            self.tracker.deadline_for(captured_at),
-            Event::Deadline { tag },
-        );
+        let submission = {
+            let mut transport = SimTransport {
+                ctx: &mut *ctx,
+                link: &mut self.link,
+            };
+            self.runtime
+                .offload(&mut transport, tag, bytes, captured_at)
+        };
+        ctx.schedule_at(submission.deadline_at, Event::Deadline { tag });
     }
 
     fn submit_to_server(&mut self, ctx: &mut Ctx<'_, Event>, request: Request) {
@@ -294,74 +297,35 @@ impl World {
         }
     }
 
-    fn send_probe(&mut self, ctx: &mut Ctx<'_, Event>) {
-        let tag = PROBE_TAG_BASE + self.probe_seq;
-        self.probe_seq += 1;
-        let now = ctx.now();
-        self.probes.insert(tag, now);
-        let bytes = self.config.stream.compression.mean_frame_bytes();
-        match self.link.send(now, bytes) {
-            SendOutcome::Delivered { at } => ctx.schedule_at(at, Event::Uplinked { tag }),
-            SendOutcome::Dropped(_) => {}
-        }
-        ctx.schedule_at(now + self.config.deadline, Event::Deadline { tag });
-    }
-
     fn tick(&mut self, ctx: &mut Ctx<'_, Event>) {
         let now = ctx.now();
-        let dt = self.config.controller_period.as_secs_f64();
-        let fs = self.config.stream.fps;
-        let po = self.interval.sent as f64 / dt;
-        let pl = self.interval.local_done as f64 / dt;
-        let t_windowed = self.timeout_rate.rate_at(now);
-
-        let m = Measurement {
-            fs,
-            po_achieved: po,
-            pl_achieved: pl,
-            timeout_rate: t_windowed,
-            heartbeat_ok: self.last_heartbeat_ok,
-            dt_secs: dt,
+        let out = {
+            let mut transport = SimTransport {
+                ctx: &mut *ctx,
+                link: &mut self.link,
+            };
+            self.runtime
+                .tick(now, self.controller.as_mut(), &mut transport)
         };
-        self.po_target = self.controller.update(&m).po_target;
         if let Some(adapter) = &mut self.quality {
-            adapter.update(self.interval.timeouts_network as f64 / dt);
+            adapter.update(out.record.timeouts_network);
         }
         if let Some(selector) = &mut self.selector {
             let before = selector.model();
-            let after = selector.update(self.po_target / fs);
+            let after = selector.update(out.record.po_target / self.config.stream.fps);
             if before != after {
                 self.engine.set_rate_fps(selector.local_rate_fps());
                 self.current_local_accuracy = after.profile().top1_accuracy;
             }
         }
-
-        self.qos.push_at(
-            now,
-            pl,
-            po,
-            self.interval.timeouts_network as f64 / dt,
-            self.interval.timeouts_load as f64 / dt,
-            self.po_target,
+        ctx.schedule_at(
+            out.probe_deadline_at,
+            Event::Deadline { tag: out.probe_tag },
         );
-        self.interval = IntervalCounters::default();
-
-        // Heartbeat for the next interval. The flag is pessimistic until a
-        // timely probe response arrives.
-        self.last_heartbeat_ok = false;
-        self.send_probe(ctx);
 
         let next = now + self.config.controller_period;
         if next <= self.end_at {
             ctx.schedule_at(next, Event::Tick);
-        }
-    }
-
-    fn record_timeout(&mut self, now: SimTime, cause: TimeoutCause) {
-        self.timeout_rate.record(now);
-        match cause {
-            TimeoutCause::Network => self.interval.timeouts_network += 1,
-            TimeoutCause::ServerLoad => self.interval.timeouts_load += 1,
         }
     }
 
@@ -392,7 +356,7 @@ impl SimModel for World {
                 };
                 let now = ctx.now();
                 debug_assert_eq!(frame.captured_at, now, "capture event out of sync");
-                match self.splitter.route(self.po_target, self.config.stream.fps) {
+                match self.runtime.route() {
                     Route::Offload => {
                         let resolution = self.config.stream.compression.resolution;
                         let (bytes, quality) = match &self.quality {
@@ -439,7 +403,7 @@ impl SimModel for World {
             }
 
             Event::LocalDone => {
-                self.interval.local_done += 1;
+                self.runtime.note_local_done(1);
                 self.local_done_total += 1;
                 self.local_accuracy_sum += self.current_local_accuracy;
                 if let Some(finished) = self.local_running.take() {
@@ -459,7 +423,7 @@ impl SimModel for World {
                     return;
                 }
                 let now = ctx.now();
-                self.tracker.arrived_at_server(tag, now);
+                self.runtime.frame_arrived_at_server(tag, now);
                 let request = Request {
                     tenant: DEVICE_TENANT,
                     model: self.config.model,
@@ -485,7 +449,7 @@ impl SimModel for World {
                 }
                 for r in rejections {
                     if r.request.tenant == DEVICE_TENANT && r.request.tag < BACKGROUND_TAG_BASE {
-                        self.tracker.rejected_by_server(r.request.tag);
+                        self.runtime.frame_rejected_by_server(r.request.tag);
                     }
                 }
                 if let Some(done_at) = next {
@@ -500,17 +464,8 @@ impl SimModel for World {
 
             Event::Response { tag } => {
                 let now = ctx.now();
-                if tag >= PROBE_TAG_BASE {
-                    if let Some(sent_at) = self.probes.remove(&tag) {
-                        let latency = now.saturating_since(sent_at);
-                        if latency <= self.config.deadline {
-                            self.last_heartbeat_ok = true;
-                        }
-                    }
-                    return;
-                }
-                match self.tracker.response_arrived(tag, now) {
-                    Some(OffloadResolution::Success { latency, breakdown }) => {
+                match self.runtime.on_response(tag, now, true) {
+                    FrameOutcome::Success { latency, breakdown } => {
                         let latency_ms = latency.as_secs_f64() * 1_000.0;
                         self.latencies.record_ms(latency_ms);
                         self.trace
@@ -521,26 +476,19 @@ impl SimModel for World {
                             self.server_latencies.record_ms(srv.as_secs_f64() * 1_000.0);
                         }
                     }
-                    Some(OffloadResolution::Timeout { cause }) => {
-                        self.record_timeout(now, cause);
+                    FrameOutcome::Timeout { cause } => {
                         self.trace.resolve(tag, timeout_fate(cause));
                     }
-                    None => {} // already resolved by the deadline event
+                    // Probes are absorbed by the runtime; `Stale` means the
+                    // deadline event already resolved this frame. Sim
+                    // responses always carry `ok = true` (rejections arrive
+                    // through the batch path), so `Rejected` cannot occur.
+                    FrameOutcome::Probe | FrameOutcome::Stale | FrameOutcome::Rejected => {}
                 }
             }
 
             Event::Deadline { tag } => {
-                let now = ctx.now();
-                if tag >= PROBE_TAG_BASE {
-                    // An unresolved probe is a failed heartbeat; nothing to
-                    // do — the flag is already pessimistic.
-                    self.probes.remove(&tag);
-                    return;
-                }
-                if let Some(OffloadResolution::Timeout { cause }) =
-                    self.tracker.deadline_expired(tag, now)
-                {
-                    self.record_timeout(now, cause);
+                if let Some(cause) = self.runtime.on_deadline(tag, ctx.now()) {
                     self.trace.resolve(tag, timeout_fate(cause));
                 }
             }
@@ -600,19 +548,18 @@ pub fn run_experiment(
         outage.validate();
     }
 
-    // Bootstrap decision at t = 0 so policies with static targets (e.g.
-    // always-offload) act from the first frame. The heartbeat is
-    // pessimistic: no probe has been answered yet.
-    let po_target = controller
-        .update(&Measurement {
+    // The runtime makes the bootstrap decision at t = 0 so policies with
+    // static targets (e.g. always-offload) act from the first frame.
+    let runtime = DeviceRuntime::new(
+        RuntimeConfig {
             fs,
-            po_achieved: 0.0,
-            pl_achieved: 0.0,
-            timeout_rate: 0.0,
-            heartbeat_ok: false,
-            dt_secs: config.controller_period.as_secs_f64(),
-        })
-        .po_target;
+            deadline: config.deadline,
+            controller_period: config.controller_period,
+            timeout_window: config.timeout_window,
+            probe_bytes: config.stream.compression.mean_frame_bytes(),
+        },
+        controller.as_mut(),
+    );
 
     let end_at = SimTime::ZERO + config.stream.stream_duration() + config.deadline;
     let initial_conditions = *config.network.value_at(0.0);
@@ -624,27 +571,18 @@ pub fn run_experiment(
         link.set_loss_model(model);
     }
     let world = World {
+        runtime,
         source: FrameSource::new(config.stream, rng.stream("frames")),
-        splitter: FrameSplitter::new(),
         engine: LocalEngine::new(config.device, config.model, rng.stream("local")),
         link,
         server: EdgeServer::new(config.gpu),
-        tracker: OffloadTracker::new(config.deadline),
         bg_arrivals: PoissonArrivals::new(rng.stream("background")),
         bg_rate: initial_bg,
         bg_pending: false,
         bg_seq: 0,
-        probes: HashMap::new(),
-        probe_seq: 0,
-        last_heartbeat_ok: false,
-        po_target,
-        interval: IntervalCounters::default(),
-        timeout_rate: WindowedRate::new(config.timeout_window),
-        qos: QosLog::new(),
         latencies: LatencyStats::new(),
         uplink_latencies: LatencyStats::new(),
         server_latencies: LatencyStats::new(),
-        frames_offloaded: 0,
         frames_local: 0,
         quality: config.adaptive_quality.map(QualityAdapter::new),
         accuracy_sum: 0.0,
@@ -708,12 +646,16 @@ pub fn run_experiment(
 
     let local_busy_fraction = world.engine.busy_fraction(now);
     let frames_generated = world.source.generated();
+    let frames_offloaded = world.runtime.frames_offloaded();
     let offload_share = if frames_generated == 0 {
         0.0
     } else {
-        (world.frames_offloaded as f64 / frames_generated as f64).min(1.0)
+        (frames_offloaded as f64 / frames_generated as f64).min(1.0)
     };
     let cpu_usage_pct = CpuModel::default().usage_pct(local_busy_fraction, offload_share);
+    let offload_successes = world.runtime.successes();
+    let offload_timeouts = world.runtime.timeouts();
+    let qos = world.runtime.into_qos();
 
     ExperimentResult {
         controller: world.controller.name().to_string(),
@@ -725,19 +667,19 @@ pub fn run_experiment(
         cpu_usage_pct,
         local_busy_fraction,
         frames_generated,
-        frames_offloaded: world.frames_offloaded,
+        frames_offloaded,
         frames_local: world.frames_local,
-        offload_successes: world.tracker.successes(),
-        offload_timeouts: world.tracker.timeouts(),
-        mean_throughput: world.qos.mean_throughput(),
-        mean_offload_accuracy: (world.frames_offloaded > 0)
-            .then(|| world.accuracy_sum / world.frames_offloaded as f64),
-        mean_offload_quality: (world.frames_offloaded > 0)
-            .then(|| world.quality_sum / world.frames_offloaded as f64),
+        offload_successes,
+        offload_timeouts,
+        mean_throughput: qos.mean_throughput(),
+        mean_offload_accuracy: (frames_offloaded > 0)
+            .then(|| world.accuracy_sum / frames_offloaded as f64),
+        mean_offload_quality: (frames_offloaded > 0)
+            .then(|| world.quality_sum / frames_offloaded as f64),
         mean_local_accuracy: (world.local_done_total > 0)
             .then(|| world.local_accuracy_sum / world.local_done_total as f64),
         trace: world.trace.is_enabled().then(|| world.trace.into_records()),
-        qos: world.qos,
+        qos,
     }
 }
 

@@ -7,6 +7,11 @@
 //! `T_n`/`T_l` cause attribution, and the [`CpuModel`] reproducing the
 //! §II-A CPU-usage observation.
 //!
+//! The per-frame control loop itself lives in [`runtime`]: a
+//! [`DeviceRuntime`] that is clock- and transport-agnostic, driven here by
+//! the discrete-event simulation and in `ff-live` by the wall-clock TCP
+//! client — one loop, two hosts.
+//!
 //! [`run_experiment`] wires the device, the `ff-net` uplink, the
 //! `ff-server` batching server, background tenants, and any
 //! `ff_core::Controller` into one deterministic discrete-event run — the
@@ -21,6 +26,7 @@ mod fleet;
 mod local;
 mod offload;
 mod quality;
+pub mod runtime;
 mod selector;
 mod splitter;
 mod trace;
@@ -31,6 +37,10 @@ pub use fleet::{run_fleet, FleetConfig, FleetDeviceConfig, FleetDeviceResult, Fl
 pub use local::{LocalEngine, LocalOutcome};
 pub use offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};
 pub use quality::{QualityAdapter, QualityConfig};
+pub use runtime::{
+    is_probe_tag, DeviceRuntime, FrameOutcome, OffloadSubmission, RuntimeConfig, SubmitOutcome,
+    TickOutput, Transport, WallClock, BACKGROUND_TAG_BASE, PROBE_TAG_BASE,
+};
 pub use selector::{ModelSelector, SelectorConfig};
 pub use splitter::{FrameSplitter, Route};
 pub use trace::{FrameFate, FrameRecord, FrameTrace, TraceSummary};

@@ -168,6 +168,28 @@ impl OffloadTracker {
         })
     }
 
+    /// Resolve every in-flight frame whose deadline has strictly passed
+    /// (`now > captured_at + deadline`), for hosts that poll instead of
+    /// scheduling per-frame deadline events. Expired frames are returned
+    /// in ascending tag order so polling hosts stay deterministic.
+    pub fn expire_due(&mut self, now: SimTime) -> Vec<(u64, OffloadResolution)> {
+        let mut due: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| now > self.deadline_for(f.captured_at))
+            .map(|(&tag, _)| tag)
+            .collect();
+        due.sort_unstable();
+        due.into_iter()
+            .map(|tag| {
+                let resolution = self
+                    .deadline_expired(tag, now)
+                    .expect("frame was in flight");
+                (tag, resolution)
+            })
+            .collect()
+    }
+
     fn attribute(&self, f: &InFlight, _now: SimTime) -> TimeoutCause {
         match f.stage {
             Stage::InNetwork | Stage::DroppedByNetwork => TimeoutCause::Network,
@@ -338,6 +360,39 @@ mod tests {
         let mut t = tracker();
         t.sent(9, SimTime::ZERO);
         t.sent(9, SimTime::ZERO);
+    }
+
+    #[test]
+    fn expire_due_is_strict_ordered_and_cause_attributed() {
+        let mut t = tracker();
+        t.sent(12, SimTime::ZERO);
+        t.sent(3, SimTime::ZERO);
+        t.arrived_at_server(3, SimTime::from_millis(20));
+        t.rejected_by_server(3);
+        t.sent(8, SimTime::from_millis(100));
+        // At exactly the deadline nothing expires (a response at this
+        // instant would still be a success).
+        assert!(t.expire_due(SimTime::from_millis(250)).is_empty());
+        let expired = t.expire_due(SimTime::from_millis(251));
+        assert_eq!(
+            expired,
+            vec![
+                (
+                    3,
+                    OffloadResolution::Timeout {
+                        cause: TimeoutCause::ServerLoad
+                    }
+                ),
+                (
+                    12,
+                    OffloadResolution::Timeout {
+                        cause: TimeoutCause::Network
+                    }
+                ),
+            ]
+        );
+        assert_eq!(t.in_flight(), 1, "tag 8 is not due yet");
+        assert_eq!(t.timeouts(), 2);
     }
 
     #[test]

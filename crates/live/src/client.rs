@@ -1,30 +1,35 @@
-//! The live edge device: a wall-clock analogue of `ff-device`.
+//! The live edge device: the wall-clock adapter over the shared
+//! [`DeviceRuntime`](ff_device::DeviceRuntime).
 //!
-//! Runs a real capture loop at `F_s`, routes frames between a sleep-based
-//! local inference worker and TCP offloading through the impairment shim,
-//! enforces the end-to-end deadline, and drives any `ff_core::Controller`
-//! at the configured measurement period — the same control loop as the
-//! simulator, but against a real socket and real time.
+//! The control loop itself — credit splitting, in-flight deadline
+//! tracking, probe heartbeats, `WindowedRate` interval aggregation,
+//! `Controller::update`, QoS emission — is the **same code** the
+//! discrete-event simulator runs (`ff-device`'s `runtime` module). This
+//! module only supplies what real time and real sockets add: a paced
+//! capture loop, a [`WallClock`] mapping `Instant`s onto the runtime's
+//! microsecond timeline, a [`Transport`] over the supervised TCP
+//! connection and impairment shim, and a sleep-based local inference
+//! worker.
 
 use crate::proto::{encode_request, poll_response, Poll, Status, WireRequest};
 use crate::shim::{ImpairmentShim, ShimVerdict};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
-use ff_core::{Controller, Measurement};
-use ff_metrics::LogHistogram;
+use ff_core::Controller;
+use ff_device::{
+    DeviceRuntime, FrameOutcome, Route, RuntimeConfig, SubmitOutcome, Transport, WallClock,
+};
+use ff_metrics::{LogHistogram, QosLog};
+use ff_sim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
-
-/// Probe tags live in the top bit of the tag space.
-const PROBE_BIT: u64 = 1 << 63;
 
 /// How often the supervisor and an idle reader re-check liveness flags.
 const SUPERVISOR_POLL: Duration = Duration::from_millis(5);
@@ -104,6 +109,10 @@ pub struct LiveDeviceConfig {
     /// mid-frame, and any blocked write before the connection is declared
     /// dead and handed to the reconnect loop.
     pub io_timeout: Duration,
+    /// Trailing window over which the controller's timeout-rate input `T`
+    /// is averaged ("the last few seconds", §III-A.1) — the same
+    /// `WindowedRate` the simulator uses.
+    pub timeout_window: Duration,
     /// How the device redials after losing the server.
     pub reconnect: ReconnectPolicy,
 }
@@ -118,38 +127,19 @@ impl Default for LiveDeviceConfig {
             local_rate_fps: 13.0,
             tick: Duration::from_secs(1),
             io_timeout: Duration::from_secs(2),
+            timeout_window: Duration::from_secs(3),
             reconnect: ReconnectPolicy::default(),
         }
-    }
-}
-
-/// One controller interval of a live run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LiveQosRecord {
-    /// End of the interval, wall-clock seconds since the run started.
-    pub t_secs: f64,
-    /// Local inference rate achieved (frames/s).
-    pub pl: f64,
-    /// Offload rate achieved (frames/s).
-    pub po: f64,
-    /// Deadline violations (frames/s).
-    pub timeouts: f64,
-    /// The controller's target for the next interval.
-    pub po_target: f64,
-}
-
-impl LiveQosRecord {
-    /// Total throughput `P = P_o + P_l − T`.
-    pub fn throughput(&self) -> f64 {
-        self.po + self.pl - self.timeouts
     }
 }
 
 /// Results of a live run.
 #[derive(Debug, Clone)]
 pub struct LiveRunSummary {
-    /// Per-interval QoS records.
-    pub records: Vec<LiveQosRecord>,
+    /// Per-interval QoS records — the **same** `ff_metrics::QosLog`
+    /// schema the simulator emits, so `ffexp` and `ff-bench` tooling
+    /// consumes either without translation.
+    pub qos: QosLog,
     /// Frames the capture loop produced.
     pub frames: u64,
     /// Frames sent (or attempted) over TCP.
@@ -173,15 +163,8 @@ pub struct LiveRunSummary {
 impl LiveRunSummary {
     /// Mean `P = P_o + P_l − T` over the recorded intervals.
     pub fn mean_throughput(&self) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
-        }
-        self.records.iter().map(|r| r.throughput()).sum::<f64>() / self.records.len() as f64
+        self.qos.mean_throughput()
     }
-}
-
-struct FrameSplitter {
-    credit: f64,
 }
 
 /// A live connection as the capture loop sees it: where to queue writes,
@@ -334,6 +317,34 @@ fn sleep_unless_stopped(stop: &AtomicBool, total: Duration) {
     }
 }
 
+/// The wall-clock [`Transport`]: submits frames to the supervised TCP
+/// connection through the impairment shim. No connection is the live
+/// analogue of ECONNREFUSED and maps to [`SubmitOutcome::FailedInstantly`];
+/// a shim drop maps to [`SubmitOutcome::DroppedInNetwork`] (resolved as a
+/// network timeout at the deadline, exactly like the simulated link).
+struct LiveTransport<'a> {
+    shared: &'a ConnShared,
+    shim: &'a ImpairmentShim,
+    clock: &'a WallClock,
+}
+
+impl Transport for LiveTransport<'_> {
+    fn send(&mut self, tag: u64, bytes: u64, now: SimTime) -> SubmitOutcome {
+        match self.shared.current() {
+            Some(conn) => match self.shim.offer(bytes) {
+                ShimVerdict::SendAfter(delay) => {
+                    let _ = conn
+                        .send_tx
+                        .send((tag, bytes, self.clock.instant_at(now) + delay));
+                    SubmitOutcome::Accepted
+                }
+                ShimVerdict::Drop => SubmitOutcome::DroppedInNetwork,
+            },
+            None => SubmitOutcome::FailedInstantly,
+        }
+    }
+}
+
 /// Drive one live device session against a running server.
 ///
 /// The connection is supervised: if the server goes away the device
@@ -380,28 +391,29 @@ pub fn run_live_device(
         })?;
 
     // ---- main capture / control loop ----
-    let start = Instant::now();
+    //
+    // Everything control-related below is one call into the shared
+    // [`DeviceRuntime`]; this loop only paces capture, maps wall-clock
+    // instants onto the runtime's time axis, and ferries I/O events in.
+    let clock = WallClock::start();
+    let start = clock.origin();
     let frame_interval = Duration::from_secs_f64(1.0 / config.fs);
     let total_frames = (config.duration.as_secs_f64() * config.fs).round() as u64;
 
-    let mut splitter = FrameSplitter { credit: 0.0 };
-    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
-    let mut probe_in_flight: Option<(u64, Instant)> = None;
-    let mut probe_seq: u64 = 0;
-    let mut heartbeat_ok = false;
-    let mut po_target = controller.po_target();
+    let mut runtime = DeviceRuntime::new(
+        RuntimeConfig {
+            fs: config.fs,
+            deadline: SimDuration::from_micros(config.deadline.as_micros() as u64),
+            controller_period: SimDuration::from_micros(config.tick.as_micros() as u64),
+            timeout_window: SimDuration::from_micros(config.timeout_window.as_micros() as u64),
+            probe_bytes: config.frame_bytes,
+        },
+        controller,
+    );
 
-    let mut offloaded: u64 = 0;
-    let mut successes: u64 = 0;
-    let mut timeouts: u64 = 0;
-    let mut failed_while_disconnected: u64 = 0;
     let mut latency_ms = LogHistogram::for_latency_ms();
-    let mut interval_sent: u64 = 0;
-    let mut interval_timeouts: u64 = 0;
-    let mut timeout_history: Vec<f64> = Vec::new();
     let mut last_pl_total: u64 = 0;
     let mut next_tick = start + config.tick;
-    let mut records = Vec::new();
 
     for i in 0..total_frames {
         // Pace the capture loop.
@@ -413,144 +425,60 @@ pub fn run_live_device(
         let captured_at = Instant::now();
 
         // Route the frame.
-        splitter.credit += po_target / config.fs;
-        if splitter.credit >= 1.0 {
-            splitter.credit -= 1.0;
-            let tag = i;
-            offloaded += 1;
-            interval_sent += 1;
-            match shared.current() {
-                Some(conn) => {
-                    in_flight.insert(tag, captured_at);
-                    match shim.offer(config.frame_bytes) {
-                        ShimVerdict::SendAfter(delay) => {
-                            let _ =
-                                conn.send_tx
-                                    .send((tag, config.frame_bytes, captured_at + delay));
-                        }
-                        ShimVerdict::Drop => {} // resolves as a timeout
-                    }
-                }
-                None => {
-                    // No connection: the attempt fails instantly (the live
-                    // analogue of ECONNREFUSED). Counting it as a timeout
-                    // now — not a deadline later — is what makes `T` track
-                    // the attempted rate and parks the controller at the
-                    // probe floor while the server is unreachable.
-                    timeouts += 1;
-                    interval_timeouts += 1;
-                    failed_while_disconnected += 1;
-                }
+        match runtime.route() {
+            Route::Offload => {
+                let mut transport = LiveTransport {
+                    shared: &shared,
+                    shim: &shim,
+                    clock: &clock,
+                };
+                runtime.offload(&mut transport, i, config.frame_bytes, clock.at(captured_at));
             }
-        } else {
-            let _ = local_tx.try_send(()); // full pending slot = frame skip
+            Route::Local => {
+                let _ = local_tx.try_send(()); // full pending slot = frame skip
+            }
         }
 
-        // Drain response events.
+        // Drain response events (probes, successes, rejections — the
+        // runtime sorts them out; rejections resolve at their deadline).
         while let Ok((tag, status, at)) = event_rx.try_recv() {
-            if tag & PROBE_BIT != 0 {
-                if let Some((ptag, sent)) = probe_in_flight {
-                    if ptag == tag && status == Status::Ok && at - sent <= config.deadline {
-                        heartbeat_ok = true;
-                    }
-                }
-                continue;
-            }
-            if let Some(sent) = in_flight.remove(&tag) {
-                let elapsed = at.duration_since(sent);
-                if status == Status::Ok && elapsed <= config.deadline {
-                    successes += 1;
-                    latency_ms.record(elapsed.as_secs_f64() * 1_000.0);
-                } else {
-                    timeouts += 1;
-                    interval_timeouts += 1;
-                }
+            if let FrameOutcome::Success { latency, .. } =
+                runtime.on_response(tag, clock.at(at), status == Status::Ok)
+            {
+                latency_ms.record(latency.as_secs_f64() * 1_000.0);
             }
         }
 
-        // Expire deadlines.
-        let now = Instant::now();
-        in_flight.retain(|_, sent| {
-            if now.duration_since(*sent) > config.deadline {
-                timeouts += 1;
-                interval_timeouts += 1;
-                false
-            } else {
-                true
-            }
-        });
+        // Expire overdue deadlines (and stale probes).
+        runtime.expire_due(clock.now());
 
         // Controller tick.
+        let now = Instant::now();
         if now >= next_tick {
-            let dt = config.tick.as_secs_f64();
             let pl_total = local_completed.load(Ordering::Relaxed);
-            let pl = (pl_total - last_pl_total) as f64 / dt;
+            runtime.note_local_done(pl_total - last_pl_total);
             last_pl_total = pl_total;
-            let po = interval_sent as f64 / dt;
-            timeout_history.push(interval_timeouts as f64 / dt);
-            let window = 3.min(timeout_history.len());
-            let t_avg = timeout_history[timeout_history.len() - window..]
-                .iter()
-                .sum::<f64>()
-                / window as f64;
-
-            let decision = controller.update(&Measurement {
-                fs: config.fs,
-                po_achieved: po,
-                pl_achieved: pl,
-                timeout_rate: t_avg,
-                heartbeat_ok,
-                dt_secs: dt,
-            });
-            po_target = decision.po_target;
-
-            records.push(LiveQosRecord {
-                t_secs: now.duration_since(start).as_secs_f64(),
-                pl,
-                po,
-                timeouts: interval_timeouts as f64 / dt,
-                po_target,
-            });
-
-            interval_sent = 0;
-            interval_timeouts = 0;
-
-            // New heartbeat probe (only if there is a link to probe on;
-            // while disconnected the heartbeat simply stays false).
-            heartbeat_ok = false;
-            probe_in_flight = None;
-            if let Some(conn) = shared.current() {
-                let ptag = PROBE_BIT | probe_seq;
-                probe_seq += 1;
-                probe_in_flight = Some((ptag, Instant::now()));
-                if let ShimVerdict::SendAfter(delay) = shim.offer(config.frame_bytes) {
-                    let _ = conn
-                        .send_tx
-                        .send((ptag, config.frame_bytes, Instant::now() + delay));
-                }
-            }
-
+            let mut transport = LiveTransport {
+                shared: &shared,
+                shim: &shim,
+                clock: &clock,
+            };
+            runtime.tick(clock.at(now), controller, &mut transport);
             next_tick += config.tick;
         }
     }
 
-    // Give trailing responses one deadline to arrive, then settle.
-    thread::sleep(config.deadline);
+    // Give trailing responses one deadline to arrive, then expire whatever
+    // is left (every remaining frame is strictly overdue by now).
+    thread::sleep(config.deadline + Duration::from_millis(5));
     while let Ok((tag, status, at)) = event_rx.try_recv() {
-        if tag & PROBE_BIT != 0 {
-            continue;
-        }
-        if let Some(sent) = in_flight.remove(&tag) {
-            let elapsed = at.duration_since(sent);
-            if status == Status::Ok && elapsed <= config.deadline {
-                successes += 1;
-                latency_ms.record(elapsed.as_secs_f64() * 1_000.0);
-            } else {
-                timeouts += 1;
-            }
+        if let FrameOutcome::Success { latency, .. } =
+            runtime.on_response(tag, clock.at(at), status == Status::Ok)
+        {
+            latency_ms.record(latency.as_secs_f64() * 1_000.0);
         }
     }
-    timeouts += in_flight.len() as u64;
+    runtime.expire_due(clock.now());
 
     // Tear down: stop the supervisor (which closes the socket and reaps
     // the I/O threads), then drop the local worker's channel.
@@ -559,8 +487,12 @@ pub fn run_live_device(
     let _ = supervisor.join();
     let _ = local.join();
 
+    let offloaded = runtime.frames_offloaded();
+    let successes = runtime.successes();
+    let timeouts = runtime.timeouts();
+    let failed_while_disconnected = runtime.instant_failures();
     Ok(LiveRunSummary {
-        records,
+        qos: runtime.into_qos(),
         frames: total_frames,
         offloaded,
         local_completed: local_completed.load(Ordering::Relaxed),
@@ -615,8 +547,8 @@ mod tests {
         let summary = run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
         assert!(summary.frames == 180);
         assert!(summary.offloaded > 0, "controller never offloaded");
-        let first = summary.records.first().unwrap().po_target;
-        let last = summary.records.last().unwrap().po_target;
+        let first = summary.qos.records().first().unwrap().po_target;
+        let last = summary.qos.records().last().unwrap().po_target;
         assert!(
             last > first,
             "P_o target should ramp on a clean link ({first} -> {last})"
@@ -646,7 +578,7 @@ mod tests {
         let mut ctl = FrameFeedback::new();
         let summary = run_live_device(server.addr(), fast_device(), shim, &mut ctl).unwrap();
         assert!(summary.timeouts > 0, "throttled link must time out");
-        let final_target = summary.records.last().unwrap().po_target;
+        let final_target = summary.qos.records().last().unwrap().po_target;
         assert!(
             final_target < 30.0,
             "controller should back off well below F_s=60, got {final_target}"

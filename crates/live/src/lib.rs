@@ -1,11 +1,13 @@
 //! # ff-live — live TCP offloading mode
 //!
-//! The same FrameFeedback control loop as the simulator, run against a
-//! **real TCP server over real time**: a [`LiveServer`] with the paper's
-//! adaptive batching (GPU execution simulated by calibrated sleeps), a
-//! device loop ([`run_live_device`]) pacing a real capture cadence, and a
-//! software [`ImpairmentShim`] standing in for NetEm (rate limiting and
-//! loss on the loopback link).
+//! The same FrameFeedback control loop as the simulator — literally the
+//! same code, `ff_device::DeviceRuntime` — run against a **real TCP
+//! server over real time**: a [`LiveServer`] with the paper's adaptive
+//! batching (GPU execution simulated by calibrated sleeps), a device loop
+//! ([`run_live_device`]) pacing a real capture cadence, and a software
+//! [`ImpairmentShim`] standing in for NetEm (rate limiting and loss on
+//! the loopback link). QoS output uses `ff_metrics::QosLog`, the same
+//! schema the simulator emits.
 //!
 //! We use `std::net` + threads (+`crossbeam` channels) rather than an
 //! async runtime: the protocol is one small framed request/response per
@@ -19,9 +21,7 @@ mod proto;
 mod server;
 mod shim;
 
-pub use client::{
-    run_live_device, LiveDeviceConfig, LiveQosRecord, LiveRunSummary, ReconnectPolicy,
-};
+pub use client::{run_live_device, LiveDeviceConfig, LiveRunSummary, ReconnectPolicy};
 pub use proto::{
     encode_request, poll_request, poll_response, read_request, read_response, write_response, Poll,
     Status, WireRequest, WireResponse,

@@ -4,6 +4,12 @@
 //! the achieved rates: local `P_l`, offload `P_o`, timeout `T` (split into
 //! network-induced `T_n` and load-induced `T_l`), and the derived total
 //! throughput `P = P_o + P_l − T` that Figures 3 and 4 plot.
+//!
+//! This is the **single** QoS schema for both execution modes: the
+//! simulator and the live TCP client emit their per-interval records
+//! through the same shared device runtime (`ff-device`), so `ffexp`
+//! output, `ff-bench` plotting, and live run summaries all consume one
+//! record type.
 
 use ff_sim::SimTime;
 use serde::Serialize;

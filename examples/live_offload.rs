@@ -63,7 +63,7 @@ fn main() {
         "{:>6} {:>7} {:>7} {:>9} {:>7}",
         "t(s)", "P_l", "P_o", "timeouts", "Po*"
     );
-    for r in &summary.records {
+    for r in summary.qos.records() {
         println!(
             "{:>6.0} {:>7.1} {:>7.1} {:>9.1} {:>7.1}",
             r.t_secs, r.pl, r.po, r.timeouts, r.po_target

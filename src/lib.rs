@@ -30,7 +30,9 @@ pub mod baselines {
     pub use ff_baselines::*;
 }
 
-/// The edge device model and experiment runner (`ff-device`).
+/// The edge device model and experiment runner (`ff-device`), including
+/// the shared `DeviceRuntime` control loop that both the simulator and
+/// the live TCP client drive.
 pub mod device {
     pub use ff_device::*;
 }
@@ -65,7 +67,8 @@ pub mod sim {
     pub use ff_sim::*;
 }
 
-/// The live TCP offloading mode (`ff-live`).
+/// The live TCP offloading mode (`ff-live`) — the wall-clock adapter
+/// over the same `device::DeviceRuntime` the simulator runs.
 pub mod live {
     pub use ff_live::*;
 }

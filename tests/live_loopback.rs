@@ -3,9 +3,10 @@
 
 use framefeedback::controller::FrameFeedback;
 use framefeedback::live::{
-    run_live_device, Impairment, ImpairmentShim, LiveDeviceConfig, LiveQosRecord, LiveServer,
-    LiveServerConfig, ReconnectPolicy,
+    run_live_device, Impairment, ImpairmentShim, LiveDeviceConfig, LiveServer, LiveServerConfig,
+    ReconnectPolicy,
 };
+use framefeedback::metrics::QosRecord;
 use framefeedback::sim::RngFactory;
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +42,9 @@ fn outage_device(secs: u64) -> LiveDeviceConfig {
     LiveDeviceConfig {
         tick: Duration::from_millis(500),
         io_timeout: Duration::from_secs(1),
+        // Match the old 3-sample moving average at this tick: the windowed
+        // timeout rate spans three 500 ms control intervals.
+        timeout_window: Duration::from_millis(1500),
         reconnect: ReconnectPolicy {
             initial_backoff: Duration::from_millis(25),
             max_backoff: Duration::from_millis(250),
@@ -52,7 +56,7 @@ fn outage_device(secs: u64) -> LiveDeviceConfig {
 }
 
 /// Mean `po_target` over the records inside `[from, to)` seconds.
-fn mean_target(records: &[LiveQosRecord], from: f64, to: f64) -> f64 {
+fn mean_target(records: &[QosRecord], from: f64, to: f64) -> f64 {
     let window: Vec<f64> = records
         .iter()
         .filter(|r| r.t_secs >= from && r.t_secs < to)
@@ -81,8 +85,8 @@ fn live_controller_converges_and_mostly_succeeds_on_a_clean_link() {
         "clean link success ratio {success_ratio:.2}"
     );
     // The target ramps monotonically-ish upward.
-    let first = summary.records.first().unwrap().po_target;
-    let last = summary.records.last().unwrap().po_target;
+    let first = summary.qos.records().first().unwrap().po_target;
+    let last = summary.qos.records().last().unwrap().po_target;
     assert!(last > first);
     server.shutdown();
 }
@@ -108,12 +112,13 @@ fn live_mode_degradation_mid_run_triggers_backoff() {
     t.join().unwrap();
 
     let before: f64 = summary
-        .records
+        .qos
+        .records()
         .iter()
         .filter(|r| r.t_secs < 2.0)
         .map(|r| r.po_target)
         .fold(0.0, f64::max);
-    let after = summary.records.last().unwrap().po_target;
+    let after = summary.qos.records().last().unwrap().po_target;
     assert!(
         after < before,
         "target must fall after throttling ({before:.1} -> {after:.1})"
@@ -192,13 +197,14 @@ fn server_outage_parks_target_at_probe_floor_then_recovers() {
     // outage, and no single interval wandering far off.
     let tail_from = (OUTAGE_END_SECS - 3) as f64;
     let tail_to = OUTAGE_END_SECS as f64;
-    let settled = mean_target(&summary.records, tail_from, tail_to);
+    let settled = mean_target(summary.qos.records(), tail_from, tail_to);
     assert!(
         (settled - floor).abs() <= 0.5,
         "settled target {settled:.2} fps vs probe floor {floor:.1} fps"
     );
     for r in summary
-        .records
+        .qos
+        .records()
         .iter()
         .filter(|r| r.t_secs >= tail_from && r.t_secs < tail_to)
     {
@@ -213,7 +219,8 @@ fn server_outage_parks_target_at_probe_floor_then_recovers() {
     // Recovery: back above the floor within 5 control intervals of the
     // server returning.
     let recovered_at = summary
-        .records
+        .qos
+        .records()
         .iter()
         .find(|r| r.t_secs >= tail_to && r.po_target > floor + 0.5)
         .map(|r| r.t_secs)
@@ -261,14 +268,15 @@ fn chaos_total_failure_settles_at_probe_floor_without_reconnecting() {
 
     let tail_from = (OUTAGE_END_SECS - 3) as f64;
     let tail_to = OUTAGE_END_SECS as f64;
-    let settled = mean_target(&summary.records, tail_from, tail_to);
+    let settled = mean_target(summary.qos.records(), tail_from, tail_to);
     assert!(
         (settled - floor).abs() <= 0.5,
         "settled target {settled:.2} fps vs probe floor {floor:.1} fps"
     );
 
     let recovered_at = summary
-        .records
+        .qos
+        .records()
         .iter()
         .find(|r| r.t_secs >= tail_to && r.po_target > floor + 0.5)
         .map(|r| r.t_secs)

@@ -1,0 +1,279 @@
+//! Parity: the shared `DeviceRuntime` makes **bit-identical** decisions
+//! under its two driving styles.
+//!
+//! The simulator drives the runtime event-style (exact `on_deadline`
+//! events at scheduled instants); the live TCP client drives it
+//! poll-style (`expire_due` once per capture iteration, responses drained
+//! from a queue stamped with their true arrival times). This test feeds
+//! one scripted offload history — a healthy phase, a connection outage
+//! (instant failures), a lossy phase (drops resolved at the deadline),
+//! and a recovery — through both drivers with the same `FrameFeedback`
+//! controller, and requires the two QoS logs (and therefore every
+//! controller decision) to be exactly equal. This is the structural
+//! guarantee behind the paper's claim that one control loop runs
+//! unchanged in simulation and on a real network.
+
+use framefeedback::controller::FrameFeedback;
+use framefeedback::device::{DeviceRuntime, Route, RuntimeConfig, SubmitOutcome, Transport};
+use framefeedback::metrics::QosRecord;
+use framefeedback::sim::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// 20 fps → captures every 50 ms. The constants below are chosen so that
+/// the two drivers' timestamps can never straddle an aggregation
+/// boundary: captures/ticks land on multiples of 50 ms, responses on
+/// 10 mod 50, deadlines on 40 mod 50, so the poll driver's one-step-late
+/// deadline resolution (at 0 mod 50) stays inside the same controller
+/// interval and the same `WindowedRate` window as the event driver's
+/// exact resolution.
+const FS: f64 = 20.0;
+const FRAME_INTERVAL: SimDuration = SimDuration::from_millis(50);
+const RESPONSE_LATENCY: SimDuration = SimDuration::from_millis(60);
+const TICK: SimDuration = SimDuration::from_secs(1);
+const RUN_SECS: u64 = 12;
+const TOTAL_FRAMES: u64 = RUN_SECS * FS as u64;
+const FRAME_BYTES: u64 = 8_000;
+
+/// Scripted link history, phased by submission time:
+/// healthy → outage (no connection) → lossy (drops) → healthy again.
+const OUTAGE: (u64, u64) = (4_000, 8_000);
+const LOSSY: (u64, u64) = (8_000, 10_000);
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig {
+        fs: FS,
+        deadline: SimDuration::from_millis(240),
+        controller_period: TICK,
+        timeout_window: SimDuration::from_secs(3),
+        probe_bytes: FRAME_BYTES,
+    }
+}
+
+/// Deterministic transport: the outcome depends only on the submission
+/// instant, and accepted submissions enqueue a successful response at a
+/// fixed latency for the driver to deliver.
+#[derive(Default)]
+struct ScriptedTransport {
+    pending: Vec<(SimTime, u64, bool)>,
+}
+
+impl ScriptedTransport {
+    fn take_pending(&mut self) -> Vec<(SimTime, u64, bool)> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+impl Transport for ScriptedTransport {
+    fn send(&mut self, tag: u64, _bytes: u64, now: SimTime) -> SubmitOutcome {
+        let ms = now.as_millis();
+        if (OUTAGE.0..OUTAGE.1).contains(&ms) {
+            SubmitOutcome::FailedInstantly
+        } else if (LOSSY.0..LOSSY.1).contains(&ms) {
+            SubmitOutcome::DroppedInNetwork
+        } else {
+            self.pending.push((now + RESPONSE_LATENCY, tag, true));
+            SubmitOutcome::Accepted
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Outcome {
+    records: Vec<QosRecord>,
+    offloaded: u64,
+    successes: u64,
+    timeouts: u64,
+    instant_failures: u64,
+}
+
+impl Outcome {
+    fn of(rt: DeviceRuntime) -> Outcome {
+        Outcome {
+            offloaded: rt.frames_offloaded(),
+            successes: rt.successes(),
+            timeouts: rt.timeouts(),
+            instant_failures: rt.instant_failures(),
+            records: rt.into_qos().records().to_vec(),
+        }
+    }
+}
+
+/// Event-driven driver: the simulator's style. Deadlines and responses
+/// fire as exact events; ties at the same instant order Capture before
+/// Tick, matching the capture-then-tick order of the polling loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Capture(u64),
+    Response(u64, bool),
+    Deadline(u64),
+    Tick,
+}
+
+const PRIO_CAPTURE: u8 = 0;
+const PRIO_RESPONSE: u8 = 1;
+const PRIO_DEADLINE: u8 = 2;
+const PRIO_TICK: u8 = 3;
+
+fn run_event_driven() -> Outcome {
+    let mut ctl = FrameFeedback::new();
+    let mut rt = DeviceRuntime::new(config(), &mut ctl);
+    let mut transport = ScriptedTransport::default();
+
+    let mut heap: BinaryHeap<Reverse<(u64, u8, u64, Ev)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    macro_rules! schedule {
+        ($t:expr, $prio:expr, $ev:expr) => {{
+            heap.push(Reverse(($t.as_micros(), $prio, seq, $ev)));
+            seq += 1;
+        }};
+    }
+
+    for i in 0..TOTAL_FRAMES {
+        schedule!(
+            SimTime::ZERO + FRAME_INTERVAL.mul_f64(i as f64),
+            PRIO_CAPTURE,
+            Ev::Capture(i)
+        );
+    }
+    for k in 1..=RUN_SECS {
+        schedule!(SimTime::from_secs(k), PRIO_TICK, Ev::Tick);
+    }
+
+    while let Some(Reverse((t_us, _, _, ev))) = heap.pop() {
+        let now = SimTime::from_micros(t_us);
+        match ev {
+            Ev::Capture(i) => match rt.route() {
+                Route::Offload => {
+                    let sub = rt.offload(&mut transport, i, FRAME_BYTES, now);
+                    if sub.outcome != SubmitOutcome::FailedInstantly {
+                        schedule!(sub.deadline_at, PRIO_DEADLINE, Ev::Deadline(i));
+                    }
+                    for (due, tag, ok) in transport.take_pending() {
+                        schedule!(due, PRIO_RESPONSE, Ev::Response(tag, ok));
+                    }
+                }
+                Route::Local => rt.note_local_done(1),
+            },
+            Ev::Response(tag, ok) => {
+                rt.on_response(tag, now, ok);
+            }
+            Ev::Deadline(tag) => {
+                rt.on_deadline(tag, now);
+            }
+            Ev::Tick => {
+                let out = rt.tick(now, &mut ctl, &mut transport);
+                schedule!(
+                    out.probe_deadline_at,
+                    PRIO_DEADLINE,
+                    Ev::Deadline(out.probe_tag)
+                );
+                for (due, tag, ok) in transport.take_pending() {
+                    schedule!(due, PRIO_RESPONSE, Ev::Response(tag, ok));
+                }
+            }
+        }
+    }
+
+    Outcome::of(rt)
+}
+
+/// Polling driver: the live client's style. One iteration per capture,
+/// draining arrived responses (stamped with their true arrival time, as
+/// the reader thread stamps them) and sweeping overdue deadlines with
+/// `expire_due`, then ticking when the interval boundary has passed.
+fn run_polling() -> Outcome {
+    let mut ctl = FrameFeedback::new();
+    let mut rt = DeviceRuntime::new(config(), &mut ctl);
+    let mut transport = ScriptedTransport::default();
+    let mut inbox: VecDeque<(SimTime, u64, bool)> = VecDeque::new();
+    let mut next_tick = SimTime::ZERO + TICK;
+
+    for step in 0..=TOTAL_FRAMES {
+        let now = SimTime::ZERO + FRAME_INTERVAL.mul_f64(step as f64);
+        if step < TOTAL_FRAMES {
+            match rt.route() {
+                Route::Offload => {
+                    rt.offload(&mut transport, step, FRAME_BYTES, now);
+                    inbox.extend(transport.take_pending());
+                }
+                Route::Local => rt.note_local_done(1),
+            }
+        }
+        while inbox.front().is_some_and(|(due, _, _)| *due <= now) {
+            let (due, tag, ok) = inbox.pop_front().expect("peeked");
+            rt.on_response(tag, due, ok);
+        }
+        rt.expire_due(now);
+        if now >= next_tick {
+            rt.tick(now, &mut ctl, &mut transport);
+            inbox.extend(transport.take_pending());
+            next_tick += TICK;
+        }
+    }
+
+    // Settle, as the live client does: wait one deadline past the last
+    // capture, deliver the stragglers at their true arrival times, then
+    // expire whatever never answered.
+    let settle = SimTime::from_secs(RUN_SECS) + config().deadline + FRAME_INTERVAL;
+    while let Some((due, tag, ok)) = inbox.pop_front() {
+        rt.on_response(tag, due, ok);
+    }
+    rt.expire_due(settle);
+
+    Outcome::of(rt)
+}
+
+#[test]
+fn event_driven_and_polling_drivers_agree_exactly() {
+    let a = run_event_driven();
+    let b = run_polling();
+
+    assert_eq!(
+        a.records.len(),
+        b.records.len(),
+        "drivers produced different numbers of controller intervals"
+    );
+    for (i, (ra, rb)) in a.records.iter().zip(&b.records).enumerate() {
+        assert_eq!(ra, rb, "interval {i} diverged between drivers");
+    }
+    assert_eq!(a.offloaded, b.offloaded);
+    assert_eq!(a.successes, b.successes);
+    assert_eq!(a.timeouts, b.timeouts);
+    assert_eq!(a.instant_failures, b.instant_failures);
+}
+
+#[test]
+fn the_scripted_history_actually_exercises_every_path() {
+    let out = run_event_driven();
+    assert_eq!(out.records.len() as u64, RUN_SECS);
+    assert!(out.successes > 0, "healthy phases must succeed");
+    assert!(
+        out.instant_failures > 0,
+        "the outage must produce instant failures"
+    );
+    assert!(
+        out.timeouts > out.instant_failures,
+        "the lossy phase must add deadline-resolved timeouts"
+    );
+
+    // The outage parks the controller near the probe floor (§III-A.1)…
+    let floor = 0.1 * FS;
+    let during_outage = out.records[(OUTAGE.1 / 1_000 - 1) as usize];
+    assert!(
+        during_outage.po_target < floor + 2.0,
+        "target {} did not approach the probe floor {floor}",
+        during_outage.po_target
+    );
+    // …and the recovery lifts it back off the floor.
+    let last = out.records.last().expect("nonempty");
+    assert!(
+        last.po_target > during_outage.po_target,
+        "target never recovered after the link healed"
+    );
+
+    // P = P_o + P_l − T consistency on every interval.
+    for r in &out.records {
+        assert!((r.throughput() - (r.po + r.pl - r.timeouts)).abs() < 1e-12);
+    }
+}
