@@ -6,12 +6,14 @@
 //! the Table V scenario and shows where FrameFeedback's advantage over
 //! the all-or-nothing baseline comes from — and when the deadline is so
 //! tight that even a clean offload path cannot meet it.
+//!
+//! Each deadline is one `ff-sweep` scenario; the `deadline × controller`
+//! grid executes in parallel and aggregates in deadline order.
 
-use ff_baselines::AllOrNothing;
 use ff_bench::export_json;
-use ff_core::FrameFeedback;
-use ff_device::{run_experiment, ExperimentConfig};
+use ff_device::ExperimentConfig;
 use ff_sim::SimDuration;
+use ff_sweep::{run_sweep, ControllerSpec, SweepOptions, SweepSpec};
 use ff_workload::table_v;
 use serde::Serialize;
 
@@ -26,18 +28,43 @@ struct Row {
 
 fn main() {
     println!("== deadline sensitivity on the Table V scenario ==\n");
+
+    let deadlines = [100u64, 150, 200, 250, 300, 400, 500];
+    let base_seed = ExperimentConfig::default().seed;
+    let spec = SweepSpec {
+        name: "deadline_sweep".into(),
+        scenarios: deadlines
+            .iter()
+            .map(|&ms| {
+                let mut config = ExperimentConfig::default();
+                config.network = table_v();
+                config.deadline = SimDuration::from_millis(ms);
+                (format!("{ms}ms"), config)
+            })
+            .collect(),
+        seeds: vec![base_seed],
+        controllers: vec![
+            ("framefeedback".into(), ControllerSpec::framefeedback()),
+            ("all-or-nothing".into(), ControllerSpec::AllOrNothing),
+        ],
+    };
+    let report = run_sweep(&spec, &SweepOptions::from_env());
+
     println!(
         "{:>12} {:>10} {:>14} {:>12} {:>14}",
         "deadline", "FF mean P", "AoN mean P", "FF timeouts", "FF p95 lat"
     );
-
     let mut rows = Vec::new();
-    for deadline_ms in [100u64, 150, 200, 250, 300, 400, 500] {
-        let mut config = ExperimentConfig::default();
-        config.network = table_v();
-        config.deadline = SimDuration::from_millis(deadline_ms);
-        let ff = run_experiment(config.clone(), Box::new(FrameFeedback::new()));
-        let aon = run_experiment(config, Box::new(AllOrNothing::new()));
+    for &deadline_ms in &deadlines {
+        let scenario = format!("{deadline_ms}ms");
+        let ff = &report
+            .get(&scenario, base_seed, "framefeedback")
+            .expect("grid is complete")
+            .result;
+        let aon = &report
+            .get(&scenario, base_seed, "all-or-nothing")
+            .expect("grid is complete")
+            .result;
         let p95 = ff.offload_latency.map_or(f64::NAN, |l| l.p95_ms);
         println!(
             "{:>10}ms {:>10.1} {:>14.1} {:>12} {:>12.0}ms",

@@ -6,10 +6,14 @@
 //! under ideal conditions; after the loss injection, low-damping variants
 //! oscillate harder, and the paper's (0.2, 0.26) setting balances
 //! sensitivity and overcorrection.
+//!
+//! The gain grid runs as one `ff-sweep` controller sweep — six PD
+//! variants in parallel, aggregated in declaration order.
 
 use ff_bench::{export_json, print_po_target_chart};
-use ff_core::{FrameFeedback, PidConfig};
-use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_core::PidConfig;
+use ff_device::{ExperimentConfig, ExperimentResult};
+use ff_sweep::{run_sweep, ControllerSpec, SweepOptions, SweepSpec};
 use ff_workload::fig2_loss_injection;
 use serde::Serialize;
 
@@ -35,18 +39,38 @@ fn main() {
     let mut config = ExperimentConfig::default();
     config.network = fig2_loss_injection();
     config.stream.total_frames = 1_800; // 60 s, as in the figure
+    let seed = config.seed;
 
-    let mut sweep = Vec::new();
-    for &(kp, kd) in &gains {
-        let controller = FrameFeedback::with_config(PidConfig::with_gains(kp, kd));
-        let result = run_experiment(config.clone(), Box::new(controller));
-        sweep.push(SweepResult { kp, kd, result });
-    }
+    let label = |kp: f64, kd: f64| format!("Kp{kp}/Kd{kd}");
+    let spec = SweepSpec {
+        name: "fig2_gain_sweep".into(),
+        scenarios: vec![("fig2".into(), config)],
+        seeds: vec![seed],
+        controllers: gains
+            .iter()
+            .map(|&(kp, kd)| {
+                (
+                    label(kp, kd),
+                    ControllerSpec::FrameFeedback(PidConfig::with_gains(kp, kd)),
+                )
+            })
+            .collect(),
+    };
+    let report = run_sweep(&spec, &SweepOptions::from_env());
+    let sweep: Vec<SweepResult> = gains
+        .iter()
+        .zip(&report.cells)
+        .map(|(&(kp, kd), cell)| SweepResult {
+            kp,
+            kd,
+            result: cell.result.clone(),
+        })
+        .collect();
 
     println!("== Figure 2: P_o target under gain variants (7% loss from t=27s) ==");
     print!("{:>6}", "t(s)");
     for s in &sweep {
-        print!(" {:>12}", format!("Kp{}/Kd{}", s.kp, s.kd));
+        print!(" {:>12}", label(s.kp, s.kd));
     }
     println!();
     let n = sweep[0].result.qos.records().len();
@@ -59,9 +83,9 @@ fn main() {
     }
     println!();
 
-    let labelled: Vec<(String, &ff_device::ExperimentResult)> = sweep
+    let labelled: Vec<(String, &ExperimentResult)> = sweep
         .iter()
-        .map(|s| (format!("Kp{}/Kd{}", s.kp, s.kd), &s.result))
+        .map(|s| (label(s.kp, s.kd), &s.result))
         .collect();
     print_po_target_chart("== Figure 2 (terminal rendering) ==", &labelled);
     println!();
@@ -88,7 +112,7 @@ fn main() {
         let after = series.aggregate(30.0, 60.0).unwrap().mean_throughput;
         println!(
             "{:<14} {:>12.2} {:>12.2} {:>10.1} {:>10.1}",
-            format!("Kp{}/Kd{}", s.kp, s.kd),
+            label(s.kp, s.kd),
             sd(15.0, 27.0),
             sd(30.0, 60.0),
             before,

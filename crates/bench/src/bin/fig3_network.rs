@@ -7,6 +7,9 @@
 //! * FrameFeedback beats all-or-nothing by 50%–3× in the intermediate
 //!   phases (around t ≈ 40 s and beyond t ≈ 90 s),
 //! * always-offload is clearly suboptimal once conditions degrade.
+//!
+//! The four controller runs execute as an `ff-sweep` grid (via
+//! `run_lineup`), one worker per core.
 
 use ff_bench::{
     export_json, print_phase_table, print_series, print_throughput_chart, run_lineup, Phase,

@@ -6,6 +6,9 @@
 //! our Pi can fit in some offloading when controlled by FrameFeedback.
 //! The other controllers have lower throughput due to their inability to
 //! adapt in a fine-grained way."
+//!
+//! The four controller runs execute as an `ff-sweep` grid (via
+//! `run_lineup`), one worker per core.
 
 use ff_bench::{
     export_json, print_phase_table, print_series, print_throughput_chart, run_lineup, Phase,

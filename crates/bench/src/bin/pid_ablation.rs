@@ -6,10 +6,14 @@
 //! scenario with a sweep of `K_I` values and shows that integral action
 //! adds wind-up-driven overshoot after condition changes without
 //! improving throughput.
+//!
+//! The `K_I` grid is one `ff-sweep` controller sweep — six PID variants
+//! in parallel, aggregated in declaration order.
 
 use ff_bench::export_json;
-use ff_core::{FrameFeedback, PidConfig};
-use ff_device::{run_experiment, ExperimentConfig};
+use ff_core::PidConfig;
+use ff_device::ExperimentConfig;
+use ff_sweep::{run_sweep, ControllerSpec, SweepOptions, SweepSpec};
 use ff_workload::table_v;
 use serde::Serialize;
 
@@ -33,15 +37,31 @@ fn main() {
         "K_I", "mean P", "worst timeout burst", "recovery P (60-75s)"
     );
 
+    let kis = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2];
+    let mut config = ExperimentConfig::default();
+    config.network = table_v();
+    let spec = SweepSpec {
+        name: "pid_ablation".into(),
+        seeds: vec![config.seed],
+        scenarios: vec![("table-v".into(), config)],
+        controllers: kis
+            .iter()
+            .map(|&ki| {
+                (
+                    format!("Ki{ki}"),
+                    ControllerSpec::FrameFeedback(PidConfig {
+                        ki,
+                        ..Default::default()
+                    }),
+                )
+            })
+            .collect(),
+    };
+    let report = run_sweep(&spec, &SweepOptions::from_env());
+
     let mut rows = Vec::new();
-    for ki in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2] {
-        let mut config = ExperimentConfig::default();
-        config.network = table_v();
-        let controller = FrameFeedback::with_config(PidConfig {
-            ki,
-            ..Default::default()
-        });
-        let result = run_experiment(config, Box::new(controller));
+    for (&ki, cell) in kis.iter().zip(&report.cells) {
+        let result = &cell.result;
         let worst = result
             .qos
             .records()

@@ -5,13 +5,15 @@
 //! FrameFeedback / all-or-nothing throughput ratio — showing the paper's
 //! "50% to 3× better in intermediate conditions" claim is not a
 //! seed-lottery artifact.
+//!
+//! The `seed × controller` grid runs on the `ff-sweep` engine: all
+//! cells execute in parallel (`FF_SWEEP_WORKERS` to override) and
+//! aggregate deterministically in seed order.
 
-use ff_baselines::AllOrNothing;
 use ff_bench::export_json;
-use ff_core::FrameFeedback;
-use ff_device::{run_experiment, ExperimentConfig};
 use ff_metrics::bootstrap_mean_ci;
 use ff_sim::RngFactory;
+use ff_sweep::{run_sweep, ControllerSpec, SweepOptions, SweepSpec};
 use ff_workload::table_v;
 use serde::Serialize;
 
@@ -27,25 +29,48 @@ struct SeedRow {
 fn main() {
     const SEEDS: u64 = 15;
     println!("== seed sweep: Figure 3 over {SEEDS} seeds ==\n");
+
+    let mut config = ff_device::ExperimentConfig::default();
+    config.network = table_v();
+    let spec = SweepSpec {
+        name: "seed_sweep".into(),
+        scenarios: vec![("table-v".into(), config)],
+        seeds: (0..SEEDS).collect(),
+        controllers: vec![
+            ("framefeedback".into(), ControllerSpec::framefeedback()),
+            ("all-or-nothing".into(), ControllerSpec::AllOrNothing),
+        ],
+    };
+    let report = run_sweep(&spec, &SweepOptions::from_env());
+    println!(
+        "{} cells in {:.1}s ({} executed, {} cached)\n",
+        report.cells.len(),
+        report.elapsed_secs,
+        report.executed,
+        report.cached
+    );
+
     println!(
         "{:>6} {:>10} {:>11} {:>14} {:>14}",
         "seed", "FF mean P", "AoN mean P", "ratio @4Mbps", "ratio overall"
     );
-
     let mut rows = Vec::new();
     for seed in 0..SEEDS {
-        let mut config = ExperimentConfig::default();
-        config.network = table_v();
-        config.seed = seed;
-        let ff = run_experiment(config.clone(), Box::new(FrameFeedback::new()));
-        let aon = run_experiment(config, Box::new(AllOrNothing::new()));
+        let ff = &report
+            .get("table-v", seed, "framefeedback")
+            .expect("grid is complete")
+            .result;
+        let aon = &report
+            .get("table-v", seed, "all-or-nothing")
+            .expect("grid is complete")
+            .result;
         let mid =
             |r: &ff_device::ExperimentResult| r.qos.aggregate(32.0, 45.0).unwrap().mean_throughput;
         let row = SeedRow {
             seed,
             ff_mean_p: ff.mean_throughput,
             aon_mean_p: aon.mean_throughput,
-            ratio_4mbps: mid(&ff) / mid(&aon).max(1e-9),
+            ratio_4mbps: mid(ff) / mid(aon).max(1e-9),
             ratio_overall: ff.mean_throughput / aon.mean_throughput.max(1e-9),
         };
         println!(

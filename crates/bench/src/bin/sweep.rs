@@ -1,0 +1,162 @@
+//! `ff-bench sweep` — benchmarks the `ff-sweep` engine itself and emits
+//! `BENCH_sweep.json`, the repo's sweep-throughput perf artifact.
+//!
+//! The workload is a 32-cell grid (2 scenarios × 8 seeds × 2
+//! controllers) of full-length (fig3-scale) runs. The binary:
+//!
+//! 1. runs the grid serially (the reference),
+//! 2. runs it with N workers and **verifies bit-identical aggregation**,
+//! 3. runs it twice more against a fresh cache directory to measure
+//!    cold-write and warm-hit behavior,
+//! 4. writes the measurements to `BENCH_sweep.json` (or `--out PATH`).
+//!
+//! Usage: `sweep [--workers N] [--cells N] [--out PATH]`
+//! `--cells` scales the seed dimension (cells = 4 × seeds).
+
+use ff_device::ExperimentConfig;
+use ff_sweep::{default_workers, run_sweep, ControllerSpec, SweepOptions, SweepSpec};
+use ff_workload::table_v;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Timing {
+    workers: usize,
+    elapsed_secs: f64,
+    runs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CachePass {
+    executed: usize,
+    cached: usize,
+    elapsed_secs: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    grid: String,
+    cells: usize,
+    serial: Timing,
+    parallel: Timing,
+    speedup: f64,
+    parallel_identical_to_serial: bool,
+    cache_cold: CachePass,
+    cache_warm: CachePass,
+    host_cores: usize,
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn bench_spec(seeds: u64) -> SweepSpec {
+    // Full-length scenarios (the fig3-scale 4,000-frame run with peer
+    // devices): cells must be expensive enough that per-cell work, not
+    // worker startup, dominates the parallel measurement.
+    let base = ExperimentConfig::default;
+    let mut table_v_cfg = base();
+    table_v_cfg.network = table_v();
+    SweepSpec {
+        name: "bench_sweep".into(),
+        scenarios: vec![("ideal".into(), base()), ("table-v".into(), table_v_cfg)],
+        seeds: (0..seeds).collect(),
+        controllers: vec![
+            ("framefeedback".into(), ControllerSpec::framefeedback()),
+            ("all-or-nothing".into(), ControllerSpec::AllOrNothing),
+        ],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: usize = parse_flag(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_workers);
+    let cells: usize = parse_flag(&args, "--cells")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let seeds = (cells / 4).max(1) as u64;
+    let spec = bench_spec(seeds);
+    let n = spec.cell_count();
+    println!(
+        "== ff-sweep benchmark: {n} cells (2 scenarios x {seeds} seeds x 2 controllers), \
+         {workers} workers ==\n"
+    );
+
+    // 1. Serial reference.
+    let serial = run_sweep(&spec, &SweepOptions::serial());
+    let serial_timing = Timing {
+        workers: 1,
+        elapsed_secs: serial.elapsed_secs,
+        runs_per_sec: n as f64 / serial.elapsed_secs,
+    };
+    println!(
+        "serial:   {n} runs in {:6.2}s  ({:5.1} runs/s)",
+        serial_timing.elapsed_secs, serial_timing.runs_per_sec
+    );
+
+    // 2. Parallel + determinism check.
+    let parallel = run_sweep(&spec, &SweepOptions::parallel(workers));
+    let parallel_timing = Timing {
+        workers,
+        elapsed_secs: parallel.elapsed_secs,
+        runs_per_sec: n as f64 / parallel.elapsed_secs,
+    };
+    let identical = serial.results_identical(&parallel);
+    let speedup = serial.elapsed_secs / parallel.elapsed_secs;
+    println!(
+        "parallel: {n} runs in {:6.2}s  ({:5.1} runs/s)  speedup {speedup:.2}x  identical: {identical}",
+        parallel_timing.elapsed_secs, parallel_timing.runs_per_sec
+    );
+    assert!(
+        identical,
+        "parallel aggregation diverged from the serial reference"
+    );
+
+    // 3. Cache behavior: cold write-through, then warm full-hit rerun.
+    let cache_dir = std::env::temp_dir().join(format!("ff-sweep-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let opts = SweepOptions::parallel(workers).with_cache(&cache_dir);
+    let cold = run_sweep(&spec, &opts);
+    let warm = run_sweep(&spec, &opts);
+    assert!(
+        cold.results_identical(&warm),
+        "cache round-trip changed results"
+    );
+    println!(
+        "cache:    cold {} executed / {} cached in {:.2}s; warm {} executed / {} cached in {:.2}s",
+        cold.executed,
+        cold.cached,
+        cold.elapsed_secs,
+        warm.executed,
+        warm.cached,
+        warm.elapsed_secs
+    );
+    let report = BenchReport {
+        grid: format!("2 scenarios x {seeds} seeds x 2 controllers"),
+        cells: n,
+        serial: serial_timing,
+        parallel: parallel_timing,
+        speedup,
+        parallel_identical_to_serial: identical,
+        cache_cold: CachePass {
+            executed: cold.executed,
+            cached: cold.cached,
+            elapsed_secs: cold.elapsed_secs,
+        },
+        cache_warm: CachePass {
+            executed: warm.executed,
+            cached: warm.cached,
+            elapsed_secs: warm.elapsed_secs,
+        },
+        host_cores: default_workers(),
+    };
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, body).expect("write benchmark report");
+    println!("\nreport written to {out}");
+}

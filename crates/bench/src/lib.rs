@@ -13,14 +13,20 @@
 //! | `fig4_server_load`    | Fig. 4 + Table VI — throughput under server load |
 //! | `cpu_usage`           | §II-A CPU usage observation |
 //! | `combined_stress`     | §IV-C combined network × load (extension X2) |
+//! | `sweep`               | `ff-sweep` engine benchmark → `BENCH_sweep.json` |
 //!
 //! Each binary prints a human-readable table and exports the raw series
-//! as JSON under `target/experiments/`.
+//! as JSON under `target/experiments/`. Grid-shaped experiments
+//! (`seed_sweep`, `fig2_gain_sweep`, `deadline_sweep`, `pid_ablation`,
+//! and the [`run_lineup`] lineups) execute through the `ff-sweep`
+//! work-stealing engine — one worker per core, deterministic
+//! aggregation, `FF_SWEEP_WORKERS` / `FF_SWEEP_CACHE_DIR` to override.
 
 use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use ff_core::{Controller, FrameFeedback};
-use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_device::{ExperimentConfig, ExperimentResult};
 use ff_metrics::{render_chart, ChartConfig, ChartSeries};
+use ff_sweep::{run_sweep, SweepOptions, SweepSpec};
 use serde::Serialize;
 
 /// The four controllers of §IV-B, freshly constructed.
@@ -34,10 +40,17 @@ pub fn controller_lineup() -> Vec<Box<dyn Controller>> {
 }
 
 /// Run the same experiment configuration under every controller.
+///
+/// Backed by the `ff-sweep` engine: the four runs execute in parallel
+/// (one per core, `FF_SWEEP_WORKERS` to override) and aggregate in
+/// lineup order. Results are bit-identical to running
+/// [`run_experiment`] serially per controller.
 pub fn run_lineup(config: &ExperimentConfig) -> Vec<ExperimentResult> {
-    controller_lineup()
+    let spec = SweepSpec::lineup("lineup", config.clone());
+    run_sweep(&spec, &SweepOptions::from_env())
+        .cells
         .into_iter()
-        .map(|c| run_experiment(config.clone(), c))
+        .map(|c| c.result)
         .collect()
 }
 

@@ -507,6 +507,70 @@ mod tests {
             }
         }
 
+        /// Table IV holds at any frame rate, not just the paper's 30 fps:
+        /// for arbitrary `F_s` and arbitrary measurement sequences (achieved
+        /// rates and timeout rates unrelated to the actual target), every
+        /// step stays inside `[−0.5·F_s, +0.1·F_s]` and the target inside
+        /// `[0, F_s]`.
+        #[test]
+        fn prop_update_clamps_hold_for_arbitrary_fs(
+            fs in 1.0f64..240.0,
+            po0_frac in 0.0f64..=1.0,
+            observations in proptest::collection::vec((0.0f64..=2.0, 0.0f64..=2.0), 1..50),
+        ) {
+            let mut c = FrameFeedback::with_config(PidConfig {
+                initial_po: po0_frac * fs,
+                ..Default::default()
+            });
+            for &(po_frac, t_frac) in &observations {
+                let before = c.po_target();
+                let po = c.update(&Measurement {
+                    fs,
+                    po_achieved: po_frac * fs,
+                    pl_achieved: 13.0,
+                    timeout_rate: t_frac * fs,
+                    heartbeat_ok: true,
+                    dt_secs: 1.0,
+                }).po_target;
+                let delta = po - before;
+                prop_assert!(delta <= 0.1 * fs + 1e-9, "delta {delta} > +0.1·F_s at F_s={fs}");
+                prop_assert!(delta >= -0.5 * fs - 1e-9, "delta {delta} < -0.5·F_s at F_s={fs}");
+                prop_assert!((0.0..=fs).contains(&po), "target {po} escaped [0, {fs}]");
+            }
+        }
+
+        /// §III-A.1 probe floor at any frame rate: when every offloaded
+        /// frame times out (`T = P_o`, an always-failing transport), the
+        /// target converges to `0.1·F_s` from any initial `P_o`. The loop
+        /// dynamics are scale-invariant in `F_s` — errors, updates, and
+        /// clamps all scale linearly — so the settling band is relative.
+        #[test]
+        fn prop_always_failing_transport_converges_to_probe_floor(
+            fs in 1.0f64..240.0,
+            po0_frac in 0.0f64..=1.0,
+        ) {
+            let mut c = FrameFeedback::with_config(PidConfig {
+                initial_po: po0_frac * fs,
+                ..Default::default()
+            });
+            let mut po = po0_frac * fs;
+            for _ in 0..400 {
+                po = c.update(&Measurement {
+                    fs,
+                    po_achieved: po,
+                    pl_achieved: 0.0,
+                    timeout_rate: po,
+                    heartbeat_ok: false,
+                    dt_secs: 1.0,
+                }).po_target;
+            }
+            prop_assert!(
+                (po - 0.1 * fs).abs() <= 0.02 * fs,
+                "P_o settled at {po:.3}, probe floor is {:.3} (F_s={fs})",
+                0.1 * fs
+            );
+        }
+
         /// Sustained heavy timeouts always drive P_o down toward the
         /// probe floor, never below zero.
         #[test]

@@ -140,7 +140,11 @@ impl Default for ExperimentConfig {
 }
 
 /// Everything an experiment run produces.
-#[derive(Debug, Serialize)]
+///
+/// `Deserialize` + `Clone` make the result round-trippable through the
+/// `ff-sweep` content-hash cache (a cached cell is read back from JSON
+/// instead of re-simulated).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Name of the controller that produced this run.
     pub controller: String,
@@ -621,7 +625,11 @@ pub fn run_experiment(
         .map(|&(t, _)| t)
         .collect();
 
-    let mut sim = Simulation::new(world);
+    // Pre-size the calendar: steady state holds one deadline per in-flight
+    // offload plus captures, ticks, and batch completions — well under 512
+    // even at full offload. Sized once, the heap never reallocates, which
+    // matters when a sweep executes thousands of runs back to back.
+    let mut sim = Simulation::with_event_capacity(world, 512);
     sim.schedule_at(SimTime::ZERO, Event::Capture);
     sim.schedule_at(SimTime::ZERO + controller_period, Event::Tick);
     for (i, &t) in network_steps.iter().enumerate().skip(1) {

@@ -7,8 +7,9 @@
 //! substrate for the fairness ablation (§II-A.3 / `OverflowPolicy`):
 //! per-device outcomes expose how the server splits saturated capacity.
 //!
-//! Tag layout: bits 63..56 carry flags (probe), bits 55..40 the device
-//! index, bits 39..0 the per-device sequence number.
+//! Tag layout: the shared packing in [`crate::tags`] — the probe flag is
+//! the runtime's `PROBE_TAG_BASE` bit, bits 55..40 the device index,
+//! bits 39..0 the per-device sequence number.
 
 use crate::local::{LocalEngine, LocalOutcome};
 use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
@@ -26,23 +27,9 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
 
-const PROBE_FLAG: u64 = 1 << 62;
-const DEV_SHIFT: u32 = 40;
-const SEQ_MASK: u64 = (1 << DEV_SHIFT) - 1;
-
-fn make_tag(dev: usize, seq: u64, probe: bool) -> u64 {
-    assert!(dev < (1 << 16), "device index too large");
-    assert!(seq <= SEQ_MASK, "sequence overflow");
-    (if probe { PROBE_FLAG } else { 0 }) | ((dev as u64) << DEV_SHIFT) | seq
-}
-
-fn tag_device(tag: u64) -> usize {
-    ((tag & !PROBE_FLAG) >> DEV_SHIFT) as usize
-}
-
-fn tag_is_probe(tag: u64) -> bool {
-    tag & PROBE_FLAG != 0
-}
+use crate::tags::{
+    fleet_tag as make_tag, fleet_tag_device as tag_device, is_probe_tag as tag_is_probe,
+};
 
 /// Per-device configuration inside a fleet.
 #[derive(Debug, Clone, Copy)]
@@ -717,6 +704,55 @@ mod tests {
         assert!(
             greedy_rejections as f64 > adaptive_mean,
             "greedy tenant got {greedy_rejections} rejections vs adaptive mean {adaptive_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn fair_share_preserves_jain_fairness_under_a_bursty_tenant() {
+        // Fairness regression at ~2x saturation: six devices at 30 fps
+        // offer 180 rps against a batch-limit-6 server that completes
+        // ~83 rps, and one tenant is bursty (always offloads everything,
+        // ignoring feedback). The overflow policy decides who wins:
+        // FairShare charges the burst back to its own tenant and keeps the
+        // fleet's successful-offload split near-even (Jain >= 0.9), while
+        // RejectNewest lets the bursty tenant's standing queue crowd out
+        // the adaptive tenants' sparser submissions and fairness collapses
+        // below that bar.
+        let mut config = short_fleet();
+        config.gpu = GpuProfile { batch_limit: 6 };
+        config.devices = (0..6)
+            .map(|_| FleetDeviceConfig {
+                device: DeviceKind::Pi4BRev12,
+                model: ModelKind::MobileNetV3Small,
+            })
+            .collect();
+        let bursty_fleet = || {
+            let mut controllers = ff_controllers(5);
+            controllers.push(Box::new(ff_baselines::AlwaysOffload::new()) as Box<dyn Controller>);
+            controllers
+        };
+
+        config.policy = OverflowPolicy::FairShare;
+        let fair = run_fleet(config.clone(), bursty_fleet());
+        config.policy = OverflowPolicy::RejectNewest;
+        let newest = run_fleet(config, bursty_fleet());
+
+        assert!(
+            fair.offload_fairness >= 0.9,
+            "FairShare must hold Jain >= 0.9 against a bursty tenant, got {:.3}",
+            fair.offload_fairness
+        );
+        assert!(
+            newest.offload_fairness < 0.9,
+            "RejectNewest unexpectedly stayed fair ({:.3}) — the bursty \
+             tenant should crowd out adaptive tenants",
+            newest.offload_fairness
+        );
+        assert!(
+            fair.offload_fairness > newest.offload_fairness,
+            "FairShare ({:.3}) must beat RejectNewest ({:.3})",
+            fair.offload_fairness,
+            newest.offload_fairness
         );
     }
 

@@ -29,6 +29,7 @@ mod quality;
 pub mod runtime;
 mod selector;
 mod splitter;
+pub mod tags;
 mod trace;
 
 pub use cpu::{CpuModel, EnergyModel};

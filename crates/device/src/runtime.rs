@@ -32,19 +32,9 @@ use ff_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// First tag of the heartbeat-probe range. Device frames use their frame
-/// id; probes and background requests live in disjoint high ranges so one
-/// `u64` tag space can carry all three through any transport.
-pub const PROBE_TAG_BASE: u64 = 1 << 62;
-
-/// First tag of the background-tenant range (sim only; see
-/// [`PROBE_TAG_BASE`] for the partitioning scheme).
-pub const BACKGROUND_TAG_BASE: u64 = 1 << 61;
-
-/// Whether a tag belongs to the heartbeat-probe range.
-pub fn is_probe_tag(tag: u64) -> bool {
-    tag >= PROBE_TAG_BASE
-}
+// The tag-space partition lives in the shared [`crate::tags`] module;
+// these re-exports keep the historical `runtime::` paths working.
+pub use crate::tags::{is_probe_tag, BACKGROUND_TAG_BASE, PROBE_TAG_BASE};
 
 /// What happened when a frame was handed to the transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -155,5 +155,82 @@ mod tests {
             let ideal = po / fs * frames as f64;
             prop_assert!((got - ideal).abs() <= 1.0, "got {got}, ideal {ideal}");
         }
+
+        /// Rate conservation for arbitrary `F_s` and per-frame targets:
+        /// every frame gets exactly one route, so the achieved split
+        /// satisfies `P_o + P_l = F_s`, and the offloaded share never
+        /// exceeds the credit actually earned (`P_o ≤ Σ target/F_s`,
+        /// rounded up) — i.e. `P_o + P_l ≤ F_s` with no over-offload.
+        #[test]
+        fn prop_achieved_split_conserves_capture_rate(
+            fs in 1.0f64..120.0,
+            targets in proptest::collection::vec(0.0f64..=1.0, 1..500),
+        ) {
+            let mut s = FrameSplitter::new();
+            let mut offloads = 0usize;
+            let mut locals = 0usize;
+            let mut earned = 0.0;
+            for frac in &targets {
+                let po = frac * fs;
+                earned += po / fs;
+                match s.route(po, fs) {
+                    Route::Offload => offloads += 1,
+                    Route::Local => locals += 1,
+                }
+            }
+            prop_assert_eq!(offloads + locals, targets.len());
+            prop_assert!(
+                (offloads as f64) <= earned + 1e-6,
+                "offloaded {} frames but only earned {:.6} credits",
+                offloads, earned
+            );
+        }
+
+        /// The credit balance is never negative and never reaches a whole
+        /// frame after routing (a full credit is always spent immediately),
+        /// for arbitrary `F_s` and any target sequence.
+        #[test]
+        fn prop_credit_stays_in_unit_interval(
+            fs in 1.0f64..120.0,
+            targets in proptest::collection::vec(0.0f64..=1.0, 1..500),
+        ) {
+            let mut s = FrameSplitter::new();
+            for frac in &targets {
+                s.route(frac * fs, fs);
+                prop_assert!(
+                    (0.0..1.0).contains(&s.credit()),
+                    "credit {} escaped [0, 1)", s.credit()
+                );
+            }
+        }
+
+        /// Credits are conserved across control-interval boundaries: the
+        /// fractional credit left when the target changes carries into the
+        /// next interval, so `offloads + credit == Σ target/F_s` exactly
+        /// (up to float error) no matter where the boundary falls.
+        #[test]
+        fn prop_credits_conserved_across_interval_boundaries(
+            fs in 1.0f64..120.0,
+            first_frac in 0.0f64..=1.0,
+            second_frac in 0.0f64..=1.0,
+            first_len in 1usize..300,
+            second_len in 1usize..300,
+        ) {
+            let mut s = FrameSplitter::new();
+            let mut offloads = 0usize;
+            for (frac, len) in [(first_frac, first_len), (second_frac, second_len)] {
+                for _ in 0..len {
+                    if s.route(frac * fs, fs) == Route::Offload {
+                        offloads += 1;
+                    }
+                }
+            }
+            let earned = first_frac * first_len as f64 + second_frac * second_len as f64;
+            prop_assert!(
+                (offloads as f64 + s.credit() - earned).abs() < 1e-6,
+                "offloads {} + credit {:.9} != earned {:.9}",
+                offloads, s.credit(), earned
+            );
+        }
     }
 }

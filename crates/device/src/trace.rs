@@ -8,10 +8,10 @@
 
 use crate::offload::TimeoutCause;
 use ff_sim::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// How a frame left the system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FrameFate {
     /// Inferred on-device.
     LocalCompleted,
@@ -34,7 +34,7 @@ pub enum FrameFate {
 }
 
 /// The life of one captured frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FrameRecord {
     /// Zero-based capture index.
     pub frame_id: u64,

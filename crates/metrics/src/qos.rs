@@ -12,10 +12,10 @@
 //! record type.
 
 use ff_sim::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The per-interval QoS measurement, mirroring the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct QosRecord {
     /// End of the measurement interval, seconds since start.
     pub t_secs: f64,
@@ -44,13 +44,13 @@ impl QosRecord {
 }
 
 /// The full per-interval QoS history of one device over one experiment.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct QosLog {
     records: Vec<QosRecord>,
 }
 
 /// Aggregate over a time range, as printed in experiment tables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QosAggregate {
     /// Start of the aggregated range (inclusive), seconds.
     pub from_secs: f64,
@@ -125,25 +125,37 @@ impl QosLog {
     }
 
     /// Aggregate statistics over `[from, to)` seconds.
+    ///
+    /// Single pass, no intermediate allocation — this sits on the sweep
+    /// engine's per-cell summary path and runs once per grid cell.
     pub fn aggregate(&self, from: f64, to: f64) -> Option<QosAggregate> {
-        let sel: Vec<&QosRecord> = self
+        let mut n = 0usize;
+        let (mut tp, mut pl, mut po, mut to_sum, mut tgt) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for r in self
             .records
             .iter()
             .filter(|r| r.t_secs >= from && r.t_secs < to)
-            .collect();
-        if sel.is_empty() {
+        {
+            n += 1;
+            tp += r.throughput();
+            pl += r.pl;
+            po += r.po;
+            to_sum += r.timeouts;
+            tgt += r.po_target;
+        }
+        if n == 0 {
             return None;
         }
-        let n = sel.len() as f64;
+        let nf = n as f64;
         Some(QosAggregate {
             from_secs: from,
             to_secs: to,
-            intervals: sel.len(),
-            mean_throughput: sel.iter().map(|r| r.throughput()).sum::<f64>() / n,
-            mean_pl: sel.iter().map(|r| r.pl).sum::<f64>() / n,
-            mean_po: sel.iter().map(|r| r.po).sum::<f64>() / n,
-            mean_timeouts: sel.iter().map(|r| r.timeouts).sum::<f64>() / n,
-            mean_po_target: sel.iter().map(|r| r.po_target).sum::<f64>() / n,
+            intervals: n,
+            mean_throughput: tp / nf,
+            mean_pl: pl / nf,
+            mean_po: po / nf,
+            mean_timeouts: to_sum / nf,
+            mean_po_target: tgt / nf,
         })
     }
 

@@ -1,7 +1,7 @@
 //! Time series storage and summarization for experiment output.
 
 use ff_sim::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One `(t, value)` sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -124,7 +124,7 @@ pub struct LatencyStats {
 }
 
 /// Summary emitted by [`LatencyStats::summary`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Number of observations summarized.
     pub count: usize,

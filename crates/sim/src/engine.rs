@@ -96,6 +96,20 @@ impl<M: SimModel> Simulation<M> {
         }
     }
 
+    /// Like [`new`](Self::new) but with the event queue pre-sized for
+    /// `event_capacity` pending events, so steady-state scheduling never
+    /// reallocates. Experiment-scale models keep one deadline per
+    /// in-flight offload queued; a few hundred slots cover the paper's
+    /// 30 fps workloads with margin.
+    pub fn with_event_capacity(model: M, event_capacity: usize) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::with_capacity(event_capacity),
+            now: SimTime::ZERO,
+            events_handled: 0,
+        }
+    }
+
     /// The current simulated instant (time of the last handled event).
     pub fn now(&self) -> SimTime {
         self.now

@@ -56,6 +56,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue with room for `capacity` pending events before the
+    /// backing heap reallocates. Long experiment runs keep a few hundred
+    /// in-flight deadlines queued at once; pre-sizing avoids the doubling
+    /// churn on every run of a sweep grid.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
@@ -134,6 +150,20 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_without_changing_behavior() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        for i in 0..64 {
+            q.push(SimTime::from_millis(64 - i), i);
+        }
+        assert_eq!(
+            q.capacity(),
+            EventQueue::<u64>::with_capacity(64).capacity()
+        );
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 63)));
     }
 
     #[test]

@@ -37,32 +37,65 @@ impl RngFactory {
     /// always yields an identical generator; distinct labels yield
     /// (statistically) independent ones.
     pub fn stream(&self, label: &str) -> ChaCha8Rng {
+        self.stream_from_hash(fnv1a(label.as_bytes()))
+    }
+
+    /// A stream for `label` parameterized by an index (e.g. per-tenant).
+    ///
+    /// Hash-equivalent to `stream(&format!("{label}#{index}"))` — the
+    /// label bytes, the `#`, and the decimal digits of `index` are fed
+    /// through the same incremental FNV-1a — but with no heap allocation.
+    /// Sweep cells construct several of these per run, so this sits on
+    /// the grid engine's per-cell setup path.
+    pub fn indexed_stream(&self, label: &str, index: u64) -> ChaCha8Rng {
+        let mut h = fnv1a_update(FNV_OFFSET, label.as_bytes());
+        h = fnv1a_update(h, b"#");
+        let mut digits = [0u8; 20];
+        self.stream_from_hash(fnv1a_update(h, decimal_digits(index, &mut digits)))
+    }
+
+    fn stream_from_hash(&self, label_hash: u64) -> ChaCha8Rng {
         let mut seed = [0u8; 32];
         seed[..8].copy_from_slice(&self.master.to_le_bytes());
-        seed[8..16].copy_from_slice(&fnv1a(label.as_bytes()).to_le_bytes());
+        seed[8..16].copy_from_slice(&label_hash.to_le_bytes());
         // Mix the label hash into the rest of the seed words through a
         // splitmix-style finalizer so short labels still fill the state.
-        let mut x = self.master ^ fnv1a(label.as_bytes());
+        let mut x = self.master ^ label_hash;
         for chunk in seed[16..].chunks_exact_mut(8) {
             x = splitmix64(x);
             chunk.copy_from_slice(&x.to_le_bytes());
         }
         ChaCha8Rng::from_seed(seed)
     }
-
-    /// A stream for `label` parameterized by an index (e.g. per-tenant).
-    pub fn indexed_stream(&self, label: &str, index: u64) -> ChaCha8Rng {
-        self.stream(&format!("{label}#{index}"))
-    }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The decimal digits of `v`, written into the tail of `buf` (20 bytes
+/// fit `u64::MAX`). Matches `format!("{v}")` byte-for-byte.
+fn decimal_digits(mut v: u64, buf: &mut [u8; 20]) -> &[u8] {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    &buf[i..]
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -125,6 +158,19 @@ mod tests {
         let v: u64 = RngFactory::new(0).stream("pin").gen();
         let again: u64 = RngFactory::new(0).stream("pin").gen();
         assert_eq!(v, again);
+    }
+
+    #[test]
+    fn indexed_stream_matches_the_formatted_label() {
+        // The allocation-free digit path must stay bit-identical to the
+        // historical `format!("{label}#{index}")` derivation, or every
+        // recorded multi-tenant experiment changes.
+        let f = RngFactory::new(123);
+        for index in [0, 1, 9, 10, 99, 1_000, 123_456_789, u64::MAX] {
+            let fast: u64 = f.indexed_stream("tenant", index).gen();
+            let slow: u64 = f.stream(&format!("tenant#{index}")).gen();
+            assert_eq!(fast, slow, "divergence at index {index}");
+        }
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! # ff-sweep — the parallel deterministic sweep engine
+//!
+//! Every evaluation artifact in this repository is some grid of
+//! experiment runs: Table V is `network-phase × controller`, the seed
+//! sweep is `seed × controller`, the Figure 2 trace is `gain × scenario`.
+//! This crate executes such a **declarative `(scenario × seed ×
+//! controller)` grid** across all cores and guarantees two properties a
+//! naive thread pool would not:
+//!
+//! - **Order-independent deterministic aggregation.** Each cell is an
+//!   independent `run_experiment` call keyed by its grid coordinates;
+//!   results are merged back *by key*, in grid order. The aggregated
+//!   output of a parallel sweep is therefore **bit-identical** to a
+//!   serial one — regardless of worker count or which thread ran which
+//!   cell (pinned by `tests/sweep_determinism.rs`).
+//! - **Content-hash caching.** A cell's identity is the hash of its
+//!   full serialized configuration (config + controller spec + schema
+//!   version). Re-running a sweep only executes cells whose inputs
+//!   changed; everything else is read back from the cache directory.
+//!
+//! Scheduling uses `crossbeam::deque` work stealing: all cells start on
+//! a global [`Injector`]; each worker drains its local deque first,
+//! refills in batches from the injector, and steals from victims when
+//! both are dry. Cells cost milliseconds to minutes each, so stealing
+//! keeps cores busy even when one scenario is far slower than the rest
+//! (e.g. a lossy network cell that schedules many retransmissions).
+
+#![warn(missing_docs)]
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Stealer, Worker};
+use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
+use ff_core::{Controller, FrameFeedback, PidConfig};
+use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bump when the meaning of a cached result changes (new fields on
+/// [`ExperimentResult`], changed simulation semantics, ...). Old cache
+/// entries then miss instead of resurrecting stale results.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// A controller recipe a sweep cell can construct on its own thread.
+///
+/// `Box<dyn Controller>` is neither `Send` nor serializable, so the grid
+/// carries this declarative form instead and each worker builds the
+/// controller right before running its cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerSpec {
+    /// The paper's closed-loop controller with explicit Table IV gains.
+    FrameFeedback(PidConfig),
+    /// Never offload (§IV-B baseline).
+    LocalOnly,
+    /// Offload every frame (§IV-B baseline).
+    AlwaysOffload,
+    /// Offload all while heartbeats succeed, else nothing (§IV-B).
+    AllOrNothing,
+}
+
+impl ControllerSpec {
+    /// The paper's controller with default Table IV settings.
+    pub fn framefeedback() -> Self {
+        ControllerSpec::FrameFeedback(PidConfig::default())
+    }
+
+    /// The four controllers of §IV-B in `ff_bench::controller_lineup`
+    /// order, as `(label, spec)` pairs.
+    pub fn lineup() -> Vec<(String, ControllerSpec)> {
+        vec![
+            ("framefeedback".into(), Self::framefeedback()),
+            ("local-only".into(), ControllerSpec::LocalOnly),
+            ("always-offload".into(), ControllerSpec::AlwaysOffload),
+            ("all-or-nothing".into(), ControllerSpec::AllOrNothing),
+        ]
+    }
+
+    /// Construct the controller this spec describes.
+    pub fn build(&self) -> Box<dyn Controller> {
+        match self {
+            ControllerSpec::FrameFeedback(cfg) => Box::new(FrameFeedback::with_config(*cfg)),
+            ControllerSpec::LocalOnly => Box::new(LocalOnly::new()),
+            ControllerSpec::AlwaysOffload => Box::new(AlwaysOffload::new()),
+            ControllerSpec::AllOrNothing => Box::new(AllOrNothing::new()),
+        }
+    }
+}
+
+/// A declarative `(scenario × seed × controller)` grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Sweep name (used in reports and exported artifacts).
+    pub name: String,
+    /// Labelled experiment configurations. Each cell overrides only the
+    /// config's `seed` field with the cell's seed.
+    pub scenarios: Vec<(String, ExperimentConfig)>,
+    /// Master seeds; every scenario × controller pair runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Labelled controller recipes.
+    pub controllers: Vec<(String, ControllerSpec)>,
+}
+
+impl SweepSpec {
+    /// A single-scenario grid over the config's own seed — the shape of
+    /// "run this config under every controller".
+    pub fn lineup(name: impl Into<String>, config: ExperimentConfig) -> Self {
+        SweepSpec {
+            name: name.into(),
+            seeds: vec![config.seed],
+            scenarios: vec![("default".into(), config)],
+            controllers: ControllerSpec::lineup(),
+        }
+    }
+
+    /// Total number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.seeds.len() * self.controllers.len()
+    }
+
+    /// The grid cells in canonical order: scenario-major, then seed,
+    /// then controller. This order defines the layout of
+    /// [`SweepReport::cells`], independent of execution order.
+    pub fn cells(&self) -> Vec<Cell> {
+        self.validate();
+        let mut out = Vec::with_capacity(self.cell_count());
+        for (scenario, config) in &self.scenarios {
+            for &seed in &self.seeds {
+                for (controller, spec) in &self.controllers {
+                    let mut config = config.clone();
+                    config.seed = seed;
+                    out.push(Cell {
+                        key: CellKey {
+                            scenario: scenario.clone(),
+                            seed,
+                            controller: controller.clone(),
+                        },
+                        config,
+                        controller: spec.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn validate(&self) {
+        assert!(!self.scenarios.is_empty(), "sweep needs >= 1 scenario");
+        assert!(!self.seeds.is_empty(), "sweep needs >= 1 seed");
+        assert!(!self.controllers.is_empty(), "sweep needs >= 1 controller");
+        let mut seen = std::collections::HashSet::new();
+        for (l, _) in &self.scenarios {
+            assert!(seen.insert(l.as_str()), "duplicate scenario label {l:?}");
+        }
+        seen.clear();
+        for (l, _) in &self.controllers {
+            assert!(seen.insert(l.as_str()), "duplicate controller label {l:?}");
+        }
+        let mut seeds = std::collections::HashSet::new();
+        for &s in &self.seeds {
+            assert!(seeds.insert(s), "duplicate seed {s}");
+        }
+    }
+}
+
+/// Grid coordinates of one cell — the merge key for aggregation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Scenario label.
+    pub scenario: String,
+    /// Master seed of this run.
+    pub seed: u64,
+    /// Controller label.
+    pub controller: String,
+}
+
+/// One fully resolved grid cell, ready to execute.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Grid coordinates.
+    pub key: CellKey,
+    /// The experiment configuration (seed already applied).
+    pub config: ExperimentConfig,
+    /// The controller recipe.
+    pub controller: ControllerSpec,
+}
+
+impl Cell {
+    /// The cell's content hash: FNV-1a over the serialized config,
+    /// controller spec, and cache schema version. Identical inputs hash
+    /// identically across runs and processes; any config change moves
+    /// the hash and misses the cache.
+    pub fn content_hash(&self) -> u64 {
+        let config = serde_json::to_string(&self.config).expect("config serializes");
+        let spec = serde_json::to_string(&self.controller).expect("spec serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for bytes in [
+            &CACHE_SCHEMA_VERSION.to_le_bytes()[..],
+            config.as_bytes(),
+            b"|",
+            spec.as_bytes(),
+        ] {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// How to execute a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Number of worker threads. `0` or `1` runs serially on the calling
+    /// thread (no threads spawned); `0` is the default.
+    pub workers: usize,
+    /// Cache directory. `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Worker threads to use when the caller does not say: one per
+/// available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl SweepOptions {
+    /// Serial execution, no cache — the reference configuration every
+    /// parallel run must be bit-identical to.
+    pub fn serial() -> Self {
+        SweepOptions::default()
+    }
+
+    /// Options from the environment, for the `ff-bench` grid binaries:
+    /// `FF_SWEEP_WORKERS` sets the worker count (default: all cores,
+    /// `1` forces serial) and `FF_SWEEP_CACHE_DIR` enables the result
+    /// cache under the given directory (default: no cache).
+    pub fn from_env() -> Self {
+        let workers = std::env::var("FF_SWEEP_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(default_workers);
+        let cache_dir = std::env::var_os("FF_SWEEP_CACHE_DIR").map(PathBuf::from);
+        SweepOptions { workers, cache_dir }
+    }
+
+    /// Parallel execution with `workers` threads, no cache.
+    pub fn parallel(workers: usize) -> Self {
+        SweepOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Enable the content-hash cache under `dir`.
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+}
+
+/// One executed (or cache-restored) cell in the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Grid coordinates.
+    pub key: CellKey,
+    /// Whether this result was read from the cache instead of executed.
+    pub cached: bool,
+    /// The full experiment output.
+    pub result: ExperimentResult,
+}
+
+/// The aggregated output of one sweep, cells in canonical grid order.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// Per-cell results in [`SweepSpec::cells`] order.
+    pub cells: Vec<CellResult>,
+    /// Cells actually simulated this run.
+    pub executed: usize,
+    /// Cells restored from the cache.
+    pub cached: usize,
+    /// Wall-clock duration of the sweep in seconds (not part of the
+    /// deterministic payload — compare `cells`, not this).
+    pub elapsed_secs: f64,
+}
+
+impl SweepReport {
+    /// Look up one cell by key.
+    pub fn get(&self, scenario: &str, seed: u64, controller: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| {
+            c.key.scenario == scenario && c.key.seed == seed && c.key.controller == controller
+        })
+    }
+
+    /// All results for one `(scenario, seed)` row, in controller order.
+    pub fn row(&self, scenario: &str, seed: u64) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.key.scenario == scenario && c.key.seed == seed)
+            .collect()
+    }
+
+    /// Whether two reports carry bit-identical results (keys, cell
+    /// order, and every QoS record / summary statistic; cache and
+    /// timing metadata are excluded by construction).
+    pub fn results_identical(&self, other: &SweepReport) -> bool {
+        self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(a, b)| {
+                a.key == b.key
+                    && serde_json::to_string(&a.result).expect("result serializes")
+                        == serde_json::to_string(&b.result).expect("result serializes")
+            })
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct CacheEntry {
+    schema: u32,
+    result: ExperimentResult,
+}
+
+fn cache_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.json"))
+}
+
+fn cache_read(dir: &Path, hash: u64) -> Option<ExperimentResult> {
+    let body = std::fs::read_to_string(cache_path(dir, hash)).ok()?;
+    let entry: CacheEntry = serde_json::from_str(&body).ok()?;
+    (entry.schema == CACHE_SCHEMA_VERSION).then_some(entry.result)
+}
+
+fn cache_write(dir: &Path, hash: u64, result: &ExperimentResult) {
+    // Cache writes are best-effort: a read-only target directory costs
+    // re-execution next time, never correctness.
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let entry = CacheEntry {
+        schema: CACHE_SCHEMA_VERSION,
+        result: result.clone(),
+    };
+    if let Ok(body) = serde_json::to_string(&entry) {
+        let _ = std::fs::write(cache_path(dir, hash), body);
+    }
+}
+
+struct Job {
+    slot: usize,
+    config: ExperimentConfig,
+    controller: ControllerSpec,
+}
+
+fn run_cell(config: ExperimentConfig, controller: &ControllerSpec) -> ExperimentResult {
+    run_experiment(config, controller.build())
+}
+
+/// Execute every cell of `spec` and aggregate in canonical grid order.
+///
+/// The returned report is bit-identical for any `workers` value: cells
+/// are merged by grid slot, so scheduling nondeterminism never reaches
+/// the output.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
+    let started = std::time::Instant::now();
+    let cells = spec.cells();
+
+    // Cache probe happens serially, in grid order, before any dispatch:
+    // it is pure file I/O and keeps the execution set deterministic.
+    let mut slots: Vec<Option<(bool, ExperimentResult)>> = Vec::with_capacity(cells.len());
+    let mut pending: Vec<usize> = Vec::new();
+    let hashes: Vec<u64> = cells.iter().map(Cell::content_hash).collect();
+    for (i, cell) in cells.iter().enumerate() {
+        let hit = opts
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| cache_read(dir, hashes[i]));
+        match hit {
+            Some(result) => slots.push(Some((true, result))),
+            None => {
+                slots.push(None);
+                pending.push(i);
+                let _ = cell; // cells[i] is executed below
+            }
+        }
+    }
+
+    if opts.workers > 1 && pending.len() > 1 {
+        run_pending_parallel(&cells, &pending, &mut slots, opts.workers);
+    } else {
+        for &i in &pending {
+            let result = run_cell(cells[i].config.clone(), &cells[i].controller);
+            slots[i] = Some((false, result));
+        }
+    }
+
+    // Persist fresh results (main thread only — workers never touch the
+    // cache, so partial files cannot race).
+    if let Some(dir) = opts.cache_dir.as_deref() {
+        for &i in &pending {
+            let (_, result) = slots[i].as_ref().expect("pending cell was executed");
+            cache_write(dir, hashes[i], result);
+        }
+    }
+
+    let executed = pending.len();
+    let cached = cells.len() - executed;
+    let cell_results = cells
+        .into_iter()
+        .zip(slots)
+        .map(|(cell, slot)| {
+            let (was_cached, result) = slot.expect("every slot filled");
+            CellResult {
+                key: cell.key,
+                cached: was_cached,
+                result,
+            }
+        })
+        .collect();
+
+    SweepReport {
+        name: spec.name.clone(),
+        cells: cell_results,
+        executed,
+        cached,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_pending_parallel(
+    cells: &[Cell],
+    pending: &[usize],
+    slots: &mut [Option<(bool, ExperimentResult)>],
+    workers: usize,
+) {
+    let injector = Injector::new();
+    for &i in pending {
+        injector.push(Job {
+            slot: i,
+            config: cells[i].config.clone(),
+            controller: cells[i].controller.clone(),
+        });
+    }
+    let (tx, rx) = channel::unbounded::<(usize, ExperimentResult)>();
+    std::thread::scope(|scope| {
+        let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
+        for local in locals {
+            let tx = tx.clone();
+            let stealers = stealers.clone();
+            let injector = &injector;
+            scope.spawn(move || {
+                loop {
+                    // Local work first, then a batch from the global
+                    // queue, then steal from a victim. All jobs exist
+                    // up front, so an empty sweep of all three sources
+                    // means the grid is drained and the worker exits.
+                    let job = local
+                        .pop()
+                        .or_else(|| injector.steal_batch_and_pop(&local).success())
+                        .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                    let Some(job) = job else { break };
+                    let result = run_cell(job.config, &job.controller);
+                    if tx.send((job.slot, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Merge by grid slot: arrival order is scheduling noise and
+        // never influences the report.
+        for (slot, result) in rx.iter() {
+            slots[slot] = Some((false, result));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::default();
+        c.stream.total_frames = 90; // 3 s at 30 fps — keep cells cheap
+        c.peer_devices = 0;
+        c
+    }
+
+    fn tiny_spec(seeds: Vec<u64>) -> SweepSpec {
+        SweepSpec {
+            name: "test".into(),
+            scenarios: vec![("ideal".into(), tiny_config())],
+            seeds,
+            controllers: vec![
+                ("framefeedback".into(), ControllerSpec::framefeedback()),
+                ("local-only".into(), ControllerSpec::LocalOnly),
+            ],
+        }
+    }
+
+    #[test]
+    fn cells_enumerate_in_scenario_seed_controller_order() {
+        let spec = tiny_spec(vec![1, 2]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].key.seed, 1);
+        assert_eq!(cells[0].key.controller, "framefeedback");
+        assert_eq!(cells[1].key.seed, 1);
+        assert_eq!(cells[1].key.controller, "local-only");
+        assert_eq!(cells[2].key.seed, 2);
+        // The seed override lands in the config.
+        assert_eq!(cells[3].config.seed, 2);
+    }
+
+    #[test]
+    fn content_hash_tracks_inputs_exactly() {
+        let spec = tiny_spec(vec![1, 2]);
+        let cells = spec.cells();
+        // Same inputs, same hash.
+        assert_eq!(cells[0].content_hash(), spec.cells()[0].content_hash());
+        // Different seed or controller, different hash.
+        assert_ne!(cells[0].content_hash(), cells[1].content_hash());
+        assert_ne!(cells[0].content_hash(), cells[2].content_hash());
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_bit_identical() {
+        let spec = tiny_spec(vec![11, 12]);
+        let serial = run_sweep(&spec, &SweepOptions::serial());
+        let parallel = run_sweep(&spec, &SweepOptions::parallel(3));
+        assert_eq!(serial.executed, 4);
+        assert_eq!(parallel.executed, 4);
+        assert!(serial.results_identical(&parallel));
+    }
+
+    #[test]
+    fn cache_round_trip_skips_execution_and_preserves_results() {
+        let dir = std::env::temp_dir().join(format!("ff-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec(vec![21]);
+        let opts = SweepOptions::serial().with_cache(&dir);
+        let first = run_sweep(&spec, &opts);
+        assert_eq!(first.executed, 2);
+        assert_eq!(first.cached, 0);
+        let second = run_sweep(&spec, &opts);
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.cached, 2);
+        assert!(first.results_identical(&second));
+        // A config change invalidates only the changed cells.
+        let mut changed = spec.clone();
+        changed.seeds.push(22);
+        let third = run_sweep(&changed, &opts);
+        assert_eq!(third.cached, 2, "seed-21 cells must still hit");
+        assert_eq!(third.executed, 2, "seed-22 cells must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_lookup_by_key_and_row() {
+        let spec = tiny_spec(vec![5]);
+        let report = run_sweep(&spec, &SweepOptions::serial());
+        let cell = report.get("ideal", 5, "local-only").expect("cell exists");
+        assert_eq!(cell.result.controller, "local-only");
+        assert!(report.get("ideal", 5, "nonexistent").is_none());
+        let row = report.row("ideal", 5);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn lineup_spec_matches_bench_lineup_order() {
+        let spec = SweepSpec::lineup("lineup", tiny_config());
+        let labels: Vec<&str> = spec.controllers.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "framefeedback",
+                "local-only",
+                "always-offload",
+                "all-or-nothing"
+            ]
+        );
+        assert_eq!(spec.cell_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate controller label")]
+    fn duplicate_controller_labels_are_rejected() {
+        let mut spec = tiny_spec(vec![1]);
+        spec.controllers
+            .push(("framefeedback".into(), ControllerSpec::LocalOnly));
+        spec.cells();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate seed")]
+    fn duplicate_seeds_are_rejected() {
+        tiny_spec(vec![1, 1]).cells();
+    }
+}

@@ -72,3 +72,10 @@ pub mod sim {
 pub mod live {
     pub use ff_live::*;
 }
+
+/// The parallel deterministic sweep engine (`ff-sweep`): declarative
+/// `(scenario × seed × controller)` grids, work-stealing execution,
+/// order-independent aggregation, and the content-hash result cache.
+pub mod sweep {
+    pub use ff_sweep::*;
+}

@@ -1,9 +1,12 @@
-//! Minimal in-tree replacement for `crossbeam::channel`, backed by
-//! `std::sync::mpsc`.
+//! Minimal in-tree replacement for the `crossbeam` surface the workspace
+//! uses: `crossbeam::channel` (backed by `std::sync::mpsc`) and
+//! `crossbeam::deque` (mutex-backed work-stealing deques with the
+//! `Worker`/`Stealer`/`Injector` API shape).
 //!
 //! Only the surface the workspace uses is provided: `unbounded`,
-//! `bounded`, cloneable senders, and blocking/timeout/non-blocking
-//! receives with crossbeam-shaped error enums.
+//! `bounded`, cloneable senders, blocking/timeout/non-blocking receives
+//! with crossbeam-shaped error enums, and the deque types `ff-sweep`
+//! schedules its grid cells through.
 
 pub mod channel {
     use std::sync::mpsc;
@@ -130,6 +133,259 @@ pub mod channel {
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
             self.inner.iter()
         }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques with the `crossbeam-deque` API shape.
+    //!
+    //! The real crate is lock-free; this shim uses a mutex per deque,
+    //! which preserves the *scheduling discipline* (each worker owns a
+    //! local deque, idle workers steal from the global injector or from
+    //! victims) at a contention cost that is irrelevant next to the
+    //! multi-millisecond simulation runs scheduled through it.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the source was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker: `pop` takes the oldest local task.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A LIFO worker: `pop` takes the most recently pushed task.
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Push a task onto the local deque.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Pop the next local task (FIFO: front, LIFO: back).
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.inner.lock().unwrap();
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// Whether the local deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// A handle other threads use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A thief's handle onto some worker's deque. Steals from the front
+    /// (the opposite end from a LIFO owner), like the real crate.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the front of the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A global FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the back of the global queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Steal one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch into `dest` and pop one task to run immediately.
+        /// The batch size is half the queue, capped at 16 extra tasks —
+        /// small enough that late stealers still find work.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.inner.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let extra = (q.len() / 2).min(16);
+            for _ in 0..extra {
+                let t = q.pop_front().expect("len checked above");
+                dest.push(t);
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the global queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_fifo_and_lifo_orders() {
+        let fifo = Worker::new_fifo();
+        let lifo = Worker::new_lifo();
+        for i in 0..3 {
+            fifo.push(i);
+            lifo.push(i);
+        }
+        assert_eq!(fifo.pop(), Some(0));
+        assert_eq!(lifo.pop(), Some(2));
+    }
+
+    #[test]
+    fn stealer_takes_from_the_front() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        // Owner pops newest, thief steals oldest: disjoint ends.
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_and_pop_distributes_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "a batch must land on the local deque");
+        assert!(!inj.is_empty(), "the batch is capped, not a full drain");
+    }
+
+    #[test]
+    fn every_task_is_executed_exactly_once_across_threads() {
+        const TASKS: usize = 500;
+        let inj = Injector::new();
+        for i in 0..TASKS {
+            inj.push(i);
+        }
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let local = Worker::new_fifo();
+                    loop {
+                        let task = local
+                            .pop()
+                            .or_else(|| inj.steal_batch_and_pop(&local).success());
+                        match task {
+                            Some(_) => {
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), TASKS);
     }
 }
 

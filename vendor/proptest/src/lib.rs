@@ -66,6 +66,22 @@ where
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($S:ident / $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Rng, Strategy, TestRng};
@@ -254,6 +270,20 @@ mod tests {
             prop_assert!((2..=6).contains(&v.len()), "len {}", v.len());
             prop_assert_eq!(w.len(), 5);
             w.clear();
+        }
+
+        /// Tuple strategies compose element strategies positionally,
+        /// including inside `collection::vec`.
+        #[test]
+        fn prop_tuples_compose(
+            (a, b) in (0u32..10, 5.0f64..=6.0),
+            pairs in crate::collection::vec((0u8..4, any::<bool>()), 1..5),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((5.0..=6.0).contains(&b));
+            for (x, _) in &pairs {
+                prop_assert!(*x < 4);
+            }
         }
     }
 
