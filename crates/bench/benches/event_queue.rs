@@ -1,0 +1,89 @@
+//! Criterion micro-bench for the event-queue backends: binary heap vs
+//! hierarchical timing wheel, at calendar depths of 10^2, 10^3, and 10^4
+//! pending events.
+//!
+//! Two access patterns bracket what the simulation does:
+//!
+//! * `sorted_insert` — steady-state churn where each pop schedules a new
+//!   event a fixed horizon ahead (captures, ticks): pops come out in
+//!   near-insertion order.
+//! * `random_time` — each pop schedules a new event at a uniformly
+//!   random offset (deadlines racing responses): inserts land anywhere
+//!   in the pending window.
+//!
+//! Each iteration performs one pop + one push against a queue holding
+//! `depth` events, so the printed time is the marginal per-event queue
+//! cost at that depth.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_sim::{EventQueue, QueueBackend, RngFactory, SimDuration, SimTime};
+use rand::Rng;
+
+const DEPTHS: [usize; 3] = [100, 1_000, 10_000];
+
+fn backend_name(backend: QueueBackend) -> &'static str {
+    match backend {
+        QueueBackend::Heap => "heap",
+        QueueBackend::Wheel => "wheel",
+    }
+}
+
+/// A queue pre-filled with `depth` events spread over a 250 ms window
+/// (the deadline horizon the simulation actually uses).
+fn filled(backend: QueueBackend, depth: usize) -> EventQueue<u64> {
+    let mut q = EventQueue::with_backend(backend);
+    for i in 0..depth {
+        let at = SimTime::from_micros((i as u64 * 250_000) / depth as u64);
+        q.push(at, i as u64);
+    }
+    q
+}
+
+fn bench_sorted_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/sorted_insert");
+    for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+        for depth in DEPTHS {
+            group.bench_function(format!("{}/{depth}", backend_name(backend)), |b| {
+                let mut q = filled(backend, depth);
+                b.iter(|| {
+                    // 1000 pop+push cycles per iteration: each popped
+                    // event reschedules 250 ms ahead, like a capture
+                    // cadence — inserts are always the latest event.
+                    for _ in 0..1_000 {
+                        let (at, ev) = q.pop().expect("queue stays full");
+                        q.push(at + SimDuration::from_micros(250_000), black_box(ev));
+                    }
+                    q.len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_random_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/random_time");
+    for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+        for depth in DEPTHS {
+            group.bench_function(format!("{}/{depth}", backend_name(backend)), |b| {
+                let mut q = filled(backend, depth);
+                let mut rng = RngFactory::new(9).stream("event-queue-bench");
+                b.iter(|| {
+                    // Each popped event reschedules at a random offset
+                    // within the pending window, like deadlines racing
+                    // responses.
+                    for _ in 0..1_000 {
+                        let (at, ev) = q.pop().expect("queue stays full");
+                        let offset = rng.gen_range(1..=250_000u64);
+                        q.push(at + SimDuration::from_micros(offset), black_box(ev));
+                    }
+                    q.len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorted_insert, bench_random_time);
+criterion_main!(benches);

@@ -38,7 +38,11 @@ struct BenchReport {
     cells: usize,
     serial: Timing,
     parallel: Timing,
-    speedup: f64,
+    /// Serial/parallel wall-clock ratio; `null` when the host cannot
+    /// produce a meaningful one (see `speedup_note`).
+    speedup: Option<f64>,
+    /// Why `speedup` is absent, when it is.
+    speedup_note: Option<String>,
     parallel_identical_to_serial: bool,
     cache_cold: CachePass,
     cache_warm: CachePass,
@@ -106,9 +110,25 @@ fn main() {
         runs_per_sec: n as f64 / parallel.elapsed_secs,
     };
     let identical = serial.results_identical(&parallel);
-    let speedup = serial.elapsed_secs / parallel.elapsed_secs;
+    // A serial-vs-parallel wall-clock ratio only measures parallelism
+    // when more than one core (and more than one worker) is in play;
+    // on a single-core host the two runs timeshare the same core and
+    // the ratio is noise, not a speedup. Report null instead of a
+    // misleading ~1.0x (or worse) figure.
+    let host_cores = default_workers();
+    let (speedup, speedup_note) = if host_cores <= 1 || workers <= 1 {
+        let reason = if host_cores <= 1 {
+            "host has a single core; serial-vs-parallel wall-clock is not a speedup"
+        } else {
+            "a single worker was requested; there is no parallelism to measure"
+        };
+        (None, Some(format!("not measured: {reason}")))
+    } else {
+        (Some(serial.elapsed_secs / parallel.elapsed_secs), None)
+    };
+    let speedup_str = speedup.map_or_else(|| "n/a".to_string(), |s| format!("{s:.2}x"));
     println!(
-        "parallel: {n} runs in {:6.2}s  ({:5.1} runs/s)  speedup {speedup:.2}x  identical: {identical}",
+        "parallel: {n} runs in {:6.2}s  ({:5.1} runs/s)  speedup {speedup_str}  identical: {identical}",
         parallel_timing.elapsed_secs, parallel_timing.runs_per_sec
     );
     assert!(
@@ -141,6 +161,7 @@ fn main() {
         serial: serial_timing,
         parallel: parallel_timing,
         speedup,
+        speedup_note,
         parallel_identical_to_serial: identical,
         cache_cold: CachePass {
             executed: cold.executed,
@@ -152,7 +173,7 @@ fn main() {
             cached: warm.cached,
             elapsed_secs: warm.elapsed_secs,
         },
-        host_cores: default_workers(),
+        host_cores,
     };
     let _ = std::fs::remove_dir_all(&cache_dir);
 

@@ -19,17 +19,44 @@ use ff_metrics::{QosLog, WindowedRate};
 use ff_models::{DeviceKind, GpuProfile, ModelKind};
 use ff_net::{Link, LinkConfig, NetworkConditions, SendOutcome};
 use ff_server::{
-    jain_fairness_index, EdgeServer, OverflowPolicy, Request, ServerStats, Submit, TenantId,
+    jain_fairness_index, BatchOutput, EdgeServer, OverflowPolicy, Request, ServerStats, Submit,
+    TenantId,
 };
-use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
+use ff_sim::{
+    Ctx, EventQueue, QueueBackend, RngFactory, SimDuration, SimModel, SimTime, Simulation,
+};
 use ff_workload::{FrameSource, StepSchedule, StreamConfig};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
 
+use crate::taghash::TagHash;
 use crate::tags::{
     fleet_tag as make_tag, fleet_tag_device as tag_device, is_probe_tag as tag_is_probe,
 };
+
+/// Engine tuning knobs for a fleet run. These change **how fast** the
+/// simulation executes, never **what** it computes: every combination
+/// produces bit-identical QoS logs and server stats (asserted by tests
+/// and by the `engine_bench` binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Event-queue backend driving the simulation calendar.
+    pub backend: QueueBackend,
+    /// Reuse one [`BatchOutput`] across all batch completions instead of
+    /// allocating fresh result vectors per batch. Disabling this exists
+    /// only so `engine_bench` can measure the allocating baseline.
+    pub reuse_batch_buffers: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            backend: QueueBackend::Heap,
+            reuse_batch_buffers: true,
+        }
+    }
+}
 
 /// Per-device configuration inside a fleet.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +94,9 @@ pub struct FleetConfig {
     pub gpu: GpuProfile,
     /// Server overflow policy (the fairness ablation knob).
     pub policy: OverflowPolicy,
+    /// Engine tuning (queue backend, buffer reuse). Results are
+    /// independent of this choice.
+    pub engine: EngineOptions,
 }
 
 impl Default for FleetConfig {
@@ -96,6 +126,7 @@ impl Default for FleetConfig {
             timeout_window: SimDuration::from_secs(3),
             gpu: GpuProfile::default(),
             policy: OverflowPolicy::RejectNewest,
+            engine: EngineOptions::default(),
         }
     }
 }
@@ -137,6 +168,9 @@ pub struct FleetResult {
     pub total_mean_throughput: f64,
     /// Server-side rejections per device index (fairness diagnostics).
     pub rejections_by_device: Vec<u64>,
+    /// Total simulation events dispatched during the run (the
+    /// denominator of `engine_bench`'s events/sec figure).
+    pub events_handled: u64,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -157,7 +191,7 @@ struct DeviceState {
     tracker: OffloadTracker,
     model: ModelKind,
     device_kind: DeviceKind,
-    probes: HashMap<u64, SimTime>,
+    probes: HashMap<u64, SimTime, TagHash>,
     probe_seq: u64,
     last_heartbeat_ok: bool,
     po_target: f64,
@@ -194,6 +228,7 @@ struct FleetWorld {
     config: FleetConfig,
     devices: Vec<DeviceState>,
     server: EdgeServer,
+    batch_out: BatchOutput,
     end_at: SimTime,
 }
 
@@ -290,7 +325,7 @@ impl SimModel for FleetWorld {
                     }
                 }
                 if !d.source.exhausted() {
-                    let next = d.source.capture_time(d.source.generated());
+                    let next = d.source.next_capture_time();
                     ctx.schedule_at(next, FleetEvent::Capture(dev));
                 }
             }
@@ -322,20 +357,25 @@ impl SimModel for FleetWorld {
             FleetEvent::BatchDone => {
                 let now = ctx.now();
                 let propagation = self.config.link.propagation;
-                let (completions, rejections, next) = self.server.on_batch_done(now);
-                for c in completions {
+                if !self.config.engine.reuse_batch_buffers {
+                    // Allocating baseline for `engine_bench`: fresh result
+                    // vectors for every batch, like the pre-reuse code.
+                    self.batch_out = BatchOutput::default();
+                }
+                self.server.batch_done_into(now, &mut self.batch_out);
+                for c in &self.batch_out.completions {
                     ctx.schedule_at(
                         now + propagation,
                         FleetEvent::Response { tag: c.request.tag },
                     );
                 }
-                for r in rejections {
+                for r in &self.batch_out.rejections {
                     if !tag_is_probe(r.request.tag) {
                         let dev = tag_device(r.request.tag);
                         self.devices[dev].tracker.rejected_by_server(r.request.tag);
                     }
                 }
-                if let Some(done_at) = next {
+                if let Some(done_at) = self.batch_out.next_done {
                     ctx.schedule_at(done_at, FleetEvent::BatchDone);
                 }
             }
@@ -470,7 +510,7 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
                 tracker: OffloadTracker::new(config.deadline),
                 model: dc.model,
                 device_kind: dc.device,
-                probes: HashMap::new(),
+                probes: HashMap::default(),
                 probe_seq: 0,
                 last_heartbeat_ok: false,
                 po_target,
@@ -509,13 +549,15 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
     };
     let server = EdgeServer::with_policy(config.gpu, config.policy);
 
+    let backend = config.engine.backend;
     let world = FleetWorld {
         config,
         devices,
         server,
+        batch_out: BatchOutput::default(),
         end_at,
     };
-    let mut sim = Simulation::new(world);
+    let mut sim = Simulation::with_queue(world, EventQueue::with_backend(backend));
     for dev in 0..n {
         sim.schedule_at(SimTime::ZERO, FleetEvent::Capture(dev));
         sim.schedule_at(SimTime::ZERO + controller_period, FleetEvent::Tick(dev));
@@ -527,6 +569,7 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
         );
     }
     sim.run_until(end_at);
+    let events_handled = sim.events_handled();
     let world = sim.into_model();
 
     let device_results: Vec<FleetDeviceResult> = world
@@ -564,6 +607,7 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
         total_mean_throughput: device_results.iter().map(|d| d.mean_throughput).sum(),
         server_stats: world.server.stats(),
         rejections_by_device,
+        events_handled,
         devices: device_results,
     }
 }
@@ -617,6 +661,33 @@ mod tests {
             "uncontended fleet should be fair, index {:.3}",
             result.offload_fairness
         );
+    }
+
+    #[test]
+    fn wheel_backend_and_buffer_reuse_reproduce_the_heap_run_exactly() {
+        // The engine_bench comparison in miniature: the allocating heap
+        // baseline vs the wheel + reused buffers must be bit-identical.
+        let mut baseline = short_fleet();
+        baseline.engine = EngineOptions {
+            backend: QueueBackend::Heap,
+            reuse_batch_buffers: false,
+        };
+        let mut optimized = short_fleet();
+        optimized.engine = EngineOptions {
+            backend: QueueBackend::Wheel,
+            reuse_batch_buffers: true,
+        };
+        let a = run_fleet(baseline, ff_controllers(3));
+        let b = run_fleet(optimized, ff_controllers(3));
+        for (da, db) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(da.qos.records(), db.qos.records());
+            assert_eq!(da.frames_offloaded, db.frames_offloaded);
+            assert_eq!(da.offload_successes, db.offload_successes);
+            assert_eq!(da.offload_timeouts, db.offload_timeouts);
+        }
+        assert_eq!(a.server_stats, b.server_stats);
+        assert_eq!(a.rejections_by_device, b.rejections_by_device);
+        assert_eq!(a.events_handled, b.events_handled);
     }
 
     #[test]

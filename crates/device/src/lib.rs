@@ -29,12 +29,15 @@ mod quality;
 pub mod runtime;
 mod selector;
 mod splitter;
+pub mod taghash;
 pub mod tags;
 mod trace;
 
 pub use cpu::{CpuModel, EnergyModel};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, ServerOutage};
-pub use fleet::{run_fleet, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult};
+pub use fleet::{
+    run_fleet, EngineOptions, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult,
+};
 pub use local::{LocalEngine, LocalOutcome};
 pub use offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};
 pub use quality::{QualityAdapter, QualityConfig};

@@ -6,6 +6,7 @@
 //! timed out and, if so, attribute the cause (`T_n` network vs `T_l`
 //! server load — Table I).
 
+use crate::taghash::TagHash;
 use ff_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -70,7 +71,7 @@ struct InFlight {
 #[derive(Debug, Clone)]
 pub struct OffloadTracker {
     deadline: SimDuration,
-    in_flight: HashMap<u64, InFlight>,
+    in_flight: HashMap<u64, InFlight, TagHash>,
     resolved_success: u64,
     resolved_timeout: u64,
 }
@@ -81,7 +82,7 @@ impl OffloadTracker {
         assert!(!deadline.is_zero(), "deadline must be positive");
         OffloadTracker {
             deadline,
-            in_flight: HashMap::new(),
+            in_flight: HashMap::default(),
             resolved_success: 0,
             resolved_timeout: 0,
         }

@@ -1,0 +1,111 @@
+//! A deterministic, allocation-free hasher for `u64` frame tags.
+//!
+//! The hot per-frame maps ([`crate::OffloadTracker`]'s in-flight table,
+//! the fleet's probe table) are keyed by dense `u64` tags. The standard
+//! library's default SipHash is keyed per-process and ~10× slower than a
+//! single multiply, and its per-process keying means map *iteration
+//! order* varies between runs — every consumer here either never
+//! iterates or sorts after collecting, but a fixed hash removes that
+//! hazard entirely while shaving a measurable slice off the per-frame
+//! event cost.
+//!
+//! The hash is Fibonacci multiplicative hashing: `tag · ⌊2⁶⁴/φ⌋`. The
+//! odd multiplier is a bijection on `u64`, and the golden-ratio
+//! constant spreads consecutive tags across the *high* bits, which is
+//! exactly what hashbrown's control bytes and bucket index consume.
+//! Tags are not attacker-controlled, so HashDoS keying is unnecessary.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// `⌊2⁶⁴ / φ⌋`, forced odd — the classic Fibonacci-hashing multiplier.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Hasher state; see the module docs for the construction.
+#[derive(Debug, Default, Clone)]
+pub struct TagHasher(u64);
+
+impl Hasher for TagHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, tag: u64) {
+        self.0 = (self.0 ^ tag).wrapping_mul(PHI);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// Generic fallback so non-integer keys still hash correctly; the
+    /// hot paths only ever take the `write_u64` route.
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+}
+
+/// `BuildHasher` producing [`TagHasher`]s; use as the `S` parameter of
+/// `HashMap`/`HashSet` (`HashMap::default()` works once `S = TagHash`).
+#[derive(Debug, Default, Clone)]
+pub struct TagHash;
+
+impl BuildHasher for TagHash {
+    type Hasher = TagHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> TagHasher {
+        TagHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn consecutive_tags_differ_in_the_high_bits() {
+        let h = |tag: u64| {
+            let mut s = TagHash.build_hasher();
+            s.write_u64(tag);
+            s.finish()
+        };
+        // hashbrown consumes the top 7 bits for its control byte; dense
+        // tags must not collide there.
+        let tops: std::collections::HashSet<u64> = (0..64).map(|t| h(t) >> 57).collect();
+        assert!(tops.len() > 32, "only {} distinct top bytes", tops.len());
+    }
+
+    #[test]
+    fn map_with_tag_hash_behaves_like_a_map() {
+        let mut m: HashMap<u64, u64, TagHash> = HashMap::default();
+        for tag in 0..1000u64 {
+            assert!(m.insert(tag, tag * 3).is_none());
+        }
+        for tag in 0..1000u64 {
+            assert_eq!(m.remove(&tag), Some(tag * 3));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_builders() {
+        let mut a = TagHash.build_hasher();
+        let mut b = TagHash.build_hasher();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -56,8 +56,15 @@ pub struct FrameTrace {
 impl FrameTrace {
     /// A trace that records only when `enabled`.
     pub fn new(enabled: bool) -> Self {
+        Self::with_capacity(enabled, 0)
+    }
+
+    /// A trace pre-sized for `capacity` frames, so a run whose frame
+    /// count is known up front (e.g. a Table V schedule) never regrows
+    /// the record buffer mid-run. When disabled, nothing is allocated.
+    pub fn with_capacity(enabled: bool, capacity: usize) -> Self {
         FrameTrace {
-            records: Vec::new(),
+            records: Vec::with_capacity(if enabled { capacity } else { 0 }),
             enabled,
         }
     }
@@ -173,6 +180,18 @@ mod tests {
         t.resolve(0, FrameFate::LocalCompleted);
         assert!(t.is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_only_when_enabled() {
+        let on = FrameTrace::with_capacity(true, 500);
+        assert!(on.records.capacity() >= 500);
+        let off = FrameTrace::with_capacity(false, 500);
+        assert_eq!(off.records.capacity(), 0);
+        // Behaviour is unchanged by pre-sizing.
+        let mut t = FrameTrace::with_capacity(true, 2);
+        t.captured(0, SimTime::ZERO, 9, FrameFate::Unresolved);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -15,4 +15,6 @@ mod server;
 
 pub use background::PoissonArrivals;
 pub use policy::{jain_fairness_index, OverflowPolicy};
-pub use server::{Completion, EdgeServer, Rejection, Request, ServerStats, Submit, TenantId};
+pub use server::{
+    BatchOutput, Completion, EdgeServer, Rejection, Request, ServerStats, Submit, TenantId,
+};

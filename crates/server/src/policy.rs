@@ -35,6 +35,19 @@ impl OverflowPolicy {
     /// returning the victims.
     pub fn drain_overflow(self, queue: &mut VecDeque<Request>, limit: usize) -> Vec<Request> {
         let mut victims = Vec::new();
+        self.drain_overflow_into(queue, limit, &mut victims);
+        victims
+    }
+
+    /// Like [`drain_overflow`](Self::drain_overflow), but appends the
+    /// victims to a caller-provided buffer so the per-batch hot path can
+    /// reuse one allocation across the whole run.
+    pub fn drain_overflow_into(
+        self,
+        queue: &mut VecDeque<Request>,
+        limit: usize,
+        victims: &mut Vec<Request>,
+    ) {
         match self {
             OverflowPolicy::RejectNewest => {
                 while queue.len() > limit {
@@ -52,7 +65,6 @@ impl OverflowPolicy {
                 }
             }
         }
-        victims
     }
 
     fn heaviest_tenant(queue: &VecDeque<Request>) -> TenantId {

@@ -108,6 +108,20 @@ struct RunningBatch {
     done_at: SimTime,
 }
 
+/// Reusable output buffers for [`EdgeServer::batch_done_into`]: the
+/// batch-done hot path fills these instead of allocating fresh vectors
+/// per batch. Hold one per server and pass it to every call; the
+/// buffers are cleared (keeping capacity) on entry.
+#[derive(Debug, Default)]
+pub struct BatchOutput {
+    /// Requests that finished in the completed batch.
+    pub completions: Vec<Completion>,
+    /// Queue overflow rejected at batch-formation time.
+    pub rejections: Vec<Rejection>,
+    /// Completion instant of the next batch, if one started.
+    pub next_done: Option<SimTime>,
+}
+
 /// The GPU-equipped edge server.
 pub struct EdgeServer {
     gpu: GpuProfile,
@@ -117,6 +131,10 @@ pub struct EdgeServer {
     stats: ServerStats,
     completions_by_tenant: HashMap<TenantId, u64>,
     rejections_by_tenant: HashMap<TenantId, u64>,
+    /// Recycled batch-request buffer (the previous batch's vector).
+    spare_requests: Vec<Request>,
+    /// Recycled overflow-victim buffer for `drain_overflow_into`.
+    victim_scratch: Vec<Request>,
 }
 
 impl EdgeServer {
@@ -135,6 +153,8 @@ impl EdgeServer {
             stats: ServerStats::default(),
             completions_by_tenant: HashMap::new(),
             rejections_by_tenant: HashMap::new(),
+            spare_requests: Vec::new(),
+            victim_scratch: Vec::new(),
         }
     }
 
@@ -206,11 +226,27 @@ impl EdgeServer {
     /// The caller's batch-done event fired: collect completions, form the
     /// next batch from the queue (rejecting the overflow), and return the
     /// next batch's completion instant if one started.
+    ///
+    /// Allocates fresh output vectors per call; event-loop hot paths
+    /// should prefer [`batch_done_into`](Self::batch_done_into) with a
+    /// reused [`BatchOutput`].
     pub fn on_batch_done(
         &mut self,
         now: SimTime,
     ) -> (Vec<Completion>, Vec<Rejection>, Option<SimTime>) {
-        let batch = self
+        let mut out = BatchOutput::default();
+        self.batch_done_into(now, &mut out);
+        (out.completions, out.rejections, out.next_done)
+    }
+
+    /// Allocation-free variant of [`on_batch_done`](Self::on_batch_done):
+    /// fills the caller's reused buffers (cleared on entry) instead of
+    /// returning fresh vectors. Behaviour is otherwise identical.
+    pub fn batch_done_into(&mut self, now: SimTime, out: &mut BatchOutput) {
+        out.completions.clear();
+        out.rejections.clear();
+        out.next_done = None;
+        let mut batch = self
             .running
             .take()
             .expect("on_batch_done called with no running batch");
@@ -219,17 +255,16 @@ impl EdgeServer {
             "batch-done event fired at the wrong instant"
         );
         let size = batch.requests.len();
-        let completions: Vec<Completion> = batch
-            .requests
-            .into_iter()
-            .map(|request| Completion {
+        out.completions
+            .extend(batch.requests.drain(..).map(|request| Completion {
                 request,
                 completed_at: now,
                 batch_size: size,
-            })
-            .collect();
-        self.stats.completions += completions.len() as u64;
-        for c in &completions {
+            }));
+        // Recycle the drained batch buffer for the next formation.
+        self.spare_requests = batch.requests;
+        self.stats.completions += out.completions.len() as u64;
+        for c in &out.completions {
             *self
                 .completions_by_tenant
                 .entry(c.request.tenant)
@@ -238,25 +273,25 @@ impl EdgeServer {
 
         // Paper scheme: next batch = queue contents up to the limit; the
         // remainder is rejected.
-        let rejections = self.drain_overflow(now);
-        let next_done = self.form_and_start_batch(now);
-        (completions, rejections, next_done)
+        self.drain_overflow_into(now, &mut out.rejections);
+        out.next_done = self.form_and_start_batch(now);
     }
 
-    fn drain_overflow(&mut self, now: SimTime) -> Vec<Rejection> {
+    fn drain_overflow_into(&mut self, now: SimTime, out: &mut Vec<Rejection>) {
         let limit = self.gpu.batch_limit;
-        let victims = self.policy.drain_overflow(&mut self.queue, limit);
+        let mut victims = std::mem::take(&mut self.victim_scratch);
+        victims.clear();
+        self.policy
+            .drain_overflow_into(&mut self.queue, limit, &mut victims);
         self.stats.rejections += victims.len() as u64;
         for v in &victims {
             *self.rejections_by_tenant.entry(v.tenant).or_default() += 1;
         }
-        victims
-            .into_iter()
-            .map(|request| Rejection {
-                request,
-                rejected_at: now,
-            })
-            .collect()
+        out.extend(victims.drain(..).map(|request| Rejection {
+            request,
+            rejected_at: now,
+        }));
+        self.victim_scratch = victims;
     }
 
     fn form_and_start_batch(&mut self, now: SimTime) -> Option<SimTime> {
@@ -265,19 +300,21 @@ impl EdgeServer {
         }
         debug_assert!(self.running.is_none(), "GPU already busy");
         // Single-model batches: take queued requests of the front request's
-        // model (preserving FIFO order across models).
+        // model (preserving FIFO order across models). One rotation of the
+        // queue keeps survivors in FIFO order without allocating a
+        // replacement deque.
         let model = self.queue.front().expect("non-empty").model;
         let limit = self.gpu.batch_limit;
-        let mut requests = Vec::with_capacity(limit.min(self.queue.len()));
-        let mut kept = VecDeque::with_capacity(self.queue.len());
-        while let Some(r) = self.queue.pop_front() {
+        let mut requests = std::mem::take(&mut self.spare_requests);
+        requests.clear();
+        for _ in 0..self.queue.len() {
+            let r = self.queue.pop_front().expect("length checked");
             if r.model == model && requests.len() < limit {
                 requests.push(r);
             } else {
-                kept.push_back(r);
+                self.queue.push_back(r);
             }
         }
-        self.queue = kept;
 
         let latency_ms = self.gpu.batch_latency_ms(model, requests.len());
         let done_at = now + SimDuration::from_secs_f64(latency_ms / 1_000.0);
@@ -535,6 +572,42 @@ mod tests {
         );
         assert!(s.stats().rejections > 0, "overload must reject");
         assert!(s.stats().mean_batch_size() > 10.0);
+    }
+
+    #[test]
+    fn batch_done_into_reuses_buffers_and_matches_the_allocating_api() {
+        // Two servers driven identically: one through `on_batch_done`,
+        // one through `batch_done_into` with a single reused buffer.
+        let mut alloc = server();
+        let mut reuse = server();
+        let mut out = BatchOutput::default();
+        let mut done_alloc = None;
+        let mut done_reuse = None;
+        for round in 0..20u64 {
+            let t = SimTime::from_millis(round * 7);
+            for tag in 0..20u64 {
+                let r = req((tag % 3) as u32, t, round * 100 + tag);
+                if let Submit::BatchStarted { done_at } = alloc.submit(t, r) {
+                    done_alloc = Some(done_at);
+                }
+                if let Submit::BatchStarted { done_at } = reuse.submit(t, r) {
+                    done_reuse = Some(done_at);
+                }
+            }
+            assert_eq!(done_alloc, done_reuse);
+            if let Some(d) = done_alloc.take() {
+                let (c, rj, next) = alloc.on_batch_done(d);
+                reuse.batch_done_into(d, &mut out);
+                assert_eq!(c, out.completions);
+                assert_eq!(rj, out.rejections);
+                assert_eq!(next, out.next_done);
+                done_alloc = next;
+                done_reuse = out.next_done;
+            }
+        }
+        assert_eq!(alloc.stats(), reuse.stats());
+        assert_eq!(alloc.completions_by_tenant(), reuse.completions_by_tenant());
+        assert_eq!(alloc.rejections_by_tenant(), reuse.rejections_by_tenant());
     }
 
     #[test]

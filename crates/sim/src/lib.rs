@@ -42,8 +42,9 @@ mod engine;
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
 pub use engine::{Ctx, RunOutcome, SimModel, Simulation};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, Popped, QueueBackend};
 pub use rng::RngFactory;
-pub use time::{SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};
+pub use time::{round_nonneg_f64, SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

@@ -1,11 +1,24 @@
 //! The pending-event set.
 //!
-//! A binary heap keyed by `(time, sequence)`. The monotonically increasing
-//! sequence number breaks ties between events scheduled for the same
-//! instant in **insertion order**, which makes every run of the simulator
-//! deterministic regardless of heap internals.
+//! Two interchangeable backends behind one API, both keyed by
+//! `(time, sequence)`: the monotonically increasing sequence number
+//! breaks ties between events scheduled for the same instant in
+//! **insertion order**, which makes every run of the simulator
+//! deterministic regardless of backend internals.
+//!
+//! * [`QueueBackend::Heap`] (the default) — a binary heap; O(log n)
+//!   push/pop, lowest constant factors at small pending sets.
+//! * [`QueueBackend::Wheel`] — a hierarchical timing wheel
+//!   ([`crate::wheel`]); amortized O(1) push/pop, built for fleet-scale
+//!   runs that keep hundreds-to-thousands of events pending.
+//!
+//! The two backends produce bit-identical pop sequences for any
+//! interleaving of operations (property-tested below), so backend
+//! choice is purely a performance knob.
 
 use crate::time::SimTime;
+use crate::wheel::{PopBefore, TimerWheel};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -35,9 +48,36 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Which data structure holds the pending events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueBackend {
+    /// Binary heap: O(log n), the historical default.
+    #[default]
+    Heap,
+    /// Hierarchical timing wheel: amortized O(1), same pop order.
+    Wheel,
+}
+
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    // Boxed: the wheel's level/slot table is ~12 KB of inline state.
+    Wheel(Box<TimerWheel<E>>),
+}
+
+/// Outcome of [`EventQueue::pop_before`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Popped<E> {
+    /// The earliest event fired at or before the horizon.
+    Event(SimTime, E),
+    /// The earliest pending event lies beyond the horizon.
+    Beyond,
+    /// Nothing is pending.
+    Empty,
+}
+
 /// A deterministic future-event list.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
 }
 
@@ -48,66 +88,128 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue.
+    /// An empty heap-backed queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        Self::with_capacity(0)
     }
 
-    /// An empty queue with room for `capacity` pending events before the
-    /// backing heap reallocates. Long experiment runs keep a few hundred
-    /// in-flight deadlines queued at once; pre-sizing avoids the doubling
-    /// churn on every run of a sweep grid.
+    /// An empty heap-backed queue with room for `capacity` pending
+    /// events before the backing heap reallocates. Long experiment runs
+    /// keep a few hundred in-flight deadlines queued at once;
+    /// pre-sizing avoids the doubling churn on every run of a sweep
+    /// grid.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            backend: Backend::Heap(BinaryHeap::with_capacity(capacity)),
             next_seq: 0,
         }
     }
 
-    /// Number of events the queue can hold without reallocating.
+    /// An empty queue on the given backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        match backend {
+            QueueBackend::Heap => Self::new(),
+            QueueBackend::Wheel => EventQueue {
+                backend: Backend::Wheel(Box::new(TimerWheel::new())),
+                next_seq: 0,
+            },
+        }
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.backend {
+            Backend::Heap(_) => QueueBackend::Heap,
+            Backend::Wheel(_) => QueueBackend::Wheel,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating (for
+    /// the wheel: the staging buffer's capacity — slot storage grows
+    /// independently per slot).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            Backend::Heap(heap) => heap.capacity(),
+            Backend::Wheel(wheel) => wheel.staging_capacity(),
+        }
     }
 
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            event,
-        });
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Entry {
+                time: at,
+                seq,
+                event,
+            }),
+            Backend::Wheel(wheel) => wheel.push(at.as_micros(), seq, event),
+        }
     }
 
     /// Remove and return the earliest event, together with its firing time.
     /// Events at equal times come back in the order they were pushed.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|e| (e.time, e.event)),
+            Backend::Wheel(wheel) => wheel
+                .pop()
+                .map(|(t, _seq, event)| (SimTime::from_micros(t), event)),
+        }
     }
 
-    /// Firing time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// Remove and return the earliest event only if it fires at or
+    /// before `horizon` — the fused peek-then-pop the simulation loop
+    /// performs once per event. One backend traversal instead of two.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Popped<E> {
+        match &mut self.backend {
+            Backend::Heap(heap) => match heap.peek() {
+                None => Popped::Empty,
+                Some(e) if e.time > horizon => Popped::Beyond,
+                Some(_) => {
+                    let e = heap.pop().expect("peeked event vanished");
+                    Popped::Event(e.time, e.event)
+                }
+            },
+            Backend::Wheel(wheel) => match wheel.pop_before(horizon.as_micros()) {
+                PopBefore::Event(t, _seq, event) => Popped::Event(SimTime::from_micros(t), event),
+                PopBefore::Beyond => Popped::Beyond,
+                PopBefore::Empty => Popped::Empty,
+            },
+        }
+    }
+
+    /// Firing time of the earliest pending event. Takes `&mut self`
+    /// because the wheel stages its earliest batch during the search
+    /// (which is exactly what makes the following pop O(1)).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Wheel(wheel) => wheel.peek().map(|(t, _)| SimTime::from_micros(t)),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Wheel(wheel) => wheel.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drop all pending events (the sequence counter keeps advancing so
     /// ordering stays deterministic across clears).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Wheel(wheel) => wheel.clear(),
+        }
     }
 }
 
@@ -117,39 +219,69 @@ mod tests {
     use crate::time::SimDuration;
     use proptest::prelude::*;
 
+    fn both_backends() -> [EventQueue<usize>; 2] {
+        [
+            EventQueue::with_backend(QueueBackend::Heap),
+            EventQueue::with_backend(QueueBackend::Wheel),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), "c");
-        q.push(SimTime::from_secs(1), "a");
-        q.push(SimTime::from_secs(2), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in both_backends() {
+            q.push(SimTime::from_secs(3), 3);
+            q.push(SimTime::from_secs(1), 1);
+            q.push(SimTime::from_secs(2), 2);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+            assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+            assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3)));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn equal_times_pop_in_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(5);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((t, i)));
+        for mut q in both_backends() {
+            let t = SimTime::from_millis(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
         }
     }
 
     #[test]
     fn peek_time_matches_next_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(7), ());
-        q.push(SimTime::from_secs(4), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
-        q.pop();
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        for mut q in both_backends() {
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_secs(7), 0);
+            q.push(SimTime::from_secs(4), 1);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+            q.pop();
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon_on_both_backends() {
+        for mut q in both_backends() {
+            assert_eq!(q.pop_before(SimTime::MAX), Popped::Empty);
+            q.push(SimTime::from_secs(2), 2);
+            q.push(SimTime::from_secs(1), 1);
+            assert_eq!(q.pop_before(SimTime::from_millis(500)), Popped::Beyond);
+            assert_eq!(
+                q.pop_before(SimTime::from_secs(1)),
+                Popped::Event(SimTime::from_secs(1), 1)
+            );
+            assert_eq!(
+                q.pop_before(SimTime::MAX),
+                Popped::Event(SimTime::from_secs(2), 2)
+            );
+            assert_eq!(q.pop_before(SimTime::MAX), Popped::Empty);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
@@ -167,27 +299,111 @@ mod tests {
     }
 
     #[test]
+    fn default_backend_is_the_heap() {
+        assert_eq!(EventQueue::<()>::new().backend(), QueueBackend::Heap);
+        assert_eq!(QueueBackend::default(), QueueBackend::Heap);
+        assert_eq!(
+            EventQueue::<()>::with_backend(QueueBackend::Wheel).backend(),
+            QueueBackend::Wheel
+        );
+    }
+
+    #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, 1);
-        q.push(SimTime::ZERO, 2);
-        assert_eq!(q.len(), 2);
-        assert!(!q.is_empty());
-        q.clear();
-        assert!(q.is_empty());
-        // Sequence numbers keep increasing: re-push and check order.
-        q.push(SimTime::ZERO, 3);
-        q.push(SimTime::ZERO, 4);
-        assert_eq!(q.pop().unwrap().1, 3);
-        assert_eq!(q.pop().unwrap().1, 4);
+        for mut q in both_backends() {
+            q.push(SimTime::ZERO, 1);
+            q.push(SimTime::ZERO, 2);
+            assert_eq!(q.len(), 2);
+            assert!(!q.is_empty());
+            q.clear();
+            assert!(q.is_empty());
+            // Sequence numbers keep increasing: re-push and check order.
+            q.push(SimTime::ZERO, 3);
+            q.push(SimTime::ZERO, 4);
+            assert_eq!(q.pop().unwrap().1, 3);
+            assert_eq!(q.pop().unwrap().1, 4);
+        }
+    }
+
+    #[test]
+    fn max_time_events_pop_last_on_both_backends() {
+        for mut q in both_backends() {
+            q.push(SimTime::MAX, 0);
+            q.push(SimTime::from_secs(1), 1);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+            assert_eq!(q.pop(), Some((SimTime::MAX, 0)));
+        }
+    }
+
+    /// Expand one generated op tuple into a concrete operation. Times
+    /// are scaled so the sequence exercises level-0 adjacency, multiple
+    /// wheel-level boundaries, and the far-future overflow region
+    /// (`shift` up to 48 puts times beyond the 2^48 µs wheel horizon).
+    fn op_time(raw: u32, shift_sel: u8) -> u64 {
+        let shift = [0u32, 6, 14, 30, 48][shift_sel as usize % 5];
+        if raw.is_multiple_of(251) {
+            u64::MAX
+        } else {
+            (raw as u64) << shift
+        }
     }
 
     proptest! {
-        /// Popped times are non-decreasing, and within one instant the
-        /// payloads come out in insertion order.
+        /// Differential test: arbitrary interleavings of push/pop/clear
+        /// produce pop sequences bit-identical between the heap and
+        /// wheel backends.
         #[test]
-        fn prop_stable_time_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
-            let mut q = EventQueue::new();
+        fn prop_wheel_pop_sequence_matches_heap(
+            ops in proptest::collection::vec(
+                (0u8..10, any::<u32>(), 0u8..5),
+                1..250,
+            ),
+        ) {
+            let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+            let mut wheel = EventQueue::with_backend(QueueBackend::Wheel);
+            for (i, &(op, raw, shift_sel)) in ops.iter().enumerate() {
+                match op {
+                    // Weighted: pushes dominate so the pending set grows
+                    // deep enough to span several wheel levels.
+                    0..=5 => {
+                        let t = SimTime::from_micros(op_time(raw, shift_sel));
+                        heap.push(t, i);
+                        wheel.push(t, i);
+                    }
+                    6..=7 => {
+                        prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+                        prop_assert_eq!(heap.pop(), wheel.pop());
+                    }
+                    8 => {
+                        let h = SimTime::from_micros(op_time(raw, shift_sel));
+                        prop_assert_eq!(heap.pop_before(h), wheel.pop_before(h));
+                    }
+                    _ => {
+                        heap.clear();
+                        wheel.clear();
+                    }
+                }
+                prop_assert_eq!(heap.len(), wheel.len());
+            }
+            // Drain what's left: the full tail must match too.
+            loop {
+                let (h, w) = (heap.pop(), wheel.pop());
+                prop_assert_eq!(h, w);
+                if h.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Popped times are non-decreasing, and within one instant the
+        /// payloads come out in insertion order — on both backends.
+        #[test]
+        fn prop_stable_time_order(
+            times in proptest::collection::vec(0u64..1_000, 1..200),
+            wheel in any::<bool>(),
+        ) {
+            let backend = if wheel { QueueBackend::Wheel } else { QueueBackend::Heap };
+            let mut q = EventQueue::with_backend(backend);
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime::from_micros(t), i);
             }
@@ -205,8 +421,12 @@ mod tests {
 
         /// The queue drains exactly the number of events pushed.
         #[test]
-        fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
-            let mut q = EventQueue::new();
+        fn prop_conservation(
+            times in proptest::collection::vec(0u64..100, 0..100),
+            wheel in any::<bool>(),
+        ) {
+            let backend = if wheel { QueueBackend::Wheel } else { QueueBackend::Heap };
+            let mut q = EventQueue::with_backend(backend);
             for &t in &times {
                 q.push(SimTime::from_micros(t) + SimDuration::ZERO, ());
             }

@@ -26,6 +26,27 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 /// Microseconds per millisecond.
 pub const MICROS_PER_MILLI: u64 = 1_000;
 
+/// `x.round() as u64` for finite non-negative `x`, without the libm
+/// call — on baseline x86-64, `f64::round` compiles to a library call,
+/// and the float→time conversions run several times per simulated frame.
+///
+/// Bit-identical to `x.round() as u64` on this domain: `x as u64`
+/// truncates toward zero, the remainder `x - t` is exact (Sterbenz for
+/// `t ≥ 1`, trivial for `t = 0`), and rounding half away from zero on a
+/// non-negative value is exactly "add one when the remainder reaches
+/// one half". At or above 2^53 every representable value is an integer,
+/// so the cast alone (which saturates like `round() as u64`) suffices.
+#[inline]
+pub fn round_nonneg_f64(x: f64) -> u64 {
+    debug_assert!(x >= 0.0, "round_nonneg_f64 requires non-negative input");
+    if x < (1u64 << 53) as f64 {
+        let t = x as u64;
+        t + u64::from(x - t as f64 >= 0.5)
+    } else {
+        x as u64
+    }
+}
+
 impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
@@ -54,7 +75,7 @@ impl SimTime {
             s.is_finite() && s >= 0.0,
             "SimTime::from_secs_f64 requires finite non-negative seconds, got {s}"
         );
-        SimTime((s * MICROS_PER_SEC as f64).round() as u64)
+        SimTime(round_nonneg_f64(s * MICROS_PER_SEC as f64))
     }
 
     /// Raw microseconds since the epoch.
@@ -111,7 +132,7 @@ impl SimDuration {
             s.is_finite() && s >= 0.0,
             "SimDuration::from_secs_f64 requires finite non-negative seconds, got {s}"
         );
-        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+        SimDuration(round_nonneg_f64(s * MICROS_PER_SEC as f64))
     }
 
     /// The span in raw microseconds.
@@ -146,7 +167,7 @@ impl SimDuration {
             factor.is_finite() && factor >= 0.0,
             "SimDuration::mul_f64 requires a finite non-negative factor, got {factor}"
         );
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        SimDuration(round_nonneg_f64(self.0 as f64 * factor))
     }
 }
 
@@ -271,6 +292,47 @@ mod tests {
         assert_eq!(SimTime::from_secs_f64(1.000_000_6).as_micros(), 1_000_001);
         let t = SimDuration::from_secs_f64(0.25);
         assert_eq!(t.as_millis(), 250);
+    }
+
+    #[test]
+    fn fast_round_matches_libm_round_at_the_edges() {
+        // The classic double-rounding trap: the largest f64 below 0.5.
+        // `floor(x + 0.5)`-style rewrites get this wrong; the remainder
+        // comparison must not.
+        let just_under_half = f64::from_bits(0.5_f64.to_bits() - 1);
+        let cases = [
+            0.0,
+            just_under_half,
+            0.5,
+            0.999_999_999_999_999_9,
+            1.5,
+            2.5,
+            (1u64 << 52) as f64 + 0.5,
+            (1u64 << 53) as f64 - 1.0,
+            (1u64 << 53) as f64,
+            1e300,
+            f64::MAX,
+        ];
+        for x in cases {
+            assert_eq!(
+                round_nonneg_f64(x),
+                x.round() as u64,
+                "round_nonneg_f64 diverged from f64::round at {x:e}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// Differential check over the full non-negative finite domain:
+        /// the libm-free rounding used by the hot-path conversions is
+        /// bit-identical to `f64::round`.
+        #[test]
+        fn prop_fast_round_matches_libm_round(bits in proptest::prelude::any::<u64>()) {
+            let x = f64::from_bits(bits).abs();
+            if x.is_finite() {
+                proptest::prelude::prop_assert_eq!(round_nonneg_f64(x), x.round() as u64);
+            }
+        }
     }
 
     #[test]

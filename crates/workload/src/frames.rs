@@ -8,7 +8,7 @@
 //! throughput, so only cadence and size distribution matter.
 
 use ff_models::Compression;
-use ff_sim::{SimDuration, SimTime};
+use ff_sim::{round_nonneg_f64, SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +83,15 @@ pub struct FrameSource<R: Rng> {
     config: StreamConfig,
     rng: R,
     next_id: u64,
+    /// `config.frame_interval()`, converted once: the float→µs
+    /// conversion is too slow to repeat for every captured frame.
+    interval: SimDuration,
+    /// `config.compression.mean_frame_bytes()`, computed once.
+    mean_bytes: f64,
+    /// Capture instant of frame `next_id`, advanced by `interval` per
+    /// frame. Integer-µs addition, so it always equals
+    /// `capture_time(next_id)` exactly.
+    next_capture: SimTime,
 }
 
 impl<R: Rng> FrameSource<R> {
@@ -94,9 +103,12 @@ impl<R: Rng> FrameSource<R> {
             "size jitter must be in [0, 1)"
         );
         FrameSource {
+            interval: config.frame_interval(),
+            mean_bytes: config.compression.mean_frame_bytes() as f64,
             config,
             rng,
             next_id: 0,
+            next_capture: SimTime::ZERO,
         }
     }
 
@@ -117,7 +129,14 @@ impl<R: Rng> FrameSource<R> {
 
     /// Capture instant of frame `n` (0-based).
     pub fn capture_time(&self, n: u64) -> SimTime {
-        SimTime::ZERO + self.config.frame_interval() * n
+        SimTime::ZERO + self.interval * n
+    }
+
+    /// Capture instant of the next frame [`Self::next_frame`] will
+    /// produce — `capture_time(generated())` without the multiply, for
+    /// hosts that schedule the next capture event once per frame.
+    pub fn next_capture_time(&self) -> SimTime {
+        self.next_capture
     }
 
     /// Produce the next frame, or `None` when the stream is exhausted.
@@ -127,7 +146,8 @@ impl<R: Rng> FrameSource<R> {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let mean = self.config.compression.mean_frame_bytes() as f64;
+        let captured_at = self.next_capture;
+        self.next_capture = captured_at + self.interval;
         let j = self.config.size_jitter;
         let factor = if j == 0.0 {
             1.0
@@ -136,8 +156,8 @@ impl<R: Rng> FrameSource<R> {
         };
         Some(Frame {
             id: FrameId(id),
-            captured_at: self.capture_time(id),
-            bytes: (mean * factor).round().max(1.0) as u64,
+            captured_at,
+            bytes: round_nonneg_f64(self.mean_bytes * factor).max(1),
         })
     }
 }

@@ -10,8 +10,11 @@
 //! structs, newtype structs (transparent), tuple structs (arrays), unit
 //! structs (null), and enums with unit / newtype / tuple / struct
 //! variants (externally tagged). Generic type parameters get a
-//! `Serialize`/`Deserialize` bound each. `#[serde(...)]` attributes are
-//! not supported and are not used in the workspace.
+//! `Serialize`/`Deserialize` bound each. Of serde's field attributes,
+//! only `#[serde(default)]` on named fields is supported (a missing
+//! field deserializes to `Default::default()`); everything else is
+//! rejected by rustc since `serde` is only registered as a derive
+//! helper here.
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::iter::Peekable;
@@ -24,10 +27,16 @@ struct Item {
 }
 
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing field becomes `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -38,10 +47,10 @@ struct Variant {
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -49,7 +58,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated Serialize impl failed to parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -62,12 +71,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 type Toks = Peekable<proc_macro::token_stream::IntoIter>;
 
 /// Skip any `#[...]` attributes and a `pub` / `pub(...)` visibility.
-fn skip_attrs_and_vis(toks: &mut Toks) {
+/// Returns whether a `#[serde(default)]` attribute was among them.
+fn skip_attrs_and_vis(toks: &mut Toks) -> bool {
+    let mut has_default = false;
     loop {
         match toks.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 toks.next();
-                toks.next(); // the bracketed attribute body
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    if attr_is_serde_default(&g) {
+                        has_default = true;
+                    }
+                }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 toks.next();
@@ -77,8 +92,26 @@ fn skip_attrs_and_vis(toks: &mut Toks) {
                     }
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
+    }
+}
+
+/// Whether a bracketed attribute body is `serde(default)` (possibly
+/// alongside other serde arguments, which we don't implement — but
+/// `default` itself still takes effect).
+fn attr_is_serde_default(attr_body: &Group) -> bool {
+    let mut toks = attr_body.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
     }
 }
 
@@ -146,14 +179,17 @@ fn skip_to_comma(toks: &mut Toks) {
     }
 }
 
-fn parse_named_fields(group: &Group) -> Vec<String> {
+fn parse_named_fields(group: &Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = group.stream().into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut toks);
+        let default = skip_attrs_and_vis(&mut toks);
         match toks.next() {
             None => break,
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             Some(other) => panic!("serde_derive: expected field name, found {other:?}"),
         }
         skip_to_comma(&mut toks); // the `: Type` part
@@ -274,7 +310,10 @@ fn gen_serialize(item: &Item) -> String {
         Kind::NamedStruct(fields) => {
             let entries: String = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
                 .collect();
             format!("::serde::Value::Obj(vec![{entries}])")
         }
@@ -323,10 +362,17 @@ fn gen_variant_ser(v: &Variant) -> String {
             )
         }
         Shape::Named(fields) => {
-            let binds = fields.join(", ");
+            let binds = fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
             let entries: String = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                })
                 .collect();
             format!(
                 "Self::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
@@ -337,17 +383,28 @@ fn gen_variant_ser(v: &Variant) -> String {
 }
 
 /// Field extraction used by named structs and struct variants: present
-/// fields deserialize from their value; a missing field deserializes
-/// from `Null` (so `Option` fields default to `None`, matching serde),
-/// with the fallback error reporting the missing name.
-fn named_field_expr(f: &str, src: &str) -> String {
-    format!(
-        "{f}: match ::serde::Value::get({src}, \"{f}\") {{ \
-           Some(x) => ::serde::Deserialize::from_value(x)?, \
-           None => ::serde::Deserialize::from_value(&::serde::Value::Null) \
-             .map_err(|_| ::serde::DeError(\"missing field `{f}`\".to_string()))?, \
-         }},"
-    )
+/// fields deserialize from their value; a missing `#[serde(default)]`
+/// field becomes `Default::default()`; any other missing field
+/// deserializes from `Null` (so `Option` fields default to `None`,
+/// matching serde), with the fallback error reporting the missing name.
+fn named_field_expr(field: &Field, src: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match ::serde::Value::get({src}, \"{f}\") {{ \
+               Some(x) => ::serde::Deserialize::from_value(x)?, \
+               None => ::core::default::Default::default(), \
+             }},"
+        )
+    } else {
+        format!(
+            "{f}: match ::serde::Value::get({src}, \"{f}\") {{ \
+               Some(x) => ::serde::Deserialize::from_value(x)?, \
+               None => ::serde::Deserialize::from_value(&::serde::Value::Null) \
+                 .map_err(|_| ::serde::DeError(\"missing field `{f}`\".to_string()))?, \
+             }},"
+        )
+    }
 }
 
 fn gen_deserialize(item: &Item) -> String {
