@@ -14,6 +14,7 @@
 //! | `cpu_usage`           | §II-A CPU usage observation |
 //! | `combined_stress`     | §IV-C combined network × load (extension X2) |
 //! | `sweep`               | `ff-sweep` engine benchmark → `BENCH_sweep.json` |
+//! | `dashboard`           | live terminal fleet view over telemetry export |
 //!
 //! Each binary prints a human-readable table and exports the raw series
 //! as JSON under `target/experiments/`. Grid-shaped experiments
@@ -21,6 +22,10 @@
 //! and the [`run_lineup`] lineups) execute through the `ff-sweep`
 //! work-stealing engine — one worker per core, deterministic
 //! aggregation, `FF_SWEEP_WORKERS` / `FF_SWEEP_CACHE_DIR` to override.
+
+mod dashboard;
+
+pub use dashboard::Dashboard;
 
 use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use ff_core::{Controller, FrameFeedback};

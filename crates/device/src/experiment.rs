@@ -29,6 +29,7 @@ use ff_models::{DeviceKind, GpuProfile, ModelKind};
 use ff_net::{Link, LinkConfig, LinkStats, LossModel, NetworkConditions, SendOutcome};
 use ff_server::{BatchOutput, EdgeServer, PoissonArrivals, Request, ServerStats, Submit, TenantId};
 use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
+use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
 use ff_workload::{FrameSource, StepSchedule, StreamConfig};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -235,6 +236,40 @@ impl Transport for SimTransport<'_, '_> {
     }
 }
 
+/// Experiment-side observability state (see `FleetObs` in `fleet.rs`
+/// for the invariants: strictly write-only, never schedules events).
+///
+/// Lives outside [`ExperimentConfig`] because the config is the
+/// serializable `ffexp` surface; telemetry is a process-local pipeline
+/// handle and is threaded in via [`run_experiment_with_telemetry`].
+struct ExpObs {
+    telemetry: Telemetry,
+    recorder: Recorder,
+    device: Scope,
+    engine: Scope,
+    server: Scope,
+    last_server: ServerStats,
+    last_offloaded: u64,
+    last_local: u64,
+    last_instant_failures: u64,
+}
+
+impl ExpObs {
+    fn new(telemetry: &Telemetry) -> ExpObs {
+        ExpObs {
+            recorder: telemetry.recorder(),
+            device: telemetry.scope("device/0"),
+            engine: telemetry.scope("engine"),
+            server: telemetry.scope("server"),
+            last_server: ServerStats::default(),
+            last_offloaded: 0,
+            last_local: 0,
+            last_instant_failures: 0,
+            telemetry: telemetry.clone(),
+        }
+    }
+}
+
 struct World {
     config: ExperimentConfig,
     controller: Box<dyn Controller>,
@@ -267,6 +302,7 @@ struct World {
     end_at: SimTime,
     server_up: bool,
     server_epoch: u64,
+    obs: ExpObs,
 }
 
 impl World {
@@ -334,6 +370,90 @@ impl World {
         if next <= self.end_at {
             ctx.schedule_at(next, Event::Tick);
         }
+
+        self.observe_tick(ctx, &out.record);
+    }
+
+    /// Report the controller-period observations to telemetry, then
+    /// poll the collector. Purely observational (see `FleetWorld`).
+    fn observe_tick(&mut self, ctx: &Ctx<'_, Event>, record: &ff_metrics::QosRecord) {
+        if !self.obs.recorder.is_enabled() {
+            return;
+        }
+        let t = ctx.now().as_micros();
+        let rec = &mut self.obs.recorder;
+        let fs = self.config.stream.fps;
+
+        let device = self.obs.device;
+        rec.gauge(device, Metric::Po, record.po, t);
+        rec.gauge(device, Metric::Pl, record.pl, t);
+        rec.gauge(device, Metric::TimeoutRate, record.timeouts, t);
+        rec.gauge(device, Metric::TimeoutsNetwork, record.timeouts_network, t);
+        rec.gauge(device, Metric::TimeoutsLoad, record.timeouts_load, t);
+        rec.gauge(device, Metric::PoTarget, record.po_target, t);
+        let err = fs - (record.po + record.pl);
+        rec.gauge(device, Metric::ControllerError, err, t);
+        rec.gauge(device, Metric::InFlight, self.runtime.in_flight() as f64, t);
+        let offloaded = self.runtime.frames_offloaded();
+        rec.counter(
+            device,
+            Metric::FramesOffloaded,
+            offloaded - self.obs.last_offloaded,
+            t,
+        );
+        self.obs.last_offloaded = offloaded;
+        rec.counter(
+            device,
+            Metric::FramesLocal,
+            self.frames_local - self.obs.last_local,
+            t,
+        );
+        self.obs.last_local = self.frames_local;
+        let failures = self.runtime.instant_failures();
+        rec.counter(
+            device,
+            Metric::InstantFailures,
+            failures - self.obs.last_instant_failures,
+            t,
+        );
+        self.obs.last_instant_failures = failures;
+
+        let engine = self.obs.engine;
+        rec.gauge(
+            engine,
+            Metric::EventsHandled,
+            ctx.events_handled() as f64,
+            t,
+        );
+        rec.gauge(
+            engine,
+            Metric::PendingEvents,
+            ctx.pending_events() as f64,
+            t,
+        );
+
+        let server = self.obs.server;
+        let stats = self.server.stats();
+        let last = self.obs.last_server;
+        rec.gauge(
+            server,
+            Metric::ServerQueueDepth,
+            self.server.queue_len() as f64,
+            t,
+        );
+        let occupancy = self.server.running_batch_size().unwrap_or(0);
+        rec.gauge(server, Metric::BatchOccupancy, occupancy as f64, t);
+        let d = stats.requests_received - last.requests_received;
+        rec.counter(server, Metric::ServerRequests, d, t);
+        let d = stats.completions - last.completions;
+        rec.counter(server, Metric::ServerCompletions, d, t);
+        let d = stats.rejections - last.rejections;
+        rec.counter(server, Metric::ServerRejections, d, t);
+        let d = stats.batches_executed - last.batches_executed;
+        rec.counter(server, Metric::ServerBatches, d, t);
+        self.obs.last_server = stats;
+
+        self.obs.telemetry.poll();
     }
 
     fn schedule_background(&mut self, ctx: &mut Ctx<'_, Event>) {
@@ -547,7 +667,24 @@ impl SimModel for World {
 /// Run one experiment with the given controller.
 pub fn run_experiment(
     config: ExperimentConfig,
+    controller: Box<dyn Controller>,
+) -> ExperimentResult {
+    run_experiment_with_telemetry(config, controller, &Telemetry::disabled())
+}
+
+/// Like [`run_experiment`], but reporting into an observability
+/// pipeline. Results are bit-identical to a telemetry-off run (the
+/// pipeline is strictly write-only with respect to the simulation);
+/// the final partial window stays open until the caller's
+/// [`Telemetry::finish`], so one pipeline can span several runs.
+///
+/// Telemetry is a parameter rather than an [`ExperimentConfig`] field
+/// because the config is the serializable `ffexp` CLI surface, while a
+/// pipeline handle is inherently process-local.
+pub fn run_experiment_with_telemetry(
+    config: ExperimentConfig,
     mut controller: Box<dyn Controller>,
+    telemetry: &Telemetry,
 ) -> ExperimentResult {
     let rng = RngFactory::new(config.seed);
     let fs = config.stream.fps;
@@ -608,6 +745,7 @@ pub fn run_experiment(
         end_at,
         server_up: true,
         server_epoch: 0,
+        obs: ExpObs::new(telemetry),
         controller,
         config,
     };
@@ -655,6 +793,7 @@ pub fn run_experiment(
     sim.run_until(end_at);
     let now = sim.now();
     let mut world = sim.into_model();
+    world.obs.telemetry.poll();
 
     let local_busy_fraction = world.engine.busy_fraction(now);
     let frames_generated = world.source.generated();

@@ -25,6 +25,7 @@ use ff_server::{
 use ff_sim::{
     Ctx, EventQueue, QueueBackend, RngFactory, SimDuration, SimModel, SimTime, Simulation,
 };
+use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
 use ff_workload::{FrameSource, StepSchedule, StreamConfig};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -97,6 +98,10 @@ pub struct FleetConfig {
     /// Engine tuning (queue backend, buffer reuse). Results are
     /// independent of this choice.
     pub engine: EngineOptions,
+    /// Observability pipeline. Disabled by default; enabling it leaves
+    /// fleet results bit-identical (asserted by `telemetry_inert.rs`) —
+    /// recorders never schedule events or touch an RNG stream.
+    pub telemetry: Telemetry,
 }
 
 impl Default for FleetConfig {
@@ -127,6 +132,7 @@ impl Default for FleetConfig {
             gpu: GpuProfile::default(),
             policy: OverflowPolicy::RejectNewest,
             engine: EngineOptions::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -224,12 +230,45 @@ enum FleetEvent {
     },
 }
 
+/// Fleet-side observability state: one recorder for the (single)
+/// simulation thread, plus the interned scopes it reports under.
+///
+/// Strictly write-only with respect to the simulation: nothing here
+/// schedules events, advances RNG streams, or feeds back into routing
+/// decisions, which is what keeps telemetry-on runs bit-identical to
+/// telemetry-off runs.
+struct FleetObs {
+    telemetry: Telemetry,
+    recorder: Recorder,
+    engine: Scope,
+    server: Scope,
+    devices: Vec<Scope>,
+    /// Server counter values at the previous tick, for delta emission.
+    last_server: ServerStats,
+}
+
+impl FleetObs {
+    fn new(telemetry: &Telemetry, n_devices: usize) -> FleetObs {
+        FleetObs {
+            recorder: telemetry.recorder(),
+            engine: telemetry.scope("engine"),
+            server: telemetry.scope("server"),
+            devices: (0..n_devices)
+                .map(|i| telemetry.scope(&format!("device/{i}")))
+                .collect(),
+            last_server: ServerStats::default(),
+            telemetry: telemetry.clone(),
+        }
+    }
+}
+
 struct FleetWorld {
     config: FleetConfig,
     devices: Vec<DeviceState>,
     server: EdgeServer,
     batch_out: BatchOutput,
     end_at: SimTime,
+    obs: FleetObs,
 }
 
 impl FleetWorld {
@@ -268,6 +307,7 @@ impl FleetWorld {
             d.interval.timeouts_load as f64 / dt,
             d.po_target,
         );
+        let interval = d.interval;
         d.interval = IntervalCounters::default();
 
         // Heartbeat probe through this device's own link.
@@ -286,6 +326,87 @@ impl FleetWorld {
         let next = now + self.config.controller_period;
         if next <= self.end_at {
             ctx.schedule_at(next, FleetEvent::Tick(dev));
+        }
+
+        self.observe_tick(ctx, dev, po, pl, t_windowed, interval);
+    }
+
+    /// Report this device's controller-period observations (and, from
+    /// device 0, the shared engine and server state), then poll the
+    /// collector. Purely observational: emits into the recorder's ring
+    /// and never schedules events, so it cannot perturb the run.
+    fn observe_tick(
+        &mut self,
+        ctx: &Ctx<'_, FleetEvent>,
+        dev: usize,
+        po: f64,
+        pl: f64,
+        t_windowed: f64,
+        interval: IntervalCounters,
+    ) {
+        if !self.obs.recorder.is_enabled() {
+            return;
+        }
+        let t = ctx.now().as_micros();
+        let rec = &mut self.obs.recorder;
+        let scope = self.obs.devices[dev];
+        let d = &self.devices[dev];
+        let fs = self.config.stream.fps;
+
+        rec.gauge(scope, Metric::Po, po, t);
+        rec.gauge(scope, Metric::Pl, pl, t);
+        rec.gauge(scope, Metric::TimeoutRate, t_windowed, t);
+        rec.gauge(scope, Metric::PoTarget, d.po_target, t);
+        rec.gauge(scope, Metric::ControllerError, fs - (po + pl), t);
+        rec.gauge(scope, Metric::InFlight, d.tracker.in_flight() as f64, t);
+        rec.gauge(scope, Metric::ProbesInFlight, d.probes.len() as f64, t);
+        rec.counter(scope, Metric::FramesOffloaded, interval.sent, t);
+        rec.counter(scope, Metric::FramesLocal, interval.local_done, t);
+        rec.counter(scope, Metric::TimeoutsNetwork, interval.timeouts_network, t);
+        rec.counter(scope, Metric::TimeoutsLoad, interval.timeouts_load, t);
+        rec.counter(scope, Metric::HeartbeatOk, d.last_heartbeat_ok as u64, t);
+
+        // Shared state is reported once per controller period, by the
+        // first device to tick in it.
+        if dev == 0 {
+            let engine = self.obs.engine;
+            rec.gauge(
+                engine,
+                Metric::EventsHandled,
+                ctx.events_handled() as f64,
+                t,
+            );
+            rec.gauge(
+                engine,
+                Metric::PendingEvents,
+                ctx.pending_events() as f64,
+                t,
+            );
+            let wheel = self.config.engine.backend == QueueBackend::Wheel;
+            rec.gauge(engine, Metric::QueueBackendWheel, wheel as u64 as f64, t);
+
+            let server = self.obs.server;
+            let stats = self.server.stats();
+            let last = self.obs.last_server;
+            rec.gauge(
+                server,
+                Metric::ServerQueueDepth,
+                self.server.queue_len() as f64,
+                t,
+            );
+            let occupancy = self.server.running_batch_size().unwrap_or(0);
+            rec.gauge(server, Metric::BatchOccupancy, occupancy as f64, t);
+            let d = stats.requests_received - last.requests_received;
+            rec.counter(server, Metric::ServerRequests, d, t);
+            let d = stats.completions - last.completions;
+            rec.counter(server, Metric::ServerCompletions, d, t);
+            let d = stats.rejections - last.rejections;
+            rec.counter(server, Metric::ServerRejections, d, t);
+            let d = stats.batches_executed - last.batches_executed;
+            rec.counter(server, Metric::ServerBatches, d, t);
+            self.obs.last_server = stats;
+
+            self.obs.telemetry.poll();
         }
     }
 }
@@ -550,12 +671,14 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
     let server = EdgeServer::with_policy(config.gpu, config.policy);
 
     let backend = config.engine.backend;
+    let obs = FleetObs::new(&config.telemetry, n);
     let world = FleetWorld {
         config,
         devices,
         server,
         batch_out: BatchOutput::default(),
         end_at,
+        obs,
     };
     let mut sim = Simulation::with_queue(world, EventQueue::with_backend(backend));
     for dev in 0..n {
@@ -571,6 +694,10 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
     sim.run_until(end_at);
     let events_handled = sim.events_handled();
     let world = sim.into_model();
+    // Drain whatever the final ticks recorded. The last (partial) window
+    // stays open until the caller's `Telemetry::finish`, so one pipeline
+    // can span several runs (e.g. a sweep).
+    world.obs.telemetry.poll();
 
     let device_results: Vec<FleetDeviceResult> = world
         .devices

@@ -34,7 +34,9 @@ pub mod tags;
 mod trace;
 
 pub use cpu::{CpuModel, EnergyModel};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, ServerOutage};
+pub use experiment::{
+    run_experiment, run_experiment_with_telemetry, ExperimentConfig, ExperimentResult, ServerOutage,
+};
 pub use fleet::{
     run_fleet, EngineOptions, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult,
 };

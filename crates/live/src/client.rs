@@ -21,6 +21,7 @@ use ff_device::{
 };
 use ff_metrics::{LogHistogram, QosLog};
 use ff_sim::{SimDuration, SimTime};
+use ff_telemetry::{Level, LogCode, Metric, Recorder, Scope, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -265,11 +266,18 @@ fn open_connection(
 }
 
 /// Own the connection lifecycle: dial, watch, tear down, back off, redial.
+///
+/// Connection lifecycle events (dial failures, losses, reconnects) are
+/// logged through the supervisor's own `Recorder` under `live/device` —
+/// quiet on stderr unless `FF_LOG` asks, always visible in snapshots.
 fn supervisor_loop(
     addr: SocketAddr,
     config: LiveDeviceConfig,
     shared: Arc<ConnShared>,
     event_tx: Sender<(u64, Status, Instant)>,
+    mut rec: Recorder,
+    scope: Scope,
+    origin: Instant,
 ) {
     // Seeded per-port so backoff jitter is stable enough to debug but
     // different devices (ports) don't redial in phase.
@@ -280,13 +288,26 @@ fn supervisor_loop(
         match open_connection(addr, &config, &event_tx) {
             Ok((handle, stream, reader, sender)) => {
                 failures = 0;
+                let t = origin.elapsed().as_micros() as u64;
                 if ever_connected {
                     shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                    rec.counter(scope, Metric::Reconnects, 1, t);
+                    rec.log(scope, Level::Info, LogCode::Reconnected, t);
+                } else {
+                    rec.log(scope, Level::Info, LogCode::ClientConnected, t);
                 }
                 ever_connected = true;
                 *shared.slot.lock() = Some(handle.clone());
                 while handle.alive.load(Ordering::Relaxed) && !shared.stop.load(Ordering::Relaxed) {
                     thread::sleep(SUPERVISOR_POLL);
+                }
+                if !shared.stop.load(Ordering::Relaxed) {
+                    rec.log(
+                        scope,
+                        Level::Warn,
+                        LogCode::ConnectionLost,
+                        origin.elapsed().as_micros() as u64,
+                    );
                 }
                 // Dead (or stopping): retract the handle, force both I/O
                 // threads off the socket, and reap them before redialing.
@@ -298,6 +319,12 @@ fn supervisor_loop(
                 let _ = reader.join();
             }
             Err(_) => {
+                rec.log(
+                    scope,
+                    Level::Warn,
+                    LogCode::DialFailed,
+                    origin.elapsed().as_micros() as u64,
+                );
                 let wait = config.reconnect.backoff(failures, &mut rng);
                 failures = failures.saturating_add(1);
                 sleep_unless_stopped(&shared.stop, wait);
@@ -360,8 +387,33 @@ pub fn run_live_device(
     shim: Arc<ImpairmentShim>,
     controller: &mut dyn Controller,
 ) -> io::Result<LiveRunSummary> {
+    run_live_device_with_telemetry(addr, config, shim, controller, &Telemetry::disabled())
+}
+
+/// [`run_live_device`] with a telemetry pipeline attached.
+///
+/// The device reports under scope `live/device`: per-tick QoS gauges
+/// (`po`, `pl`, `timeout_rate`, `po_target`, in-flight depth), offload
+/// latency samples, frame counters, and connection lifecycle log events
+/// from the supervisor. Timestamps are the device's own wall-clock
+/// microseconds since this call (the same axis the QoS log uses). The
+/// capture loop polls the collector once per controller tick; the caller
+/// still owns `finish()`.
+pub fn run_live_device_with_telemetry(
+    addr: SocketAddr,
+    config: LiveDeviceConfig,
+    shim: Arc<ImpairmentShim>,
+    controller: &mut dyn Controller,
+    telemetry: &Telemetry,
+) -> io::Result<LiveRunSummary> {
     assert!(config.fs > 0.0 && config.local_rate_fps > 0.0);
     config.reconnect.validate();
+
+    // The clock starts before the supervisor so every thread stamps
+    // telemetry events on the same time axis the control loop uses.
+    let clock = WallClock::start();
+    let mut rec = telemetry.recorder();
+    let scope = telemetry.scope("live/device");
 
     let (event_tx, event_rx) = unbounded::<(u64, Status, Instant)>();
     let shared = Arc::new(ConnShared {
@@ -371,9 +423,13 @@ pub fn run_live_device(
     });
     let supervisor = {
         let shared = Arc::clone(&shared);
+        let sup_rec = telemetry.recorder();
+        let origin = clock.origin();
         thread::Builder::new()
             .name("ff-live-dev-supervisor".into())
-            .spawn(move || supervisor_loop(addr, config, shared, event_tx))?
+            .spawn(move || {
+                supervisor_loop(addr, config, shared, event_tx, sup_rec, scope, origin)
+            })?
     };
 
     // Local inference worker with a one-frame pending slot.
@@ -395,7 +451,6 @@ pub fn run_live_device(
     // Everything control-related below is one call into the shared
     // [`DeviceRuntime`]; this loop only paces capture, maps wall-clock
     // instants onto the runtime's time axis, and ferries I/O events in.
-    let clock = WallClock::start();
     let start = clock.origin();
     let frame_interval = Duration::from_secs_f64(1.0 / config.fs);
     let total_frames = (config.duration.as_secs_f64() * config.fs).round() as u64;
@@ -413,6 +468,8 @@ pub fn run_live_device(
 
     let mut latency_ms = LogHistogram::for_latency_ms();
     let mut last_pl_total: u64 = 0;
+    let mut last_offloaded: u64 = 0;
+    let mut last_instant_failures: u64 = 0;
     let mut next_tick = start + config.tick;
 
     for i in 0..total_frames {
@@ -445,7 +502,14 @@ pub fn run_live_device(
             if let FrameOutcome::Success { latency, .. } =
                 runtime.on_response(tag, clock.at(at), status == Status::Ok)
             {
-                latency_ms.record(latency.as_secs_f64() * 1_000.0);
+                let ms = latency.as_secs_f64() * 1_000.0;
+                latency_ms.record(ms);
+                rec.latency(
+                    scope,
+                    Metric::OffloadLatencyMs,
+                    ms,
+                    clock.at(at).as_micros(),
+                );
             }
         }
 
@@ -456,14 +520,45 @@ pub fn run_live_device(
         let now = Instant::now();
         if now >= next_tick {
             let pl_total = local_completed.load(Ordering::Relaxed);
-            runtime.note_local_done(pl_total - last_pl_total);
+            let local_delta = pl_total - last_pl_total;
+            runtime.note_local_done(local_delta);
             last_pl_total = pl_total;
             let mut transport = LiveTransport {
                 shared: &shared,
                 shim: &shim,
                 clock: &clock,
             };
-            runtime.tick(clock.at(now), controller, &mut transport);
+            let out = runtime.tick(clock.at(now), controller, &mut transport);
+            if rec.is_enabled() {
+                let t = clock.at(now).as_micros();
+                let r = &out.record;
+                rec.gauge(scope, Metric::Po, r.po, t);
+                rec.gauge(scope, Metric::Pl, r.pl, t);
+                rec.gauge(scope, Metric::TimeoutRate, r.timeouts, t);
+                rec.gauge(scope, Metric::PoTarget, r.po_target, t);
+                rec.gauge(scope, Metric::ControllerError, config.fs - (r.po + r.pl), t);
+                rec.gauge(scope, Metric::InFlight, runtime.in_flight() as f64, t);
+                rec.counter(scope, Metric::FramesLocal, local_delta, t);
+                let offloaded_total = runtime.frames_offloaded();
+                rec.counter(
+                    scope,
+                    Metric::FramesOffloaded,
+                    offloaded_total - last_offloaded,
+                    t,
+                );
+                last_offloaded = offloaded_total;
+                let instant_total = runtime.instant_failures();
+                rec.counter(
+                    scope,
+                    Metric::InstantFailures,
+                    instant_total - last_instant_failures,
+                    t,
+                );
+                last_instant_failures = instant_total;
+                // The capture loop is the natural poller for a live
+                // device: once per controller tick, off the frame path.
+                telemetry.poll();
+            }
             next_tick += config.tick;
         }
     }
@@ -475,10 +570,20 @@ pub fn run_live_device(
         if let FrameOutcome::Success { latency, .. } =
             runtime.on_response(tag, clock.at(at), status == Status::Ok)
         {
-            latency_ms.record(latency.as_secs_f64() * 1_000.0);
+            let ms = latency.as_secs_f64() * 1_000.0;
+            latency_ms.record(ms);
+            rec.latency(
+                scope,
+                Metric::OffloadLatencyMs,
+                ms,
+                clock.at(at).as_micros(),
+            );
         }
     }
     runtime.expire_due(clock.now());
+    // Fold the trailing events; the final partial window stays open for
+    // the caller's `finish()`.
+    telemetry.poll();
 
     // Tear down: stop the supervisor (which closes the socket and reaps
     // the I/O threads), then drop the local worker's channel.

@@ -1,0 +1,197 @@
+//! Line-delimited TCP export of telemetry snapshots.
+//!
+//! A [`TcpExportSink`] is an `ff_telemetry::Sink` that serves the
+//! snapshot stream over a real socket: every snapshot the collector
+//! emits is written as one compact JSON line to every connected client.
+//! `ff-bench dashboard --connect <addr>` is the reference consumer, but
+//! the protocol is plain enough for `nc` + `jq`.
+//!
+//! Protocol (documented in EXPERIMENTS.md): the server never reads from
+//! clients; each line is one `Snapshot` in the schema-versioned JSON
+//! produced by `serde_json` (`schema` field = `SNAPSHOT_SCHEMA_VERSION`).
+//! A client that falls behind or disconnects is dropped on the next
+//! failed write — export never blocks or breaks the host pipeline.
+
+use ff_telemetry::{Sink, Snapshot};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Serves the snapshot stream as JSON lines to any number of TCP
+/// subscribers. Register it with `Telemetry::add_sink`.
+pub struct TcpExportSink {
+    addr: SocketAddr,
+    clients: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl TcpExportSink {
+    /// Bind `addr` (use `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting subscribers in a background thread.
+    pub fn bind(bind: &str) -> io::Result<TcpExportSink> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let clients: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_handle = {
+            let clients = Arc::clone(&clients);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("ff-telemetry-export".into())
+                .spawn(move || accept_loop(listener, clients, stop))?
+        };
+
+        Ok(TcpExportSink {
+            addr,
+            clients,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many subscribers are currently connected.
+    pub fn client_count(&self) -> usize {
+        self.clients.lock().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+fn accept_loop(listener: TcpListener, clients: Arc<Mutex<Vec<TcpStream>>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Nodelay so small snapshot lines reach dashboards promptly.
+                let _ = stream.set_nodelay(true);
+                if let Ok(mut c) = clients.lock() {
+                    c.push(stream);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+impl Sink for TcpExportSink {
+    fn emit(&mut self, snapshot: &Snapshot) {
+        let Ok(json) = serde_json::to_string(snapshot) else {
+            return;
+        };
+        let mut line = json.into_bytes();
+        line.push(b'\n');
+        if let Ok(mut clients) = self.clients.lock() {
+            // Dead subscribers are dropped on their first failed write;
+            // the survivors keep receiving.
+            clients.retain_mut(|c| c.write_all(&line).is_ok());
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Ok(mut clients) = self.clients.lock() {
+            clients.retain_mut(|c| c.flush().is_ok());
+        }
+    }
+}
+
+impl Drop for TcpExportSink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_telemetry::{Metric, Telemetry, TelemetryConfig};
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn exports_one_json_line_per_snapshot_to_each_client() {
+        let telemetry = Telemetry::new(TelemetryConfig {
+            window_us: 1_000_000,
+            ..Default::default()
+        });
+        let sink = TcpExportSink::bind("127.0.0.1:0").unwrap();
+        let addr = sink.addr();
+        telemetry.add_sink(Box::new(sink));
+
+        let client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(client);
+
+        // The accept loop needs a beat to register the subscriber before
+        // the first emit; poll until the connection shows up, then record.
+        thread::sleep(Duration::from_millis(50));
+        let mut rec = telemetry.recorder();
+        let scope = telemetry.scope("export-test");
+        for window in 0..3u64 {
+            rec.counter(
+                scope,
+                Metric::ServerRequests,
+                1 + window,
+                window * 1_000_000,
+            );
+        }
+        telemetry.finish();
+
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line);
+        }
+        for (i, line) in lines.iter().enumerate() {
+            let snap: Snapshot = serde_json::from_str(line.trim()).unwrap();
+            assert_eq!(snap.t_us, (i as u64 + 1) * 1_000_000);
+            let scope = snap
+                .scopes
+                .iter()
+                .find(|s| s.scope == "export-test")
+                .unwrap();
+            assert_eq!(scope.counters[0].metric, "server_requests");
+        }
+        // Counters are cumulative: 1, then 1+2, then 1+2+3.
+        let last: Snapshot = serde_json::from_str(lines[2].trim()).unwrap();
+        assert_eq!(last.scopes[0].counters[0].value, 6);
+    }
+
+    #[test]
+    fn dead_subscribers_are_dropped_not_fatal() {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        let sink = TcpExportSink::bind("127.0.0.1:0").unwrap();
+        let addr = sink.addr();
+        telemetry.add_sink(Box::new(sink));
+
+        {
+            let _short_lived = TcpStream::connect(addr).unwrap();
+            thread::sleep(Duration::from_millis(50));
+        } // dropped: the next emits hit a closed socket
+
+        let mut rec = telemetry.recorder();
+        let scope = telemetry.scope("s");
+        // Several windows so the broken pipe actually surfaces (the first
+        // write after close can still land in the kernel buffer).
+        for window in 0..4u64 {
+            rec.counter(scope, Metric::ServerRequests, 1, window * 1_000_000);
+        }
+        telemetry.finish(); // must not panic or error
+        assert_eq!(telemetry.dropped_events(), 0);
+    }
+}

@@ -17,11 +17,16 @@
 #![warn(missing_docs)]
 
 mod client;
+mod export;
 mod proto;
 mod server;
 mod shim;
 
-pub use client::{run_live_device, LiveDeviceConfig, LiveRunSummary, ReconnectPolicy};
+pub use client::{
+    run_live_device, run_live_device_with_telemetry, LiveDeviceConfig, LiveRunSummary,
+    ReconnectPolicy,
+};
+pub use export::TcpExportSink;
 pub use proto::{
     encode_request, poll_request, poll_response, read_request, read_response, write_response, Poll,
     Status, WireRequest, WireResponse,

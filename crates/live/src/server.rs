@@ -9,6 +9,7 @@
 
 use crate::proto::{poll_request, write_response, Poll, Status, WireResponse};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use ff_telemetry::{Level, LogCode, Metric, Recorder, Scope, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::io;
@@ -16,7 +17,13 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Microseconds since the server's start — the time axis of every
+/// telemetry event the server emits (live mode has no simulated clock).
+fn micros_since(t0: Instant) -> u64 {
+    t0.elapsed().as_micros() as u64
+}
 
 /// How long a connection reader blocks before re-checking the stop flag.
 /// Also the stall detector: a request that pauses mid-frame longer than
@@ -225,6 +232,9 @@ pub struct LiveServer {
     chaos: Arc<ChaosState>,
     accept_handle: Option<JoinHandle<()>>,
     batcher_handle: Option<JoinHandle<()>>,
+    recorder: Recorder,
+    scope: Scope,
+    t0: Instant,
 }
 
 impl LiveServer {
@@ -250,30 +260,54 @@ impl LiveServer {
         config: LiveServerConfig,
         chaos: ChaosConfig,
     ) -> io::Result<LiveServer> {
+        Self::start_instrumented(listener, config, chaos, &Telemetry::disabled())
+    }
+
+    /// Serve with fault injection and a telemetry pipeline.
+    ///
+    /// Every server thread records into its own `Recorder`: connections
+    /// emit request counters, chaos verdicts and connect/disconnect log
+    /// events under scope `live/server`; the batcher emits queue-depth
+    /// and batch-occupancy gauges plus completion/rejection counters.
+    /// Event timestamps are **wall-clock microseconds since this call**
+    /// (live mode has no simulated clock). The caller keeps ownership of
+    /// the pipeline: it decides when to `poll()` and `finish()`.
+    pub fn start_instrumented(
+        listener: TcpListener,
+        config: LiveServerConfig,
+        chaos: ChaosConfig,
+        telemetry: &Telemetry,
+    ) -> io::Result<LiveServer> {
         assert!(config.batch_limit > 0, "batch limit must be positive");
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(LiveServerStats::default());
         let chaos = Arc::new(ChaosState::new(chaos));
+        let t0 = Instant::now();
+        let mut recorder = telemetry.recorder();
+        let scope = telemetry.scope("live/server");
+        recorder.log(scope, Level::Info, LogCode::ServerStarted, 0);
 
         let (batch_tx, batch_rx) = unbounded::<BatchItem>();
 
         let batcher_handle = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let rec = telemetry.recorder();
             thread::Builder::new()
                 .name("ff-live-batcher".into())
-                .spawn(move || batcher_loop(batch_rx, config, stop, stats))?
+                .spawn(move || batcher_loop(batch_rx, config, stop, stats, rec, scope, t0))?
         };
 
         let accept_handle = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let chaos = Arc::clone(&chaos);
+            let telemetry = telemetry.clone();
             thread::Builder::new()
                 .name("ff-live-accept".into())
-                .spawn(move || accept_loop(listener, batch_tx, stop, stats, chaos))?
+                .spawn(move || accept_loop(listener, batch_tx, stop, stats, chaos, telemetry, t0))?
         };
 
         Ok(LiveServer {
@@ -283,6 +317,9 @@ impl LiveServer {
             chaos,
             accept_handle: Some(accept_handle),
             batcher_handle: Some(batcher_handle),
+            recorder,
+            scope,
+            t0,
         })
     }
 
@@ -310,11 +347,17 @@ impl LiveServer {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        let already_stopped = self.accept_handle.is_none() && self.batcher_handle.is_none();
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
         if let Some(h) = self.batcher_handle.take() {
             let _ = h.join();
+        }
+        if !already_stopped {
+            let t = micros_since(self.t0);
+            self.recorder
+                .log(self.scope, Level::Info, LogCode::ServerStopped, t);
         }
     }
 }
@@ -331,6 +374,8 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     stats: Arc<LiveServerStats>,
     chaos: Arc<ChaosState>,
+    telemetry: Telemetry,
+    t0: Instant,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -339,9 +384,13 @@ fn accept_loop(
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
                 let chaos = Arc::clone(&chaos);
+                // Each connection thread is a single producer: it gets
+                // its own ring up front, before the thread detaches.
+                let rec = telemetry.recorder();
+                let scope = telemetry.scope("live/server");
                 let _ = thread::Builder::new()
                     .name("ff-live-conn".into())
-                    .spawn(move || connection_loop(stream, tx, stop, stats, chaos));
+                    .spawn(move || connection_loop(stream, tx, stop, stats, chaos, rec, scope, t0));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(5));
@@ -351,12 +400,16 @@ fn accept_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one spawn site; a struct would only rename the args
 fn connection_loop(
     stream: TcpStream,
     batch_tx: Sender<BatchItem>,
     stop: Arc<AtomicBool>,
     stats: Arc<LiveServerStats>,
     chaos: Arc<ChaosState>,
+    mut rec: Recorder,
+    scope: Scope,
+    t0: Instant,
 ) {
     // Bounded reads: the loop re-checks the stop flag at least every
     // CONN_READ_TIMEOUT, so shutdown no longer waits on client EOF, and
@@ -371,18 +424,23 @@ fn connection_loop(
     let conn_id = chaos.next_conn.fetch_add(1, Ordering::Relaxed);
     let mut chaos_rng =
         SmallRng::seed_from_u64(chaos.seed ^ conn_id.wrapping_mul(0x9E3779B97F4A7C15));
+    rec.log(
+        scope,
+        Level::Info,
+        LogCode::ClientConnected,
+        micros_since(t0),
+    );
 
     // Writer thread: serializes responses onto this connection, applying
-    // any chaos-injected stall before the write.
+    // any chaos-injected stall before the write. (Stalls are counted at
+    // the verdict site in the reader, alongside the telemetry event.)
     let (reply_tx, reply_rx) = unbounded::<(WireResponse, Option<Duration>)>();
-    let writer_stats = Arc::clone(&stats);
     let writer_handle = thread::Builder::new()
         .name("ff-live-writer".into())
         .spawn(move || {
             let mut stream = stream;
             while let Ok((resp, stall)) = reply_rx.recv() {
                 if let Some(d) = stall {
-                    writer_stats.chaos_stalls.fetch_add(1, Ordering::Relaxed);
                     thread::sleep(d);
                 }
                 if write_response(&mut stream, resp).is_err() {
@@ -400,15 +458,26 @@ fn connection_loop(
         match poll_request(&mut reader) {
             Ok(Poll::Frame(req)) => {
                 stats.requests.fetch_add(1, Ordering::Relaxed);
+                let t = micros_since(t0);
+                rec.counter(scope, Metric::ServerRequests, 1, t);
                 let stall = match chaos_verdict(&chaos, &mut chaos_rng) {
                     ChaosVerdict::Pass => None,
-                    ChaosVerdict::Stall(d) => Some(d),
+                    ChaosVerdict::Stall(d) => {
+                        stats.chaos_stalls.fetch_add(1, Ordering::Relaxed);
+                        rec.counter(scope, Metric::ChaosStalls, 1, t);
+                        rec.log(scope, Level::Warn, LogCode::ChaosStall, t);
+                        Some(d)
+                    }
                     ChaosVerdict::Drop => {
                         stats.chaos_drops.fetch_add(1, Ordering::Relaxed);
+                        rec.counter(scope, Metric::ChaosDrops, 1, t);
+                        rec.log(scope, Level::Warn, LogCode::ChaosDrop, t);
                         continue;
                     }
                     ChaosVerdict::Disconnect => {
                         stats.chaos_disconnects.fetch_add(1, Ordering::Relaxed);
+                        rec.counter(scope, Metric::ChaosDisconnects, 1, t);
+                        rec.log(scope, Level::Warn, LogCode::ChaosDisconnect, t);
                         let _ = reader.shutdown(Shutdown::Both);
                         break;
                     }
@@ -429,6 +498,12 @@ fn connection_loop(
             Err(_) => break,
         }
     }
+    rec.log(
+        scope,
+        Level::Info,
+        LogCode::ClientDisconnected,
+        micros_since(t0),
+    );
     drop(reply_tx);
     if let Ok(h) = writer_handle {
         let _ = h.join();
@@ -440,6 +515,9 @@ fn batcher_loop(
     config: LiveServerConfig,
     stop: Arc<AtomicBool>,
     stats: Arc<LiveServerStats>,
+    mut rec: Recorder,
+    scope: Scope,
+    t0: Instant,
 ) {
     let mut queue: Vec<BatchItem> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -457,8 +535,15 @@ fn batcher_loop(
         }
 
         // Paper scheme: batch = up to `limit` of the queue; reject the rest.
+        let t = micros_since(t0);
+        rec.gauge(scope, Metric::ServerQueueDepth, queue.len() as f64, t);
         let take = queue.len().min(config.batch_limit);
         let batch: Vec<BatchItem> = queue.drain(..take).collect();
+        let rejected_now = queue.len() as u64;
+        if rejected_now > 0 {
+            rec.counter(scope, Metric::ServerRejections, rejected_now, t);
+            rec.log(scope, Level::Warn, LogCode::BatchOverflow, t);
+        }
         for rejected in queue.drain(..) {
             stats.rejections.fetch_add(1, Ordering::Relaxed);
             let _ = rejected.reply.send((
@@ -473,6 +558,10 @@ fn batcher_loop(
         // "Execute" the batch on the simulated GPU.
         thread::sleep(config.batch_base + config.per_frame * batch.len() as u32);
         stats.batches.fetch_add(1, Ordering::Relaxed);
+        let t = micros_since(t0);
+        rec.gauge(scope, Metric::BatchOccupancy, batch.len() as f64, t);
+        rec.counter(scope, Metric::ServerBatches, 1, t);
+        rec.counter(scope, Metric::ServerCompletions, batch.len() as u64, t);
         for item in batch {
             stats.completions.fetch_add(1, Ordering::Relaxed);
             let _ = item.reply.send((

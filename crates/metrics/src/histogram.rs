@@ -6,10 +6,14 @@
 //! style): constant memory, O(1) record, and percentiles with a bounded
 //! relative error equal to the configured bucket growth factor.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A geometric-bucket histogram over positive values.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Serializes with its full bucket state so telemetry snapshots can carry
+/// latency distributions; a round-trip through JSON is bucket-exact
+/// (`PartialEq` compares every bucket and the exact aggregates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
     /// Smallest distinguishable value; anything below lands in the
     /// underflow bucket.
@@ -245,6 +249,66 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_record_panics() {
         LogHistogram::for_latency_ms().record(f64::NAN);
+    }
+
+    #[test]
+    fn serde_round_trip_is_bucket_exact() {
+        let mut h = LogHistogram::for_latency_ms();
+        for i in 1..=1000 {
+            h.record(i as f64 * 0.37);
+        }
+        h.record(0.0); // underflow
+        h.record(1e9); // overflow clamp
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h, "round-trip must preserve every bucket");
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(back.percentile(q), h.percentile(q));
+        }
+        // A deserialized histogram keeps recording into the same buckets.
+        let mut a = back.clone();
+        let mut b = h.clone();
+        a.record(5.0);
+        b.record(5.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_none_at_every_rank() {
+        let h = LogHistogram::for_latency_ms();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), None);
+        }
+    }
+
+    #[test]
+    fn percentile_with_all_mass_in_one_bucket_is_constant() {
+        // Every observation lands in the same geometric bucket, so each
+        // percentile reports the identical (capped) bucket midpoint.
+        let mut h = LogHistogram::new(1.0, 1000.0, 0.02);
+        for _ in 0..100 {
+            h.record(50.0);
+        }
+        let p0 = h.percentile(0.0).unwrap();
+        for q in [0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(p0));
+        }
+        assert!((p0 - 50.0).abs() / 50.0 < 0.03, "midpoint {p0}");
+        assert!(p0 <= 50.0, "midpoint must be capped at the observed max");
+    }
+
+    #[test]
+    fn percentile_on_smallest_possible_histogram() {
+        // max barely above min → the minimum bucket count the constructor
+        // can produce. Percentiles must stay in range and well-defined.
+        let mut h = LogHistogram::new(1.0, 1.001, 0.02);
+        assert_eq!(h.bucket_count(), 2);
+        h.record(1.0);
+        let p = h.percentile(0.5).unwrap();
+        assert_eq!(p, 1.0, "single observation caps the midpoint at max");
+        assert_eq!(h.percentile(1.0), Some(1.0));
     }
 
     #[test]

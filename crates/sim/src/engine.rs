@@ -26,12 +26,20 @@ pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     stop_requested: &'a mut bool,
+    events_handled: u64,
 }
 
 impl<'a, E> Ctx<'a, E> {
     /// The current simulated instant.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total events handled by the executor so far, including the one
+    /// being handled. Lets models report executor throughput to
+    /// telemetry without reaching around the `Simulation`.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
     }
 
     /// Schedule `event` at the absolute instant `at`.
@@ -182,6 +190,7 @@ impl<M: SimModel> Simulation<M> {
             now: t,
             queue: &mut self.queue,
             stop_requested: &mut stop,
+            events_handled: self.events_handled,
         };
         self.model.handle(&mut ctx, ev);
         Dispatch::Handled { stopped: stop }

@@ -32,8 +32,10 @@ use crossbeam::deque::{Injector, Stealer, Worker};
 use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use ff_core::{Controller, FrameFeedback, PidConfig};
 use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Bump when the meaning of a cached result changes (new fields on
 /// [`ExperimentResult`], changed simulation semantics, ...). Old cache
@@ -215,6 +217,12 @@ pub struct SweepOptions {
     pub workers: usize,
     /// Cache directory. `None` disables caching entirely.
     pub cache_dir: Option<PathBuf>,
+    /// Observability pipeline. Each worker reports cells done and steal
+    /// counts under `sweep/worker/<i>`; cache hits land under `sweep`.
+    /// Event timestamps are wall-clock micros since the sweep started
+    /// (sweeps have no simulated clock). Disabled by default; never
+    /// affects results.
+    pub telemetry: Telemetry,
 }
 
 /// Worker threads to use when the caller does not say: one per
@@ -240,7 +248,11 @@ impl SweepOptions {
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(default_workers);
         let cache_dir = std::env::var_os("FF_SWEEP_CACHE_DIR").map(PathBuf::from);
-        SweepOptions { workers, cache_dir }
+        SweepOptions {
+            workers,
+            cache_dir,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Parallel execution with `workers` threads, no cache.
@@ -363,6 +375,8 @@ fn run_cell(config: ExperimentConfig, controller: &ControllerSpec) -> Experiment
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
     let started = std::time::Instant::now();
     let cells = spec.cells();
+    let mut rec = opts.telemetry.recorder();
+    let sweep_scope = opts.telemetry.scope("sweep");
 
     // Cache probe happens serially, in grid order, before any dispatch:
     // it is pure file I/O and keeps the execution set deterministic.
@@ -375,7 +389,15 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
             .as_deref()
             .and_then(|dir| cache_read(dir, hashes[i]));
         match hit {
-            Some(result) => slots.push(Some((true, result))),
+            Some(result) => {
+                rec.counter(
+                    sweep_scope,
+                    Metric::CacheHits,
+                    1,
+                    started.elapsed().as_micros() as u64,
+                );
+                slots.push(Some((true, result)));
+            }
             None => {
                 slots.push(None);
                 pending.push(i);
@@ -385,13 +407,21 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
     }
 
     if opts.workers > 1 && pending.len() > 1 {
-        run_pending_parallel(&cells, &pending, &mut slots, opts.workers);
+        run_pending_parallel(&cells, &pending, &mut slots, opts, started);
     } else {
         for &i in &pending {
             let result = run_cell(cells[i].config.clone(), &cells[i].controller);
+            rec.counter(
+                sweep_scope,
+                Metric::CellsDone,
+                1,
+                started.elapsed().as_micros() as u64,
+            );
             slots[i] = Some((false, result));
+            opts.telemetry.poll();
         }
     }
+    opts.telemetry.poll();
 
     // Persist fresh results (main thread only — workers never touch the
     // cache, so partial files cannot race).
@@ -426,12 +456,21 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepReport {
     }
 }
 
+/// Per-worker observability handle: its own recorder (one ring per
+/// producer thread — the SPSC contract) plus its interned scope.
+struct WorkerObs {
+    recorder: Recorder,
+    scope: Scope,
+}
+
 fn run_pending_parallel(
     cells: &[Cell],
     pending: &[usize],
     slots: &mut [Option<(bool, ExperimentResult)>],
-    workers: usize,
+    opts: &SweepOptions,
+    started: Instant,
 ) {
+    let workers = opts.workers;
     let injector = Injector::new();
     for &i in pending {
         injector.push(Job {
@@ -444,22 +483,40 @@ fn run_pending_parallel(
     std::thread::scope(|scope| {
         let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
         let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
-        for local in locals {
+        for (w, local) in locals.into_iter().enumerate() {
             let tx = tx.clone();
             let stealers = stealers.clone();
             let injector = &injector;
+            let mut obs = WorkerObs {
+                recorder: opts.telemetry.recorder(),
+                scope: opts.telemetry.scope(&format!("sweep/worker/{w}")),
+            };
             scope.spawn(move || {
                 loop {
                     // Local work first, then a batch from the global
                     // queue, then steal from a victim. All jobs exist
                     // up front, so an empty sweep of all three sources
                     // means the grid is drained and the worker exits.
+                    let mut stolen = false;
                     let job = local
                         .pop()
                         .or_else(|| injector.steal_batch_and_pop(&local).success())
-                        .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                        .or_else(|| {
+                            stolen = true;
+                            stealers.iter().find_map(|s| s.steal().success())
+                        });
                     let Some(job) = job else { break };
+                    let t = started.elapsed().as_micros() as u64;
+                    if stolen {
+                        obs.recorder.counter(obs.scope, Metric::Steals, 1, t);
+                    }
                     let result = run_cell(job.config, &job.controller);
+                    obs.recorder.counter(
+                        obs.scope,
+                        Metric::CellsDone,
+                        1,
+                        started.elapsed().as_micros() as u64,
+                    );
                     if tx.send((job.slot, result)).is_err() {
                         break;
                     }
@@ -471,6 +528,7 @@ fn run_pending_parallel(
         // never influences the report.
         for (slot, result) in rx.iter() {
             slots[slot] = Some((false, result));
+            opts.telemetry.poll();
         }
     });
 }

@@ -1,0 +1,257 @@
+//! Folding drained events into periodic, schema-versioned snapshots.
+//!
+//! Windows are keyed by the **event timestamps themselves** (`t_us`),
+//! never by the collector's wall clock: a window closes when an event
+//! beyond its end is folded. With a single producer (every simulation
+//! host), the snapshot sequence is therefore a pure function of the
+//! event stream — polling cadence affects only *when* snapshots are
+//! delivered, not what they contain.
+
+use crate::event::{Event, EventKind, Metric};
+use ff_metrics::LogHistogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version stamp carried by every [`Snapshot`] (bump on schema change,
+/// like the sweep cache's `CACHE_SCHEMA_VERSION`).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// One cumulative counter reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Metric name (see `Metric::name`).
+    pub metric: String,
+    /// Cumulative total since the run started (non-decreasing).
+    pub value: u64,
+}
+
+/// One gauge reading (the scope's last write up to the window close).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Metric name.
+    pub metric: String,
+    /// Most recent sampled value.
+    pub value: f64,
+}
+
+/// One latency distribution (cumulative since the run started).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyValue {
+    /// Metric name.
+    pub metric: String,
+    /// Bucket-exact cumulative histogram.
+    pub histogram: LogHistogram,
+}
+
+/// One log event, resolved to strings for readability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Event time in microseconds.
+    pub t_us: u64,
+    /// Severity name (`error`/`warn`/`info`/`debug`).
+    pub level: String,
+    /// Event code (e.g. `chaos_disconnect`).
+    pub code: String,
+}
+
+/// Everything one scope reported, as of a window close.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeSnapshot {
+    /// Scope name as registered (e.g. `device/3`, `server`, `engine`).
+    pub scope: String,
+    /// Cumulative counters, ordered by metric.
+    pub counters: Vec<CounterValue>,
+    /// Latest gauge values, ordered by metric.
+    pub gauges: Vec<GaugeValue>,
+    /// Cumulative latency distributions, ordered by metric.
+    pub latencies: Vec<LatencyValue>,
+    /// Log events that fell inside this window, in arrival order.
+    pub logs: Vec<LogEntry>,
+}
+
+/// One periodic observation of the whole system.
+///
+/// Counters and latency histograms are cumulative (each snapshot
+/// supersedes the previous one); gauges are the last sampled value;
+/// `logs` are per-window. `t_us` is the closing window's end on the
+/// event time axis, so a snapshot stream is monotone in `t_us`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version ([`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Zero-based snapshot index within the run.
+    pub seq: u64,
+    /// Window end in microseconds on the event time axis.
+    pub t_us: u64,
+    /// Window length in microseconds.
+    pub window_us: u64,
+    /// Ring-buffer events overwritten before collection, cumulative.
+    pub dropped_events: u64,
+    /// Per-scope state, in scope registration order.
+    pub scopes: Vec<ScopeSnapshot>,
+}
+
+/// Per-scope fold state.
+#[derive(Default)]
+struct ScopeFold {
+    counters: BTreeMap<u16, (Metric, u64)>,
+    gauges: BTreeMap<u16, (Metric, f64)>,
+    latencies: BTreeMap<u16, (Metric, LogHistogram)>,
+    /// Log events in the currently open window.
+    logs: Vec<LogEntry>,
+    /// Whether this scope ever reported anything.
+    touched: bool,
+}
+
+/// The collector's fold: events in, snapshots out.
+pub(crate) struct Fold {
+    window_us: u64,
+    /// The currently open window index (`t_us / window_us`), if any
+    /// event arrived yet.
+    current: Option<u64>,
+    next_seq: u64,
+    consumed: u64,
+    /// Events folded since the last emitted snapshot.
+    dirty: bool,
+    scopes: Vec<ScopeFold>,
+}
+
+impl Fold {
+    pub(crate) fn new(window_us: u64) -> Fold {
+        assert!(window_us > 0, "snapshot window must be non-empty");
+        Fold {
+            window_us,
+            current: None,
+            next_seq: 0,
+            consumed: 0,
+            dirty: false,
+            scopes: Vec::new(),
+        }
+    }
+
+    /// Total events folded so far (the "consumed" side of the
+    /// `consumed + dropped == produced` accounting).
+    pub(crate) fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Fold a batch of drained events, emitting a snapshot for every
+    /// window that closes. `dropped_total` is the cumulative ring-drop
+    /// count at drain time; `scope_names` maps scope ids to names.
+    pub(crate) fn apply(
+        &mut self,
+        events: &[Event],
+        scope_names: &[String],
+        dropped_total: u64,
+        out: &mut Vec<Snapshot>,
+    ) {
+        for event in events {
+            let window = event.t_us / self.window_us;
+            match self.current {
+                None => self.current = Some(window),
+                Some(current) if window > current => {
+                    out.push(self.emit(scope_names, dropped_total));
+                    self.current = Some(window);
+                }
+                // Late events (only possible with multiple producer
+                // threads) fold into the still-open window so the
+                // snapshot stream stays monotone.
+                Some(_) => {}
+            }
+            self.consumed += 1;
+            self.dirty = true;
+            let scope = event.scope as usize;
+            if scope >= self.scopes.len() {
+                self.scopes.resize_with(scope + 1, ScopeFold::default);
+            }
+            let fold = &mut self.scopes[scope];
+            fold.touched = true;
+            match event.kind {
+                EventKind::Counter { metric, delta } => {
+                    fold.counters.entry(metric.id()).or_insert((metric, 0)).1 += delta;
+                }
+                EventKind::Gauge { metric, value } => {
+                    fold.gauges.entry(metric.id()).or_insert((metric, 0.0)).1 = value;
+                }
+                EventKind::Latency { metric, ms } => {
+                    fold.latencies
+                        .entry(metric.id())
+                        .or_insert_with(|| (metric, LogHistogram::for_latency_ms()))
+                        .1
+                        .record(ms);
+                }
+                EventKind::Log { level, code } => {
+                    fold.logs.push(LogEntry {
+                        t_us: event.t_us,
+                        level: level.name().to_string(),
+                        code: code.name().to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Close the final (partial) window, if any events are pending.
+    pub(crate) fn finish(
+        &mut self,
+        scope_names: &[String],
+        dropped_total: u64,
+        out: &mut Vec<Snapshot>,
+    ) {
+        if self.dirty {
+            out.push(self.emit(scope_names, dropped_total));
+        }
+    }
+
+    fn emit(&mut self, scope_names: &[String], dropped_total: u64) -> Snapshot {
+        let window = self.current.expect("emit with no open window");
+        let mut scopes = Vec::new();
+        for (id, fold) in self.scopes.iter_mut().enumerate() {
+            if !fold.touched {
+                continue;
+            }
+            scopes.push(ScopeSnapshot {
+                scope: scope_names
+                    .get(id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("scope/{id}")),
+                counters: fold
+                    .counters
+                    .values()
+                    .map(|(m, v)| CounterValue {
+                        metric: m.name().to_string(),
+                        value: *v,
+                    })
+                    .collect(),
+                gauges: fold
+                    .gauges
+                    .values()
+                    .map(|(m, v)| GaugeValue {
+                        metric: m.name().to_string(),
+                        value: *v,
+                    })
+                    .collect(),
+                latencies: fold
+                    .latencies
+                    .values()
+                    .map(|(m, h)| LatencyValue {
+                        metric: m.name().to_string(),
+                        histogram: h.clone(),
+                    })
+                    .collect(),
+                logs: std::mem::take(&mut fold.logs),
+            });
+        }
+        let snapshot = Snapshot {
+            schema: SNAPSHOT_SCHEMA_VERSION,
+            seq: self.next_seq,
+            t_us: (window + 1) * self.window_us,
+            window_us: self.window_us,
+            dropped_events: dropped_total,
+            scopes,
+        };
+        self.next_seq += 1;
+        self.dirty = false;
+        snapshot
+    }
+}

@@ -1,0 +1,260 @@
+//! The lock-free per-producer event ring.
+//!
+//! One ring per producer thread (SPSC), broadcast-style: the producer is
+//! **wait-free** — it always overwrites the oldest slot and never blocks,
+//! allocates, or makes a syscall — and the consumer detects how far it
+//! fell behind and accounts every overwritten event in a `dropped`
+//! counter. Slots carry a seqlock-style sequence word so a reader that
+//! races a wrap-around discards the torn slot (and counts it dropped)
+//! instead of observing a half-written event.
+//!
+//! Accounting invariant (asserted by the concurrency tests): once the
+//! producer has quiesced and the consumer drained, `consumed + dropped ==
+//! produced` — events are never silently lost, only explicitly dropped.
+
+use crate::event::Event;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// One slot: a sequence word plus the (possibly torn) event payload.
+///
+/// The sequence encodes the slot's logical write index `t`: `2t+1` while
+/// the write of index `t` is in progress, `2t+2` once it completed. A
+/// consumer reading logical index `h` accepts the payload only if it saw
+/// `2h+2` both before and after the data read.
+struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<MaybeUninit<Event>>,
+}
+
+/// Fixed-capacity drop-oldest SPSC event ring.
+pub(crate) struct Ring {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Next logical write index. Written only by the producer.
+    tail: AtomicU64,
+    /// Next logical read index. Written only by the consumer.
+    head: AtomicU64,
+    /// Events overwritten (or torn) before the consumer reached them.
+    dropped: AtomicU64,
+}
+
+// The SPSC protocol makes concurrent access sound: `data` is only
+// written by the single producer and only read through the seqlock
+// validation path.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// A ring holding up to `capacity` events (rounded up to a power of
+    /// two, minimum 2). All memory is allocated here, never on `push`.
+    pub(crate) fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot]> = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                data: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            slots,
+            mask: capacity as u64 - 1,
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in events.
+    pub(crate) fn capacity(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Producer side: record one event. Wait-free, allocation-free,
+    /// syscall-free; overwrites the oldest slot when the consumer lags.
+    ///
+    /// Must only be called by the ring's single producer (enforced by
+    /// `Recorder` being neither `Clone` nor shareable).
+    #[inline]
+    pub(crate) fn push(&self, event: Event) {
+        let t = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[(t & self.mask) as usize];
+        // Seqlock write protocol: odd = in progress, even = complete.
+        slot.seq.store(2 * t + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        unsafe { self.write_slot(slot, event) };
+        slot.seq.store(2 * t + 2, Ordering::Release);
+        self.tail.store(t + 1, Ordering::Release);
+    }
+
+    /// The data write, isolated so the unsafe surface is one line.
+    ///
+    /// # Safety
+    /// Only the single producer may call this, and only between the
+    /// odd and even sequence stores for the slot.
+    #[inline]
+    unsafe fn write_slot(&self, slot: &Slot, event: Event) {
+        std::ptr::write_volatile(slot.data.get(), MaybeUninit::new(event));
+    }
+
+    /// Consumer side: drain every available event into `out`, in
+    /// production order. Events the producer overwrote before we got to
+    /// them are counted into `dropped` (never silently skipped). Returns
+    /// the number of events appended.
+    pub(crate) fn drain(&self, out: &mut Vec<Event>) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut head = self.head.load(Ordering::Relaxed);
+        let before = out.len();
+        // If the producer lapped us, everything older than one full ring
+        // behind the tail is already overwritten: account it in bulk.
+        if tail.wrapping_sub(head) > self.capacity() {
+            let skipped = tail - self.capacity() - head;
+            self.dropped.fetch_add(skipped, Ordering::Relaxed);
+            head = tail - self.capacity();
+        }
+        while head < tail {
+            let slot = &self.slots[(head & self.mask) as usize];
+            let seq_before = slot.seq.load(Ordering::Acquire);
+            let raw = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            let seq_after = slot.seq.load(Ordering::Relaxed);
+            let expected = 2 * head + 2;
+            if seq_before == expected && seq_after == expected {
+                // Validated: the slot held index `head`'s completed write
+                // for the whole read, so `raw` is not torn.
+                out.push(unsafe { raw.assume_init() });
+            } else {
+                // The producer wrapped onto this slot mid-read; the
+                // overwriting event will be consumed at its own index.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            head += 1;
+        }
+        self.head.store(head, Ordering::Relaxed);
+        out.len() - before
+    }
+
+    /// Events overwritten or torn before consumption, so far.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever pushed.
+    pub(crate) fn produced(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Metric};
+    use std::sync::Arc;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            t_us: i,
+            scope: 0,
+            kind: EventKind::Counter {
+                metric: Metric::CellsDone,
+                delta: i,
+            },
+        }
+    }
+
+    #[test]
+    fn drains_in_fifo_order() {
+        let ring = Ring::new(8);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.drain(&mut out), 5);
+        let ts: Vec<u64> = out.iter().map(|e| e.t_us).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.dropped(), 0);
+        // A second drain finds nothing new.
+        out.clear();
+        assert_eq!(ring.drain(&mut out), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let mut out = Vec::new();
+        let consumed = ring.drain(&mut out);
+        assert_eq!(consumed, 4, "only one ring's worth survives");
+        let ts: Vec<u64> = out.iter().map(|e| e.t_us).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "the newest events survive");
+        assert_eq!(ring.dropped(), 6, "the oldest events are accounted");
+        assert_eq!(consumed as u64 + ring.dropped(), ring.produced());
+    }
+
+    #[test]
+    fn interleaved_produce_drain_loses_nothing() {
+        let ring = Ring::new(8);
+        let mut out = Vec::new();
+        for round in 0..100u64 {
+            for i in 0..3 {
+                ring.push(ev(round * 3 + i));
+            }
+            ring.drain(&mut out);
+        }
+        assert_eq!(out.len() as u64 + ring.dropped(), ring.produced());
+        assert_eq!(out.len(), 300, "a keeping-up consumer drops nothing");
+        // FIFO across drains.
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.t_us, i as u64);
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Ring::new(0).capacity(), 2);
+        assert_eq!(Ring::new(3).capacity(), 4);
+        assert_eq!(Ring::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_accounts_every_event() {
+        // One producer hammering a tiny ring, one consumer polling: after
+        // both finish, consumed + dropped == produced exactly.
+        let ring = Arc::new(Ring::new(16));
+        let total: u64 = 100_000;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    ring.push(ev(i));
+                }
+            })
+        };
+        let mut out = Vec::new();
+        while !producer.is_finished() {
+            ring.drain(&mut out);
+        }
+        producer.join().unwrap();
+        ring.drain(&mut out);
+        assert_eq!(ring.produced(), total);
+        assert_eq!(
+            out.len() as u64 + ring.dropped(),
+            total,
+            "every event is consumed or explicitly dropped"
+        );
+        // Consumed events are a strictly increasing subsequence — no
+        // duplicates, no reordering, no torn payloads.
+        let mut last = None;
+        for e in &out {
+            assert!(Some(e.t_us) > last, "out of order at {}", e.t_us);
+            match e.kind {
+                EventKind::Counter { delta, .. } => assert_eq!(delta, e.t_us, "torn payload"),
+                _ => panic!("torn event kind"),
+            }
+            last = Some(e.t_us);
+        }
+    }
+}

@@ -62,6 +62,12 @@ pub mod metrics {
     pub use ff_metrics::*;
 }
 
+/// The structured observability pipeline (`ff-telemetry`): lock-free
+/// recorders, the windowed snapshot collector, and pluggable sinks.
+pub mod telemetry {
+    pub use ff_telemetry::*;
+}
+
 /// The discrete-event simulation engine (`ff-sim`).
 pub mod sim {
     pub use ff_sim::*;
