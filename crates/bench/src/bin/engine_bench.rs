@@ -27,11 +27,11 @@
 //!
 //! Usage: `engine_bench [--devices N] [--frames N] [--reps N] [--out PATH]`
 
+use ff_bench::gate::{engine_fleet_config, optimized_engine};
+use ff_bench::parse_flag;
 use ff_core::{Controller, FrameFeedback};
-use ff_device::{run_fleet, EngineOptions, FleetConfig, FleetDeviceConfig, FleetResult};
-use ff_models::{DeviceKind, ModelKind};
+use ff_device::{run_fleet, EngineOptions, FleetConfig, FleetResult};
 use ff_sim::QueueBackend;
-use ff_workload::table_v;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -64,30 +64,15 @@ struct EngineReport {
     host_cores: usize,
 }
 
-fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
 fn fleet_config(
     devices: usize,
     frames: u64,
     engine: EngineOptions,
     fast_loss: bool,
 ) -> FleetConfig {
-    let mut c = FleetConfig::default();
-    c.devices = (0..devices)
-        .map(|_| FleetDeviceConfig {
-            device: DeviceKind::Pi4BRev12,
-            model: ModelKind::MobileNetV3Small,
-        })
-        .collect();
-    c.stream.total_frames = frames;
-    c.network = table_v();
-    c.link.fast_loss = fast_loss;
-    c.engine = engine;
-    c
+    // Shared with `ff-bench gate`, which re-measures this exact tier
+    // against the committed baseline.
+    engine_fleet_config(devices, frames, engine, fast_loss)
 }
 
 fn controllers(n: usize) -> Vec<Box<dyn Controller>> {
@@ -189,10 +174,7 @@ fn main() {
         backend: QueueBackend::Heap,
         reuse_batch_buffers: false,
     };
-    let optimized_engine = EngineOptions {
-        backend: QueueBackend::Wheel,
-        reuse_batch_buffers: true,
-    };
+    let optimized_engine = optimized_engine();
     let sim_seconds = fleet_config(devices, frames, baseline_engine, false)
         .stream
         .stream_duration()

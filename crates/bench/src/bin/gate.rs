@@ -1,0 +1,100 @@
+//! `ff-bench gate` — enforced regression gate over the committed perf
+//! baselines (`BENCH_engine.json`, `BENCH_sweep.json`).
+//!
+//! Re-measures the two bench tiers and exits non-zero when either
+//! measured rate falls more than `--tolerance` (default 0.20) below its
+//! committed baseline. Designed to run in CI after `cargo build
+//! --release`; both rates are throughput figures, so a reduced tier
+//! (`--devices`/`--frames`/`--cells`) stays comparable to the committed
+//! full-tier baselines.
+//!
+//! Usage: `gate [--tolerance F] [--engine-baseline PATH]
+//! [--sweep-baseline PATH] [--skip-sweep] [--skip-engine]
+//! [--devices N] [--frames N] [--cells N] [--reps N]`
+
+use ff_bench::gate::{
+    measure_engine_events_per_sec, measure_sweep_runs_per_sec, EngineBaseline, GateCheck,
+    SweepBaseline,
+};
+use ff_bench::parse_flag;
+
+fn load<T: serde::Deserialize>(path: &str, what: &str) -> T {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("gate: cannot read {what} baseline {path}: {e}"));
+    serde_json::from_str(&body)
+        .unwrap_or_else(|e| panic!("gate: cannot parse {what} baseline {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance: f64 = parse_flag(&args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let engine_baseline =
+        parse_flag(&args, "--engine-baseline").unwrap_or_else(|| "BENCH_engine.json".into());
+    let sweep_baseline =
+        parse_flag(&args, "--sweep-baseline").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let devices: usize = parse_flag(&args, "--devices")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let frames: u64 = parse_flag(&args, "--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000);
+    let cells: usize = parse_flag(&args, "--cells")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let reps: usize = parse_flag(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let skip_sweep = args.iter().any(|a| a == "--skip-sweep");
+    let skip_engine = args.iter().any(|a| a == "--skip-engine");
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "gate: --tolerance must be in [0, 1)"
+    );
+
+    println!(
+        "== ff-bench gate: tolerance {:.0}% (fail below {:.0}% of baseline) ==\n",
+        tolerance * 100.0,
+        (1.0 - tolerance) * 100.0
+    );
+
+    let mut checks: Vec<GateCheck> = Vec::new();
+    if !skip_engine {
+        let baseline: EngineBaseline = load(&engine_baseline, "engine");
+        println!("measuring engine tier: {devices} devices x {frames} frames, best of {reps}...");
+        let measured = measure_engine_events_per_sec(devices, frames, reps);
+        checks.push(GateCheck {
+            name: "engine",
+            baseline: baseline.optimized.events_per_sec,
+            measured,
+            tolerance,
+        });
+    }
+    if !skip_sweep {
+        let baseline: SweepBaseline = load(&sweep_baseline, "sweep");
+        println!("measuring sweep tier: {cells} cells serial, best of {reps}...");
+        let measured = measure_sweep_runs_per_sec(cells, reps);
+        checks.push(GateCheck {
+            name: "sweep",
+            baseline: baseline.serial.runs_per_sec,
+            measured,
+            tolerance,
+        });
+    }
+
+    println!();
+    let mut failed = false;
+    for c in &checks {
+        println!("{c}");
+        failed |= !c.passed();
+    }
+    if checks.is_empty() {
+        println!("gate: nothing to check (both tiers skipped)");
+    }
+    if failed {
+        eprintln!("\ngate: FAIL — a measured rate regressed past the tolerance");
+        std::process::exit(1);
+    }
+    println!("\ngate: PASS");
+}

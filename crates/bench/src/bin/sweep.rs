@@ -13,9 +13,9 @@
 //! Usage: `sweep [--workers N] [--cells N] [--out PATH]`
 //! `--cells` scales the seed dimension (cells = 4 × seeds).
 
-use ff_device::ExperimentConfig;
-use ff_sweep::{default_workers, run_sweep, ControllerSpec, SweepOptions, SweepSpec};
-use ff_workload::table_v;
+use ff_bench::gate::bench_sweep_spec;
+use ff_bench::parse_flag;
+use ff_sweep::{default_workers, run_sweep, SweepOptions, SweepSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -49,28 +49,10 @@ struct BenchReport {
     host_cores: usize,
 }
 
-fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
 fn bench_spec(seeds: u64) -> SweepSpec {
-    // Full-length scenarios (the fig3-scale 4,000-frame run with peer
-    // devices): cells must be expensive enough that per-cell work, not
-    // worker startup, dominates the parallel measurement.
-    let base = ExperimentConfig::default;
-    let mut table_v_cfg = base();
-    table_v_cfg.network = table_v();
-    SweepSpec {
-        name: "bench_sweep".into(),
-        scenarios: vec![("ideal".into(), base()), ("table-v".into(), table_v_cfg)],
-        seeds: (0..seeds).collect(),
-        controllers: vec![
-            ("framefeedback".into(), ControllerSpec::framefeedback()),
-            ("all-or-nothing".into(), ControllerSpec::AllOrNothing),
-        ],
-    }
+    // Shared with `ff-bench gate`, which re-measures this exact grid
+    // against the committed baseline.
+    bench_sweep_spec(seeds)
 }
 
 fn main() {

@@ -1,0 +1,231 @@
+//! Enforced performance gate over the committed bench artifacts.
+//!
+//! The repo commits two perf baselines at its root — `BENCH_engine.json`
+//! (DES events/second from `engine_bench`) and `BENCH_sweep.json` (sweep
+//! cells/second from `sweep`). The `gate` binary re-measures both tiers
+//! and **fails** (non-zero exit) when a measured rate falls more than a
+//! tolerance below its committed baseline, turning the JSON artifacts
+//! from passive records into an enforced contract.
+//!
+//! The baselines are parsed *partially*: the gate only reads the one
+//! rate field it compares against, so regenerating an artifact with
+//! extra fields (host notes, new informational passes) never breaks the
+//! gate. Both rates are throughput figures (work/second), so a reduced
+//! tier (`--devices 64 --frames 1000`) measures the same quantity as the
+//! committed full tier and remains comparable within the tolerance.
+
+use ff_core::{Controller, FrameFeedback};
+use ff_device::{run_fleet, EngineOptions, ExperimentConfig, FleetConfig, FleetDeviceConfig};
+use ff_models::{DeviceKind, ModelKind};
+use ff_sim::QueueBackend;
+use ff_sweep::{run_sweep, ControllerSpec, SweepOptions, SweepSpec};
+use ff_workload::table_v;
+use serde::Deserialize;
+use std::time::Instant;
+
+/// Partial view of `BENCH_engine.json`: just the optimized-engine rate.
+#[derive(Deserialize)]
+pub struct EngineBaseline {
+    /// The optimized (timing-wheel, reused-buffers) engine run.
+    pub optimized: RateEntry,
+}
+
+/// A run entry that carries an events-per-second figure.
+#[derive(Deserialize)]
+pub struct RateEntry {
+    /// Events handled per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Partial view of `BENCH_sweep.json`: just the serial reference rate.
+#[derive(Deserialize)]
+pub struct SweepBaseline {
+    /// The single-worker reference timing.
+    pub serial: SerialEntry,
+}
+
+/// A timing entry that carries a runs-per-second figure.
+#[derive(Deserialize)]
+pub struct SerialEntry {
+    /// Sweep cells executed per wall-clock second.
+    pub runs_per_sec: f64,
+}
+
+/// One gate comparison: a measured rate against its committed baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GateCheck {
+    /// Which tier this check covers (`"engine"` / `"sweep"`).
+    pub name: &'static str,
+    /// The committed baseline rate.
+    pub baseline: f64,
+    /// The freshly measured rate.
+    pub measured: f64,
+    /// Allowed fractional shortfall (0.20 = fail below 80% of baseline).
+    pub tolerance: f64,
+}
+
+impl GateCheck {
+    /// A check passes iff `measured >= baseline * (1 - tolerance)`.
+    pub fn passed(&self) -> bool {
+        self.measured >= self.threshold()
+    }
+
+    /// The minimum acceptable rate.
+    pub fn threshold(&self) -> f64 {
+        self.baseline * (1.0 - self.tolerance)
+    }
+
+    /// Measured / baseline, for reporting (1.0 = exactly on baseline).
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.baseline
+    }
+}
+
+impl std::fmt::Display for GateCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<7} {:>12.0}/s measured vs {:>12.0}/s baseline ({:>5.1}% , floor {:>12.0}/s): {}",
+            self.name,
+            self.measured,
+            self.baseline,
+            self.ratio() * 100.0,
+            self.threshold(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// The fleet configuration `engine_bench` (and the gate) measures: N
+/// identical Pi devices on the Table V schedule, contending for the
+/// shared server.
+pub fn engine_fleet_config(
+    devices: usize,
+    frames: u64,
+    engine: EngineOptions,
+    fast_loss: bool,
+) -> FleetConfig {
+    let mut c = FleetConfig::default();
+    c.devices = (0..devices)
+        .map(|_| FleetDeviceConfig {
+            device: DeviceKind::Pi4BRev12,
+            model: ModelKind::MobileNetV3Small,
+        })
+        .collect();
+    c.stream.total_frames = frames;
+    c.network = table_v();
+    c.link.fast_loss = fast_loss;
+    c.engine = engine;
+    c
+}
+
+/// The optimized engine configuration whose rate `BENCH_engine.json`
+/// commits: timing-wheel queue with reused batch buffers.
+pub fn optimized_engine() -> EngineOptions {
+    EngineOptions {
+        backend: QueueBackend::Wheel,
+        reuse_batch_buffers: true,
+    }
+}
+
+/// The grid `sweep` (and the gate) measures: 2 scenarios × `seeds`
+/// seeds × 2 controllers of full-length (fig3-scale) runs.
+pub fn bench_sweep_spec(seeds: u64) -> SweepSpec {
+    // Full-length scenarios (the fig3-scale 4,000-frame run with peer
+    // devices): cells must be expensive enough that per-cell work, not
+    // worker startup, dominates the parallel measurement.
+    let base = ExperimentConfig::default;
+    let mut table_v_cfg = base();
+    table_v_cfg.network = table_v();
+    SweepSpec {
+        name: "bench_sweep".into(),
+        scenarios: vec![("ideal".into(), base()), ("table-v".into(), table_v_cfg)],
+        seeds: (0..seeds).collect(),
+        controllers: vec![
+            ("framefeedback".into(), ControllerSpec::framefeedback()),
+            ("all-or-nothing".into(), ControllerSpec::AllOrNothing),
+        ],
+    }
+}
+
+fn fleet_controllers(n: usize) -> Vec<Box<dyn Controller>> {
+    (0..n)
+        .map(|_| Box::new(FrameFeedback::new()) as Box<dyn Controller>)
+        .collect()
+}
+
+/// Measure the optimized engine's event throughput: best (fastest) of
+/// `reps` repetitions of the `engine_fleet_config` fleet, in events per
+/// wall-clock second. Min-time measurement matches `engine_bench` and
+/// keeps the figure stable on busy hosts.
+pub fn measure_engine_events_per_sec(devices: usize, frames: u64, reps: usize) -> f64 {
+    let config = engine_fleet_config(devices, frames, optimized_engine(), false);
+    let mut best = 0.0f64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let result = run_fleet(config.clone(), fleet_controllers(devices));
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.max(result.events_handled as f64 / elapsed);
+    }
+    best
+}
+
+/// Measure the sweep engine's serial cell throughput: best of `reps`
+/// serial runs of the `bench_sweep_spec` grid, in cells per wall-clock
+/// second. `cells` scales the seed dimension (cells = 4 × seeds).
+pub fn measure_sweep_runs_per_sec(cells: usize, reps: usize) -> f64 {
+    let seeds = (cells / 4).max(1) as u64;
+    let spec = bench_sweep_spec(seeds);
+    let n = spec.cell_count();
+    let mut best = 0.0f64;
+    for _ in 0..reps.max(1) {
+        let outcome = run_sweep(&spec, &SweepOptions::serial());
+        best = best.max(n as f64 / outcome.elapsed_secs);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_check_boundary() {
+        let mut c = GateCheck {
+            name: "engine",
+            baseline: 1_000.0,
+            measured: 800.0,
+            tolerance: 0.20,
+        };
+        assert!(c.passed(), "exactly at the floor passes");
+        c.measured = 799.9;
+        assert!(!c.passed(), "below the floor fails");
+        c.measured = 1_500.0;
+        assert!(c.passed());
+        assert!((c.ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baselines_parse_partially() {
+        // Unknown fields (everything else the bench bins write) must be
+        // ignored so artifact regeneration can add fields freely.
+        let engine: EngineBaseline = serde_json::from_str(
+            r#"{"scenario":"table-v","optimized":{"backend":"wheel","events_per_sec":123.5},"speedup":1.6}"#,
+        )
+        .unwrap();
+        assert!((engine.optimized.events_per_sec - 123.5).abs() < 1e-12);
+        let sweep: SweepBaseline = serde_json::from_str(
+            r#"{"cells":32,"serial":{"workers":1,"runs_per_sec":400.0},"speedup":null}"#,
+        )
+        .unwrap();
+        assert!((sweep.serial.runs_per_sec - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_tier_measures_a_positive_rate() {
+        let rate = measure_engine_events_per_sec(2, 40, 1);
+        assert!(rate > 0.0);
+        let sweep = measure_sweep_runs_per_sec(4, 1);
+        assert!(sweep > 0.0);
+    }
+}

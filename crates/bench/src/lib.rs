@@ -24,6 +24,7 @@
 //! aggregation, `FF_SWEEP_WORKERS` / `FF_SWEEP_CACHE_DIR` to override.
 
 mod dashboard;
+pub mod gate;
 
 pub use dashboard::Dashboard;
 
@@ -33,6 +34,14 @@ use ff_device::{ExperimentConfig, ExperimentResult};
 use ff_metrics::{render_chart, ChartConfig, ChartSeries};
 use ff_sweep::{run_sweep, SweepOptions, SweepSpec};
 use serde::Serialize;
+
+/// Return the value following `flag` in a CLI argument list, if any —
+/// the shared flag parser of the experiment binaries.
+pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 /// The four controllers of §IV-B, freshly constructed.
 pub fn controller_lineup() -> Vec<Box<dyn Controller>> {

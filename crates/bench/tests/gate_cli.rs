@@ -1,0 +1,101 @@
+//! End-to-end check of the `ff-bench gate` binary: fabricated baselines
+//! drive both verdicts — an unreachable (inflated) baseline must fail the
+//! process with a non-zero exit, and a trivially low baseline must pass.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn baseline_file(name: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("ff-gate-{}-{name}", std::process::id()));
+    std::fs::write(&path, body).expect("write fabricated baseline");
+    path
+}
+
+/// Run the gate on the reduced tier against fabricated baselines. The
+/// tier is deliberately tiny (and `--skip-sweep`) so the test stays fast
+/// under the debug profile; the verdict only depends on the fabricated
+/// baseline, not on the host's absolute speed.
+fn run_gate(engine_events_per_sec: f64) -> std::process::Output {
+    let engine = baseline_file(
+        &format!("engine-{engine_events_per_sec:e}.json"),
+        &format!(r#"{{"optimized":{{"events_per_sec":{engine_events_per_sec}}}}}"#),
+    );
+    Command::new(env!("CARGO_BIN_EXE_gate"))
+        .args([
+            "--tolerance",
+            "0.20",
+            "--skip-sweep",
+            "--devices",
+            "4",
+            "--frames",
+            "120",
+            "--reps",
+            "1",
+            "--engine-baseline",
+        ])
+        .arg(&engine)
+        .output()
+        .expect("gate binary runs")
+}
+
+#[test]
+fn gate_fails_on_inflated_baseline() {
+    // No host measures 1e12 events/s; a >=20% shortfall is guaranteed.
+    let out = run_gate(1e12);
+    assert!(
+        !out.status.success(),
+        "gate must exit non-zero against an unreachable baseline; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "verdict missing from:\n{stdout}");
+}
+
+#[test]
+fn gate_passes_on_trivial_baseline() {
+    // Any host beats 1 event/s, so the same measurement must pass.
+    let out = run_gate(1.0);
+    assert!(
+        out.status.success(),
+        "gate must exit zero against a trivial baseline; stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PASS"), "verdict missing from:\n{stdout}");
+}
+
+#[test]
+fn gate_covers_the_sweep_tier_too() {
+    let engine = baseline_file(
+        "engine-tiny.json",
+        r#"{"optimized":{"events_per_sec":1.0}}"#,
+    );
+    let sweep = baseline_file("sweep-huge.json", r#"{"serial":{"runs_per_sec":1e12}}"#);
+    let out = Command::new(env!("CARGO_BIN_EXE_gate"))
+        .args([
+            "--devices",
+            "4",
+            "--frames",
+            "120",
+            "--cells",
+            "4",
+            "--reps",
+            "1",
+        ])
+        .arg("--engine-baseline")
+        .arg(&engine)
+        .arg("--sweep-baseline")
+        .arg(&sweep)
+        .output()
+        .expect("gate binary runs");
+    assert!(
+        !out.status.success(),
+        "an inflated sweep baseline alone must fail the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("engine") && stdout.contains("sweep"),
+        "both tiers must be reported:\n{stdout}"
+    );
+}

@@ -30,7 +30,10 @@ use ff_net::{Link, LinkConfig, LinkStats, LossModel, NetworkConditions, SendOutc
 use ff_server::{BatchOutput, EdgeServer, PoissonArrivals, Request, ServerStats, Submit, TenantId};
 use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
 use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
-use ff_workload::{FrameSource, StepSchedule, StreamConfig};
+use ff_trace::{TraceHandle, TraceHeader};
+use ff_workload::{
+    FrameSource, FrameStream, ReplayCursor, ReplayFrames, StepSchedule, StreamConfig,
+};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +94,13 @@ pub struct ExperimentConfig {
     /// only by their deadlines, so the controller sees `T` equal to the
     /// attempted rate and must fall back to the §III-A.1 probe floor.
     pub outage: Option<ServerOutage>,
+    /// Replace the generative frame source with a recorded capture
+    /// schedule (e.g. extracted from a binary trace via
+    /// `ReplayFrames::from_trace`): same capture instants, same raw
+    /// sizes, no frame-stream RNG. `stream` still supplies `fps` and
+    /// compression parameters.
+    #[serde(default)]
+    pub replay: Option<ReplayFrames>,
 }
 
 /// A server crash-and-restart window (see [`ExperimentConfig::outage`]).
@@ -136,6 +146,7 @@ impl Default for ExperimentConfig {
             record_trace: false,
             adaptive_local_model: None,
             outage: None,
+            replay: None,
         }
     }
 }
@@ -274,7 +285,7 @@ struct World {
     config: ExperimentConfig,
     controller: Box<dyn Controller>,
     runtime: DeviceRuntime,
-    source: FrameSource<ChaCha8Rng>,
+    source: FrameStream<ChaCha8Rng>,
     engine: LocalEngine<ChaCha8Rng>,
     link: Link<ChaCha8Rng>,
     server: EdgeServer,
@@ -483,7 +494,7 @@ impl SimModel for World {
                 };
                 let now = ctx.now();
                 debug_assert_eq!(frame.captured_at, now, "capture event out of sync");
-                match self.runtime.route() {
+                match self.runtime.route_frame(frame.id.0, frame.bytes, now) {
                     Route::Offload => {
                         let resolution = self.config.stream.compression.resolution;
                         let (bytes, quality) = match &self.quality {
@@ -530,7 +541,7 @@ impl SimModel for World {
             }
 
             Event::LocalDone => {
-                self.runtime.note_local_done(1);
+                self.runtime.note_local_done(1, ctx.now());
                 self.local_done_total += 1;
                 self.local_accuracy_sum += self.current_local_accuracy;
                 if let Some(finished) = self.local_running.take() {
@@ -576,7 +587,7 @@ impl SimModel for World {
                 }
                 for r in &self.batch_out.rejections {
                     if r.request.tenant == DEVICE_TENANT && r.request.tag < BACKGROUND_TAG_BASE {
-                        self.runtime.frame_rejected_by_server(r.request.tag);
+                        self.runtime.frame_rejected_by_server(r.request.tag, now);
                     }
                 }
                 if let Some(done_at) = self.batch_out.next_done {
@@ -683,9 +694,31 @@ pub fn run_experiment(
 /// pipeline handle is inherently process-local.
 pub fn run_experiment_with_telemetry(
     config: ExperimentConfig,
-    mut controller: Box<dyn Controller>,
+    controller: Box<dyn Controller>,
     telemetry: &Telemetry,
 ) -> ExperimentResult {
+    run_experiment_inner(config, controller, telemetry, false).0
+}
+
+/// Like [`run_experiment`], but also recording the run into a binary
+/// `ff-trace` event log, returned alongside the result. Recording is
+/// strictly write-only: the [`ExperimentResult`] is bit-identical to an
+/// untraced run (see `tests/trace_inert.rs`), and the trace replay-
+/// verifies against a fresh runtime (`crate::replay_verify`).
+pub fn run_experiment_traced(
+    config: ExperimentConfig,
+    controller: Box<dyn Controller>,
+) -> (ExperimentResult, Vec<u8>) {
+    let (result, trace) = run_experiment_inner(config, controller, &Telemetry::disabled(), true);
+    (result, trace.expect("recording was requested"))
+}
+
+fn run_experiment_inner(
+    config: ExperimentConfig,
+    mut controller: Box<dyn Controller>,
+    telemetry: &Telemetry,
+    record_binary_trace: bool,
+) -> (ExperimentResult, Option<Vec<u8>>) {
     let rng = RngFactory::new(config.seed);
     let fs = config.stream.fps;
     if let Some(outage) = &config.outage {
@@ -694,7 +727,7 @@ pub fn run_experiment_with_telemetry(
 
     // The runtime makes the bootstrap decision at t = 0 so policies with
     // static targets (e.g. always-offload) act from the first frame.
-    let runtime = DeviceRuntime::new(
+    let mut runtime = DeviceRuntime::new(
         RuntimeConfig {
             fs,
             deadline: config.deadline,
@@ -704,8 +737,26 @@ pub fn run_experiment_with_telemetry(
         },
         controller.as_mut(),
     );
+    if record_binary_trace {
+        runtime.set_trace(TraceHandle::recording(&TraceHeader {
+            fs,
+            deadline_us: config.deadline.as_micros(),
+            controller_period_us: config.controller_period.as_micros(),
+            timeout_window_us: config.timeout_window.as_micros(),
+            probe_bytes: config.stream.compression.mean_frame_bytes(),
+            seed: config.seed,
+            controller: controller.name().to_string(),
+        }));
+    }
 
-    let end_at = SimTime::ZERO + config.stream.stream_duration() + config.deadline;
+    // A replayed schedule ends at its recorded last capture; a generated
+    // one at `total_frames` intervals. Both get the deadline tail so the
+    // final offloads can resolve.
+    let stream_end = match &config.replay {
+        Some(replay) => replay.duration() + config.stream.frame_interval(),
+        None => config.stream.stream_duration(),
+    };
+    let end_at = SimTime::ZERO + stream_end + config.deadline;
     let initial_conditions = *config.network.value_at(0.0);
     let initial_bg =
         config.background.value_at(0.0) + config.peer_devices as f64 * config.peer_rate_fps;
@@ -714,9 +765,13 @@ pub fn run_experiment_with_telemetry(
     if let Some(model) = config.loss_model {
         link.set_loss_model(model);
     }
+    let source = match &config.replay {
+        Some(replay) => FrameStream::Replay(ReplayCursor::new(replay.clone())),
+        None => FrameStream::Generated(FrameSource::new(config.stream, rng.stream("frames"))),
+    };
     let world = World {
         runtime,
-        source: FrameSource::new(config.stream, rng.stream("frames")),
+        source,
         engine: LocalEngine::new(config.device, config.model, rng.stream("local")),
         link,
         server: EdgeServer::new(config.gpu),
@@ -772,7 +827,8 @@ pub fn run_experiment_with_telemetry(
     // even at full offload. Sized once, the heap never reallocates, which
     // matters when a sweep executes thousands of runs back to back.
     let mut sim = Simulation::with_event_capacity(world, 512);
-    sim.schedule_at(SimTime::ZERO, Event::Capture);
+    let first_capture = sim.model().source.next_capture_time();
+    sim.schedule_at(first_capture, Event::Capture);
     sim.schedule_at(SimTime::ZERO + controller_period, Event::Tick);
     for (i, &t) in network_steps.iter().enumerate().skip(1) {
         sim.schedule_at(SimTime::from_secs_f64(t), Event::NetworkChange(i));
@@ -806,9 +862,10 @@ pub fn run_experiment_with_telemetry(
     let cpu_usage_pct = CpuModel::default().usage_pct(local_busy_fraction, offload_share);
     let offload_successes = world.runtime.successes();
     let offload_timeouts = world.runtime.timeouts();
+    let binary_trace = world.runtime.finish_trace(now);
     let qos = world.runtime.into_qos();
 
-    ExperimentResult {
+    let result = ExperimentResult {
         controller: world.controller.name().to_string(),
         offload_latency: world.latencies.summary(),
         uplink_latency: world.uplink_latencies.summary(),
@@ -831,7 +888,8 @@ pub fn run_experiment_with_telemetry(
             .then(|| world.local_accuracy_sum / world.local_done_total as f64),
         trace: world.trace.is_enabled().then(|| world.trace.into_records()),
         qos,
-    }
+    };
+    (result, binary_trace)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ mod fleet;
 mod local;
 mod offload;
 mod quality;
+mod replay;
 pub mod runtime;
 mod selector;
 mod splitter;
@@ -35,7 +36,8 @@ mod trace;
 
 pub use cpu::{CpuModel, EnergyModel};
 pub use experiment::{
-    run_experiment, run_experiment_with_telemetry, ExperimentConfig, ExperimentResult, ServerOutage,
+    run_experiment, run_experiment_traced, run_experiment_with_telemetry, ExperimentConfig,
+    ExperimentResult, ServerOutage,
 };
 pub use fleet::{
     run_fleet, EngineOptions, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult,
@@ -43,6 +45,9 @@ pub use fleet::{
 pub use local::{LocalEngine, LocalOutcome};
 pub use offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};
 pub use quality::{QualityAdapter, QualityConfig};
+pub use replay::{
+    controller_by_name, replay_verify, replay_verify_with, ReplayMismatch, ReplayReport,
+};
 pub use runtime::{
     is_probe_tag, DeviceRuntime, FrameOutcome, OffloadSubmission, RuntimeConfig, SubmitOutcome,
     TickOutput, Transport, WallClock, BACKGROUND_TAG_BASE, PROBE_TAG_BASE,

@@ -29,6 +29,10 @@ use crate::splitter::{FrameSplitter, Route};
 use ff_core::{Controller, Measurement};
 use ff_metrics::{QosLog, QosRecord, WindowedRate};
 use ff_sim::{SimDuration, SimTime};
+use ff_trace::{
+    TickQos, TraceEvent, TraceHandle, TraceResponseOutcome, TraceRoute, TraceSubmitOutcome,
+    TraceTimeoutCause,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -200,6 +204,42 @@ pub struct DeviceRuntime {
     qos: QosLog,
     frames_offloaded: u64,
     instant_failures: u64,
+    /// Binary event recording (`ff-trace`), disabled by default. Same
+    /// contract as telemetry: strictly write-only, so results are
+    /// bit-identical with recording on or off (`tests/trace_inert.rs`).
+    trace: TraceHandle,
+}
+
+/// Map the runtime's transport verdict into the trace vocabulary.
+fn trace_submit(outcome: SubmitOutcome) -> TraceSubmitOutcome {
+    match outcome {
+        SubmitOutcome::Accepted => TraceSubmitOutcome::Accepted,
+        SubmitOutcome::DroppedInNetwork => TraceSubmitOutcome::DroppedInNetwork,
+        SubmitOutcome::FailedInstantly => TraceSubmitOutcome::FailedInstantly,
+    }
+}
+
+/// Map a timeout cause into the trace vocabulary.
+pub(crate) fn trace_cause(cause: TimeoutCause) -> TraceTimeoutCause {
+    match cause {
+        TimeoutCause::Network => TraceTimeoutCause::Network,
+        TimeoutCause::ServerLoad => TraceTimeoutCause::ServerLoad,
+    }
+}
+
+/// Map a frame outcome into the trace vocabulary.
+pub(crate) fn trace_outcome(outcome: &FrameOutcome) -> TraceResponseOutcome {
+    match outcome {
+        FrameOutcome::Probe => TraceResponseOutcome::Probe,
+        FrameOutcome::Success { latency, .. } => TraceResponseOutcome::Success {
+            latency_us: latency.as_micros(),
+        },
+        FrameOutcome::Timeout { cause } => TraceResponseOutcome::Timeout {
+            cause: trace_cause(*cause),
+        },
+        FrameOutcome::Rejected => TraceResponseOutcome::Rejected,
+        FrameOutcome::Stale => TraceResponseOutcome::Stale,
+    }
 }
 
 impl DeviceRuntime {
@@ -237,13 +277,66 @@ impl DeviceRuntime {
             qos: QosLog::new(),
             frames_offloaded: 0,
             instant_failures: 0,
+            trace: TraceHandle::disabled(),
             config,
         }
+    }
+
+    /// Attach a trace recorder (see `ff-trace`). Call right after
+    /// [`DeviceRuntime::new`]; the bootstrap decision itself is not an
+    /// event — replay reproduces it by constructing the runtime the
+    /// same way.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Whether control-loop events are being recorded.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Stop recording and return the encoded trace, closed with an
+    /// [`TraceEvent::End`] counter record at `now`. `None` if recording
+    /// was never enabled.
+    pub fn finish_trace(&mut self, now: SimTime) -> Option<Vec<u8>> {
+        let (frames_offloaded, successes, timeouts, instant_failures) = (
+            self.frames_offloaded,
+            self.successes(),
+            self.timeouts(),
+            self.instant_failures,
+        );
+        self.trace.record_with(|| TraceEvent::End {
+            at: now,
+            frames_offloaded,
+            successes,
+            timeouts,
+            instant_failures,
+        });
+        std::mem::take(&mut self.trace).finish()
     }
 
     /// Route one captured frame against the current target.
     pub fn route(&mut self) -> Route {
         self.splitter.route(self.po_target, self.config.fs)
+    }
+
+    /// [`DeviceRuntime::route`] with the frame's identity attached, so
+    /// the decision lands in the trace: records a capture event carrying
+    /// the raw payload size (pre quality adaptation) and the route.
+    /// Hosts that may record a trace use this; `route()` remains for
+    /// callers without per-frame identity.
+    pub fn route_frame(&mut self, frame_id: u64, bytes: u64, now: SimTime) -> Route {
+        let route = self.splitter.route(self.po_target, self.config.fs);
+        self.trace.record_with(|| TraceEvent::Capture {
+            at: now,
+            frame_id,
+            bytes,
+            route: match route {
+                Route::Offload => TraceRoute::Offload,
+                Route::Local => TraceRoute::Local,
+            },
+        });
+        route
     }
 
     /// Offload one frame: count it, submit it through the transport, and
@@ -260,6 +353,12 @@ impl DeviceRuntime {
         self.interval.sent += 1;
         self.frames_offloaded += 1;
         let outcome = transport.send(tag, bytes, captured_at);
+        self.trace.record_with(|| TraceEvent::Submit {
+            at: captured_at,
+            tag,
+            bytes,
+            outcome: trace_submit(outcome),
+        });
         match outcome {
             SubmitOutcome::Accepted => self.tracker.sent(tag, captured_at),
             SubmitOutcome::DroppedInNetwork => {
@@ -277,14 +376,28 @@ impl DeviceRuntime {
         }
     }
 
-    /// Count `n` completed local inferences toward the current interval.
-    pub fn note_local_done(&mut self, n: u64) {
+    /// Count `n` completed local inferences (finishing at `now`) toward
+    /// the current interval.
+    pub fn note_local_done(&mut self, n: u64, now: SimTime) {
+        self.trace
+            .record_with(|| TraceEvent::LocalDone { at: now, n });
         self.interval.local_done += n;
     }
 
     /// A response for `tag` reached the device at `now`. `ok` is false for
     /// server rejections (batch overflow).
     pub fn on_response(&mut self, tag: u64, now: SimTime, ok: bool) -> FrameOutcome {
+        let outcome = self.on_response_inner(tag, now, ok);
+        self.trace.record_with(|| TraceEvent::Response {
+            at: now,
+            tag,
+            ok,
+            outcome: trace_outcome(&outcome),
+        });
+        outcome
+    }
+
+    fn on_response_inner(&mut self, tag: u64, now: SimTime, ok: bool) -> FrameOutcome {
         if is_probe_tag(tag) {
             if let Some(sent_at) = self.probes.remove(&tag) {
                 if ok && now.saturating_since(sent_at) <= self.config.deadline {
@@ -312,14 +425,18 @@ impl DeviceRuntime {
     /// The frame arrived at the server (sim adapter: refines `T_n`/`T_l`
     /// attribution for late responses).
     pub fn frame_arrived_at_server(&mut self, tag: u64, at: SimTime) {
+        self.trace
+            .record_with(|| TraceEvent::ServerArrival { at, tag });
         if !is_probe_tag(tag) {
             self.tracker.arrived_at_server(tag, at);
         }
     }
 
-    /// The server rejected the frame (batch overflow); it will resolve as
-    /// a load timeout at its deadline.
-    pub fn frame_rejected_by_server(&mut self, tag: u64) {
+    /// The server rejected the frame at `at` (batch overflow); it will
+    /// resolve as a load timeout at its deadline.
+    pub fn frame_rejected_by_server(&mut self, tag: u64, at: SimTime) {
+        self.trace
+            .record_with(|| TraceEvent::ServerRejected { at, tag });
         if !is_probe_tag(tag) {
             self.tracker.rejected_by_server(tag);
         }
@@ -332,15 +449,27 @@ impl DeviceRuntime {
             // An unresolved probe is a failed heartbeat; nothing to do —
             // the flag is already pessimistic.
             self.probes.remove(&tag);
+            self.trace.record_with(|| TraceEvent::Deadline {
+                at: now,
+                tag,
+                timed_out: None,
+            });
             return None;
         }
-        if let Some(OffloadResolution::Timeout { cause }) = self.tracker.deadline_expired(tag, now)
+        let result = if let Some(OffloadResolution::Timeout { cause }) =
+            self.tracker.deadline_expired(tag, now)
         {
             self.record_timeout(now, cause);
             Some(cause)
         } else {
             None
-        }
+        };
+        self.trace.record_with(|| TraceEvent::Deadline {
+            at: now,
+            tag,
+            timed_out: result.map(trace_cause),
+        });
+        result
     }
 
     /// Resolve every in-flight frame whose deadline has strictly passed
@@ -358,6 +487,10 @@ impl DeviceRuntime {
                 out.push((tag, cause));
             }
         }
+        self.trace.record_with(|| TraceEvent::ExpireDue {
+            at: now,
+            expired: out.iter().map(|&(tag, c)| (tag, trace_cause(c))).collect(),
+        });
         out
     }
 
@@ -396,13 +529,36 @@ impl DeviceRuntime {
         let record = *self.qos.records().last().expect("record just pushed");
         self.interval = IntervalCounters::default();
 
+        self.trace.record_with(|| TraceEvent::Tick {
+            at: now,
+            qos: TickQos {
+                t_secs: record.t_secs,
+                pl: record.pl,
+                po: record.po,
+                timeouts: record.timeouts,
+                timeouts_network: record.timeouts_network,
+                timeouts_load: record.timeouts_load,
+                po_target: record.po_target,
+            },
+            timeout_rate: t_windowed,
+            heartbeat_ok: m.heartbeat_ok,
+            probe_tag: PROBE_TAG_BASE + self.probe_seq,
+        });
+
         // Heartbeat for the next interval. The flag is pessimistic until a
         // timely probe response arrives.
         self.last_heartbeat_ok = false;
         let probe_tag = PROBE_TAG_BASE + self.probe_seq;
         self.probe_seq += 1;
         self.probes.insert(probe_tag, now);
-        let _ = transport.send(probe_tag, self.config.probe_bytes, now);
+        let probe_outcome = transport.send(probe_tag, self.config.probe_bytes, now);
+        let probe_bytes = self.config.probe_bytes;
+        self.trace.record_with(|| TraceEvent::Submit {
+            at: now,
+            tag: probe_tag,
+            bytes: probe_bytes,
+            outcome: trace_submit(probe_outcome),
+        });
 
         TickOutput {
             record,
@@ -617,7 +773,7 @@ mod tests {
         for tag in 0..10 {
             rt.offload(&mut tp, tag, 8_000, SimTime::from_millis(tag * 20));
         }
-        rt.note_local_done(5);
+        rt.note_local_done(5, SimTime::from_millis(500));
         let out = rt.tick(SimTime::from_secs(1), &mut ctl, &mut tp);
         assert_eq!(out.record.po, 10.0);
         assert_eq!(out.record.pl, 5.0);

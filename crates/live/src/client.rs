@@ -22,6 +22,7 @@ use ff_device::{
 use ff_metrics::{LogHistogram, QosLog};
 use ff_sim::{SimDuration, SimTime};
 use ff_telemetry::{Level, LogCode, Metric, Recorder, Scope, Telemetry};
+use ff_trace::{TraceHandle, TraceHeader};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -116,6 +117,10 @@ pub struct LiveDeviceConfig {
     pub timeout_window: Duration,
     /// How the device redials after losing the server.
     pub reconnect: ReconnectPolicy,
+    /// Record a binary `ff-trace` event log of the run (returned in
+    /// [`LiveRunSummary::trace`]). Recording is write-only: it changes
+    /// nothing about the control loop's behaviour.
+    pub record_trace: bool,
 }
 
 impl Default for LiveDeviceConfig {
@@ -130,6 +135,7 @@ impl Default for LiveDeviceConfig {
             io_timeout: Duration::from_secs(2),
             timeout_window: Duration::from_secs(3),
             reconnect: ReconnectPolicy::default(),
+            record_trace: false,
         }
     }
 }
@@ -159,6 +165,11 @@ pub struct LiveRunSummary {
     /// Offload attempts that failed instantly because no connection was
     /// up (they still count toward `timeouts`).
     pub failed_while_disconnected: u64,
+    /// The encoded binary event trace, when
+    /// [`LiveDeviceConfig::record_trace`] was set. Decodes with
+    /// `ff_trace::Trace::decode` and replay-verifies with
+    /// `ff_device::replay_verify` — the same tooling as a simulated run.
+    pub trace: Option<Vec<u8>>,
 }
 
 impl LiveRunSummary {
@@ -465,6 +476,18 @@ pub fn run_live_device_with_telemetry(
         },
         controller,
     );
+    if config.record_trace {
+        runtime.set_trace(TraceHandle::recording(&TraceHeader {
+            fs: config.fs,
+            deadline_us: config.deadline.as_micros() as u64,
+            controller_period_us: config.tick.as_micros() as u64,
+            timeout_window_us: config.timeout_window.as_micros() as u64,
+            probe_bytes: config.frame_bytes,
+            // A wall-clock run has no master seed; 0 marks "live".
+            seed: 0,
+            controller: controller.name().to_string(),
+        }));
+    }
 
     let mut latency_ms = LogHistogram::for_latency_ms();
     let mut last_pl_total: u64 = 0;
@@ -482,7 +505,7 @@ pub fn run_live_device_with_telemetry(
         let captured_at = Instant::now();
 
         // Route the frame.
-        match runtime.route() {
+        match runtime.route_frame(i, config.frame_bytes, clock.at(captured_at)) {
             Route::Offload => {
                 let mut transport = LiveTransport {
                     shared: &shared,
@@ -521,7 +544,7 @@ pub fn run_live_device_with_telemetry(
         if now >= next_tick {
             let pl_total = local_completed.load(Ordering::Relaxed);
             let local_delta = pl_total - last_pl_total;
-            runtime.note_local_done(local_delta);
+            runtime.note_local_done(local_delta, clock.at(now));
             last_pl_total = pl_total;
             let mut transport = LiveTransport {
                 shared: &shared,
@@ -596,8 +619,10 @@ pub fn run_live_device_with_telemetry(
     let successes = runtime.successes();
     let timeouts = runtime.timeouts();
     let failed_while_disconnected = runtime.instant_failures();
+    let trace = runtime.finish_trace(clock.now());
     Ok(LiveRunSummary {
         qos: runtime.into_qos(),
+        trace,
         frames: total_frames,
         offloaded,
         local_completed: local_completed.load(Ordering::Relaxed),

@@ -9,34 +9,90 @@
 //! Protocol (documented in EXPERIMENTS.md): the server never reads from
 //! clients; each line is one `Snapshot` in the schema-versioned JSON
 //! produced by `serde_json` (`schema` field = `SNAPSHOT_SCHEMA_VERSION`).
-//! A client that falls behind or disconnects is dropped on the next
-//! failed write — export never blocks or breaks the host pipeline.
+//!
+//! Export never blocks the host pipeline: subscriber sockets are
+//! non-blocking, and bytes the kernel will not take immediately are
+//! parked in a bounded per-subscriber buffer (default
+//! [`DEFAULT_PENDING_CAPACITY`]). A subscriber that stalls long enough
+//! to overflow its buffer is disconnected and counted in
+//! [`TcpExportSink::dropped_subscribers`]; a subscriber whose socket
+//! errors is dropped silently, exactly as if it had hung up.
 
 use ff_telemetry::{Sink, Snapshot};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// Default per-subscriber pending-byte budget (256 KiB): enough to ride
+/// out a paused terminal, small enough that a stuck reader cannot pin
+/// unbounded memory.
+pub const DEFAULT_PENDING_CAPACITY: usize = 256 * 1024;
+
+/// Consecutive `accept` failures after which the accept loop gives up.
+/// Transient conditions (`EINTR`, aborted handshakes, fd exhaustion)
+/// clear well before this; only a persistently broken listener exits.
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 1_000;
+
+/// One connected subscriber: its non-blocking socket plus whatever bytes
+/// the kernel would not accept yet.
+struct Subscriber {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Subscriber {
+    /// Push buffered bytes into the socket without ever blocking.
+    /// `Ok` leaves the subscriber alive (possibly with bytes still
+    /// pending); `Err` means the socket is gone.
+    fn try_drain(&mut self) -> io::Result<()> {
+        while !self.pending.is_empty() {
+            match self.stream.write(&self.pending) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.pending.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Serves the snapshot stream as JSON lines to any number of TCP
 /// subscribers. Register it with `Telemetry::add_sink`.
 pub struct TcpExportSink {
     addr: SocketAddr,
-    clients: Arc<Mutex<Vec<TcpStream>>>,
+    clients: Arc<Mutex<Vec<Subscriber>>>,
+    /// Subscribers disconnected because they overflowed their pending
+    /// buffer (cumulative).
+    dropped: Arc<AtomicU64>,
+    /// Per-subscriber pending-byte budget.
+    capacity: usize,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
 }
 
 impl TcpExportSink {
     /// Bind `addr` (use `127.0.0.1:0` for an ephemeral port) and start
-    /// accepting subscribers in a background thread.
+    /// accepting subscribers in a background thread, with the default
+    /// per-subscriber buffer budget.
     pub fn bind(bind: &str) -> io::Result<TcpExportSink> {
+        TcpExportSink::bind_with_capacity(bind, DEFAULT_PENDING_CAPACITY)
+    }
+
+    /// [`bind`](TcpExportSink::bind) with an explicit per-subscriber
+    /// pending-byte budget — primarily for tests, which shrink it to
+    /// exercise the overflow path without megabytes of traffic.
+    pub fn bind_with_capacity(bind: &str, capacity: usize) -> io::Result<TcpExportSink> {
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let clients: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let clients: Arc<Mutex<Vec<Subscriber>>> = Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_handle = {
@@ -50,6 +106,8 @@ impl TcpExportSink {
         Ok(TcpExportSink {
             addr,
             clients,
+            dropped: Arc::new(AtomicU64::new(0)),
+            capacity,
             stop,
             accept_handle: Some(accept_handle),
         })
@@ -64,22 +122,56 @@ impl TcpExportSink {
     pub fn client_count(&self) -> usize {
         self.clients.lock().map(|c| c.len()).unwrap_or(0)
     }
+
+    /// How many subscribers have been disconnected for falling behind
+    /// (pending buffer overflow), cumulatively.
+    pub fn dropped_subscribers(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A clone of the overflow counter, for observing the sink after
+    /// ownership moves into `Telemetry::add_sink`.
+    pub fn dropped_subscribers_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.dropped)
+    }
 }
 
-fn accept_loop(listener: TcpListener, clients: Arc<Mutex<Vec<TcpStream>>>, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, clients: Arc<Mutex<Vec<Subscriber>>>, stop: Arc<AtomicBool>) {
+    let mut consecutive_errors: u32 = 0;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                consecutive_errors = 0;
                 // Nodelay so small snapshot lines reach dashboards promptly.
                 let _ = stream.set_nodelay(true);
+                // Writes must never block the emitting pipeline; a socket
+                // that cannot go non-blocking is useless to us.
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
                 if let Ok(mut c) = clients.lock() {
-                    c.push(stream);
+                    c.push(Subscriber {
+                        stream,
+                        pending: Vec::new(),
+                    });
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                consecutive_errors = 0;
                 thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => break,
+            Err(_) => {
+                // Interrupted, ConnectionAborted/Reset (handshake torn
+                // down before accept), TimedOut, EMFILE…: all transient.
+                // Keep serving existing subscribers and retry; only a
+                // listener that fails every attempt for ~10 s straight
+                // is abandoned.
+                consecutive_errors += 1;
+                if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
         }
     }
 }
@@ -91,16 +183,41 @@ impl Sink for TcpExportSink {
         };
         let mut line = json.into_bytes();
         line.push(b'\n');
+        let capacity = self.capacity;
+        let dropped = &self.dropped;
         if let Ok(mut clients) = self.clients.lock() {
-            // Dead subscribers are dropped on their first failed write;
-            // the survivors keep receiving.
-            clients.retain_mut(|c| c.write_all(&line).is_ok());
+            clients.retain_mut(|c| {
+                // A subscriber that stalled past its budget is cut loose
+                // — the host pipeline never waits on a slow reader.
+                if c.pending.len() + line.len() > capacity {
+                    dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                c.pending.extend_from_slice(&line);
+                // Dead subscribers are dropped on their first failed
+                // write; the survivors keep receiving.
+                c.try_drain().is_ok()
+            });
         }
     }
 
     fn flush(&mut self) {
         if let Ok(mut clients) = self.clients.lock() {
-            clients.retain_mut(|c| c.flush().is_ok());
+            clients.retain_mut(|c| {
+                // End-of-run flush: give a live-but-slow subscriber a
+                // bounded grace window to take its backlog, then let the
+                // socket's own close-time draining do what it can.
+                for _ in 0..50 {
+                    if c.try_drain().is_err() {
+                        return false;
+                    }
+                    if c.pending.is_empty() {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                c.stream.flush().is_ok()
+            });
         }
     }
 }
@@ -193,5 +310,97 @@ mod tests {
         }
         telemetry.finish(); // must not panic or error
         assert_eq!(telemetry.dropped_events(), 0);
+    }
+
+    /// A wide snapshot (~8 KiB serialized) for filling socket buffers
+    /// quickly in the stall test.
+    fn fat_snapshot(seq: u64) -> Snapshot {
+        Snapshot {
+            schema: ff_telemetry::SNAPSHOT_SCHEMA_VERSION,
+            seq,
+            t_us: seq * 1_000_000,
+            window_us: 1_000_000,
+            dropped_events: 0,
+            scopes: vec![ff_telemetry::ScopeSnapshot {
+                scope: "x".repeat(8_192),
+                counters: Vec::new(),
+                gauges: Vec::new(),
+                latencies: Vec::new(),
+                logs: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn stalled_subscriber_is_cut_loose_without_blocking_emit() {
+        // Tight budget so the overflow path triggers as soon as the
+        // kernel's socket buffers are full.
+        let mut sink = TcpExportSink::bind_with_capacity("127.0.0.1:0", 32 * 1_024).unwrap();
+        let addr = sink.addr();
+        let dropped = sink.dropped_subscribers_handle();
+
+        // A subscriber that connects and then never reads a byte.
+        let stalled = TcpStream::connect(addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(sink.client_count(), 1);
+
+        // Emit until the stalled client is cut loose. Each line is
+        // ~8 KiB, so a few hundred emits overwhelm loopback socket
+        // buffers plus the 32 KiB pending budget. Every emit must
+        // return promptly — the deadline proves no write ever blocked
+        // on the stalled peer.
+        let start = std::time::Instant::now();
+        for seq in 0..2_000u64 {
+            sink.emit(&fat_snapshot(seq));
+            if dropped.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "emit stalled on a non-reading subscriber"
+        );
+        assert_eq!(
+            sink.dropped_subscribers(),
+            1,
+            "the stalled subscriber was never dropped"
+        );
+        assert_eq!(sink.client_count(), 0);
+        drop(stalled);
+    }
+
+    #[test]
+    fn slow_but_reading_subscriber_survives_and_catches_up() {
+        let mut sink = TcpExportSink::bind_with_capacity("127.0.0.1:0", 64 * 1_024).unwrap();
+        let addr = sink.addr();
+
+        let client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(client);
+        thread::sleep(Duration::from_millis(50));
+
+        // Lines small enough that the kernel absorbs the burst; the
+        // subscriber then reads everything back.
+        for seq in 0..20u64 {
+            sink.emit(&Snapshot {
+                schema: ff_telemetry::SNAPSHOT_SCHEMA_VERSION,
+                seq,
+                t_us: seq,
+                window_us: 1,
+                dropped_events: 0,
+                scopes: Vec::new(),
+            });
+        }
+        sink.flush();
+        for seq in 0..20u64 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let snap: Snapshot = serde_json::from_str(line.trim()).unwrap();
+            assert_eq!(snap.seq, seq);
+        }
+        assert_eq!(sink.dropped_subscribers(), 0);
+        assert_eq!(sink.client_count(), 1);
     }
 }

@@ -332,6 +332,24 @@ struct CacheEntry {
     result: ExperimentResult,
 }
 
+/// Borrowing twin of [`CacheEntry`] for the write path: serializes the
+/// result in place instead of cloning a full QoS log per cell. The
+/// derive shim does not handle lifetime parameters, so the impl is
+/// written out; it must stay field-compatible with [`CacheEntry`].
+struct CacheEntryRef<'a> {
+    schema: u32,
+    result: &'a ExperimentResult,
+}
+
+impl serde::Serialize for CacheEntryRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("schema".into(), self.schema.to_value()),
+            ("result".into(), self.result.to_value()),
+        ])
+    }
+}
+
 fn cache_path(dir: &Path, hash: u64) -> PathBuf {
     dir.join(format!("{hash:016x}.json"))
 }
@@ -348,13 +366,23 @@ fn cache_write(dir: &Path, hash: u64, result: &ExperimentResult) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
-    let entry = CacheEntry {
+    let entry = CacheEntryRef {
         schema: CACHE_SCHEMA_VERSION,
-        result: result.clone(),
+        result,
     };
-    if let Ok(body) = serde_json::to_string(&entry) {
-        let _ = std::fs::write(cache_path(dir, hash), body);
+    let Ok(body) = serde_json::to_string(&entry) else {
+        return;
+    };
+    // Publish atomically: write a private temp file in the same
+    // directory, then rename over the final path. A crash (or a reader
+    // racing a concurrent sweep) can therefore never observe a torn
+    // half-written entry under the content-hash name — the entry either
+    // exists complete or not at all.
+    let tmp = dir.join(format!("{hash:016x}.{}.tmp", std::process::id()));
+    if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, cache_path(dir, hash)).is_ok() {
+        return;
     }
+    let _ = std::fs::remove_file(&tmp);
 }
 
 struct Job {
@@ -610,6 +638,44 @@ mod tests {
         let third = run_sweep(&changed, &opts);
         assert_eq!(third.cached, 2, "seed-21 cells must still hit");
         assert_eq!(third.executed, 2, "seed-22 cells must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_cache_entries_read_as_misses_and_are_repaired() {
+        let dir = std::env::temp_dir().join(format!("ff-sweep-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec(vec![31]);
+        let opts = SweepOptions::serial().with_cache(&dir);
+        let first = run_sweep(&spec, &opts);
+        assert_eq!(first.executed, 2);
+
+        // Tear every entry the way a crash mid-write would have before
+        // writes went through a temp file + rename: truncated JSON under
+        // the final content-hash name.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let body = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        }
+
+        // Torn entries are cache misses, never errors or bad results…
+        let second = run_sweep(&spec, &opts);
+        assert_eq!(second.cached, 0, "a torn entry must read as a miss");
+        assert_eq!(second.executed, 2);
+        assert!(first.results_identical(&second));
+
+        // …and re-execution repaired them (and left no temp litter).
+        let third = run_sweep(&spec, &opts);
+        assert_eq!(third.cached, 2, "repaired entries must hit again");
+        assert_eq!(third.executed, 0);
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                name.to_string_lossy().ends_with(".json"),
+                "stray cache file {name:?}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,196 @@
+//! Property tests of the trace codec: arbitrary event sequences
+//! round-trip exactly, and arbitrary byte mangling decodes to an error —
+//! never to a panic.
+
+use ff_sim::SimTime;
+use ff_trace::{
+    Trace, TraceEvent, TraceHeader, TraceResponseOutcome, TraceRoute, TraceSubmitOutcome,
+    TraceTimeoutCause, TraceWriter,
+};
+use proptest::prelude::*;
+
+/// Build an arbitrary event from a selector and raw integer draws —
+/// the shim has no `prop_oneof`, so variant choice is `sel % 10`.
+fn arb_event(sel: u8, at_us: u64, a: u64, b: u64, bits: u64) -> TraceEvent {
+    let at = SimTime::from_micros(at_us);
+    let route = if a.is_multiple_of(2) {
+        TraceRoute::Offload
+    } else {
+        TraceRoute::Local
+    };
+    let submit = match a % 3 {
+        0 => TraceSubmitOutcome::Accepted,
+        1 => TraceSubmitOutcome::DroppedInNetwork,
+        _ => TraceSubmitOutcome::FailedInstantly,
+    };
+    let cause = if b.is_multiple_of(2) {
+        TraceTimeoutCause::Network
+    } else {
+        TraceTimeoutCause::ServerLoad
+    };
+    let response = match b % 5 {
+        0 => TraceResponseOutcome::Probe,
+        1 => TraceResponseOutcome::Success { latency_us: a },
+        2 => TraceResponseOutcome::Timeout { cause },
+        3 => TraceResponseOutcome::Rejected,
+        _ => TraceResponseOutcome::Stale,
+    };
+    let f = f64::from_bits(bits);
+    match sel % 10 {
+        0 => TraceEvent::Capture {
+            at,
+            frame_id: a,
+            bytes: b.max(1),
+            route,
+        },
+        1 => TraceEvent::Submit {
+            at,
+            tag: a,
+            bytes: b.max(1),
+            outcome: submit,
+        },
+        2 => TraceEvent::ServerArrival { at, tag: a },
+        3 => TraceEvent::ServerRejected { at, tag: a },
+        4 => TraceEvent::Response {
+            at,
+            tag: a,
+            ok: b.is_multiple_of(2),
+            outcome: response,
+        },
+        5 => TraceEvent::Deadline {
+            at,
+            tag: a,
+            timed_out: b.is_multiple_of(3).then_some(cause),
+        },
+        6 => TraceEvent::ExpireDue {
+            at,
+            expired: (0..(a % 4)).map(|i| (b.wrapping_add(i), cause)).collect(),
+        },
+        7 => TraceEvent::LocalDone { at, n: a },
+        8 => TraceEvent::Tick {
+            at,
+            qos: ff_trace::TickQos {
+                t_secs: f,
+                pl: f * 0.5,
+                po: f * 2.0,
+                timeouts: -f,
+                timeouts_network: f + 1.0,
+                timeouts_load: f - 1.0,
+                po_target: f * f,
+            },
+            timeout_rate: f,
+            heartbeat_ok: b % 2 == 1,
+            probe_tag: a,
+        },
+        _ => TraceEvent::End {
+            at,
+            frames_offloaded: a,
+            successes: b,
+            timeouts: a ^ b,
+            instant_failures: a.min(b),
+        },
+    }
+}
+
+fn arb_header(fs_bits: u64, a: u64, b: u64, name_len: usize) -> TraceHeader {
+    TraceHeader {
+        // Any f64 bit pattern must round-trip, including NaN payloads
+        // and infinities — the codec stores raw bits.
+        fs: f64::from_bits(fs_bits),
+        deadline_us: a,
+        controller_period_us: b,
+        timeout_window_us: a.wrapping_mul(3),
+        probe_bytes: b.wrapping_add(1),
+        seed: a ^ b,
+        controller: "ctl-\u{00e9}x".chars().cycle().take(name_len).collect(),
+    }
+}
+
+/// `PartialEq` on events treats NaN ≠ NaN; compare through re-encoding
+/// instead, which is the bit-level identity we actually guarantee.
+fn assert_same_bytes(t: &Trace, decoded: &Trace) {
+    assert_eq!(t.encode(), decoded.encode());
+    assert_eq!(t.events.len(), decoded.events.len());
+}
+
+proptest! {
+    #[test]
+    fn prop_arbitrary_traces_round_trip(
+        fs_bits in any::<u64>(),
+        ha in any::<u64>(),
+        hb in any::<u64>(),
+        name_len in 0usize..24,
+        draws in proptest::collection::vec(
+            (any::<u8>(), 0u64..1u64 << 62, any::<u64>(), any::<u64>()),
+            0..40,
+        ),
+        bits in any::<u64>(),
+    ) {
+        let events: Vec<TraceEvent> = draws
+            .iter()
+            .map(|&(sel, at, a, b)| arb_event(sel, at, a, b, bits))
+            .collect();
+        let t = Trace {
+            header: arb_header(fs_bits, ha, hb, name_len),
+            events,
+        };
+        let bytes = t.encode();
+        let decoded = Trace::decode(&bytes).expect("round trip decodes");
+        assert_same_bytes(&t, &decoded);
+
+        // The incremental writer produces the identical byte stream.
+        let mut w = TraceWriter::new(&t.header);
+        for e in &t.events {
+            w.record(e);
+        }
+        prop_assert_eq!(w.finish(), bytes);
+    }
+
+    #[test]
+    fn prop_truncated_traces_error_or_shorten_but_never_panic(
+        draws in proptest::collection::vec(
+            (any::<u8>(), 0u64..1u64 << 62, any::<u64>(), any::<u64>()),
+            1..20,
+        ),
+        cut_seed in any::<u64>(),
+    ) {
+        let t = Trace {
+            header: arb_header(0x4034_0000_0000_0000, 250_000, 1_000_000, 5),
+            events: draws
+                .iter()
+                .map(|&(sel, at, a, b)| arb_event(sel, at, a, b, 0))
+                .collect(),
+        };
+        let bytes = t.encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        // Either a clean error or a valid shorter trace (a cut exactly on
+        // an event boundary) — decoding is total either way.
+        if let Ok(shorter) = Trace::decode(&bytes[..cut]) {
+            prop_assert!(shorter.events.len() <= t.events.len());
+        }
+    }
+
+    #[test]
+    fn prop_corrupted_traces_never_panic(
+        draws in proptest::collection::vec(
+            (any::<u8>(), 0u64..1u64 << 62, any::<u64>(), any::<u64>()),
+            1..12,
+        ),
+        flip_pos in any::<u64>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let t = Trace {
+            header: arb_header(0x4034_0000_0000_0000, 250_000, 1_000_000, 3),
+            events: draws
+                .iter()
+                .map(|&(sel, at, a, b)| arb_event(sel, at, a, b, 0))
+                .collect(),
+        };
+        let mut bytes = t.encode();
+        let pos = (flip_pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip_mask;
+        // Any single-byte corruption either still parses (the byte was
+        // payload) or errors cleanly; `decode` must be total.
+        let _ = Trace::decode(&bytes);
+    }
+}

@@ -12,12 +12,15 @@
 
 mod frames;
 mod mobility;
+mod replay;
 mod scenario;
 
 pub use frames::{
-    Frame, FrameId, FrameSource, StreamConfig, PAPER_DEADLINE_MS, PAPER_FPS, PAPER_TOTAL_FRAMES,
+    Frame, FrameId, FrameSource, FrameStream, StreamConfig, PAPER_DEADLINE_MS, PAPER_FPS,
+    PAPER_TOTAL_FRAMES,
 };
 pub use mobility::{mobility_trace, MobilityConfig};
+pub use replay::{ReplayCursor, ReplayFrame, ReplayFrames};
 pub use scenario::{
     fig2_loss_injection, ideal_network, table_v, table_vi, BackgroundLoad, NetworkConditions,
     StepSchedule,

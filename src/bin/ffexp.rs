@@ -11,7 +11,10 @@
 
 use framefeedback::baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use framefeedback::controller::{Controller, FrameFeedback, PidConfig};
-use framefeedback::device::{run_experiment, ExperimentConfig};
+use framefeedback::device::{
+    replay_verify, run_experiment, run_experiment_traced, ExperimentConfig,
+};
+use framefeedback::trace::Trace;
 use framefeedback::workload::{fig2_loss_injection, ideal_network, table_v, table_vi};
 use std::process::ExitCode;
 
@@ -25,6 +28,8 @@ struct CliConfig {
     kd: Option<f64>,
     json: Option<String>,
     config_path: Option<String>,
+    trace: Option<String>,
+    verify_trace: Option<String>,
     dump_config: bool,
     quiet: bool,
 }
@@ -40,6 +45,8 @@ impl Default for CliConfig {
             kd: None,
             json: None,
             config_path: None,
+            trace: None,
+            verify_trace: None,
             dump_config: false,
             quiet: false,
         }
@@ -54,6 +61,8 @@ USAGE:
         [--kp X] [--kd X] [--json PATH] [--quiet]
         [--config PATH]    load a full ExperimentConfig from JSON
         [--dump-config]    print the default config as JSON and exit
+        [--trace PATH]     record the run as a binary control-loop trace
+        [--verify-trace PATH]  replay-verify a recorded trace and exit
 
 SCENARIOS:
   ideal     perfect 10 Mbps network, no background load
@@ -92,6 +101,8 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             "--kd" => config.kd = Some(value("--kd")?.parse().map_err(|e| format!("--kd: {e}"))?),
             "--json" => config.json = Some(value("--json")?),
             "--config" => config.config_path = Some(value("--config")?),
+            "--trace" => config.trace = Some(value("--trace")?),
+            "--verify-trace" => config.verify_trace = Some(value("--verify-trace")?),
             "--dump-config" => config.dump_config = true,
             "--quiet" => config.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -195,7 +206,57 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let result = run_experiment(build_experiment(&cli), build_controller(&cli));
+    // Verification mode: no experiment runs; the trace itself carries
+    // the runtime configuration and controller name it was recorded
+    // under.
+    if let Some(path) = &cli.verify_trace {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read --verify-trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match Trace::decode(&bytes) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: not a valid trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match replay_verify(&trace) {
+            Ok(report) => {
+                println!(
+                    "{path}: OK — controller={} seed={} events={} captures={} submits={} ticks={}",
+                    trace.header.controller,
+                    trace.header.seed,
+                    report.events,
+                    report.captures,
+                    report.submits,
+                    report.ticks
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: replay mismatch: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let result = if let Some(path) = &cli.trace {
+        let (result, bytes) = run_experiment_traced(build_experiment(&cli), build_controller(&cli));
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("failed to write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !cli.quiet {
+            println!("# trace: {} bytes -> {path}", bytes.len());
+        }
+        result
+    } else {
+        run_experiment(build_experiment(&cli), build_controller(&cli))
+    };
 
     if !cli.quiet {
         println!(
@@ -356,6 +417,14 @@ mod tests {
         assert_eq!(loaded.stream.total_frames, 77);
         assert_eq!(loaded.peer_devices, 5);
         assert_eq!(loaded.seed, cli.seed, "CLI seed overrides the file");
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let c = parse_args(&args("--trace run.fftrace --frames 600")).unwrap();
+        assert_eq!(c.trace.as_deref(), Some("run.fftrace"));
+        let v = parse_args(&args("--verify-trace run.fftrace")).unwrap();
+        assert_eq!(v.verify_trace.as_deref(), Some("run.fftrace"));
     }
 
     #[test]

@@ -79,6 +79,14 @@ pub mod live {
     pub use ff_live::*;
 }
 
+/// Binary record/replay traces of the device control loop (`ff-trace`):
+/// the schema-versioned event codec, the `TraceWriter` the runtime
+/// records through, and the decoded `Trace` that `device::replay_verify`
+/// re-executes bit-for-bit.
+pub mod trace {
+    pub use ff_trace::*;
+}
+
 /// The parallel deterministic sweep engine (`ff-sweep`): declarative
 /// `(scenario × seed × controller)` grids, work-stealing execution,
 /// order-independent aggregation, and the content-hash result cache.

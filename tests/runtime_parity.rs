@@ -153,7 +153,7 @@ fn run_event_driven() -> Outcome {
                         schedule!(due, PRIO_RESPONSE, Ev::Response(tag, ok));
                     }
                 }
-                Route::Local => rt.note_local_done(1),
+                Route::Local => rt.note_local_done(1, now),
             },
             Ev::Response(tag, ok) => {
                 rt.on_response(tag, now, ok);
@@ -197,7 +197,7 @@ fn run_polling() -> Outcome {
                     rt.offload(&mut transport, step, FRAME_BYTES, now);
                     inbox.extend(transport.take_pending());
                 }
-                Route::Local => rt.note_local_done(1),
+                Route::Local => rt.note_local_done(1, now),
             }
         }
         while inbox.front().is_some_and(|(due, _, _)| *due <= now) {
