@@ -16,13 +16,16 @@
 //!   schema-check entry point.
 //!
 //! Shared knobs: `--devices N` (default 3), `--frames N` per device
-//! (default 900 = 30 s at 30 fps), `--seed N`, `--window-us N`.
+//! (default 900 = 30 s at 30 fps), `--seed N`, `--window-us N`, and
+//! `--servers N` (default 1) to put the fleet behind an N-server tier —
+//! the snapshot stream then carries `server/<i>` scopes per server.
 
 use ff_bench::Dashboard;
 use ff_core::{Controller, FrameFeedback};
 use ff_device::{run_fleet, FleetConfig, FleetDeviceConfig, FleetResult};
 use ff_live::TcpExportSink;
 use ff_models::{DeviceKind, ModelKind};
+use ff_server::{ServerSpec, TierConfig};
 use ff_telemetry::{JsonlSink, Snapshot, Telemetry, TelemetryConfig};
 use ff_workload::table_v;
 use std::io::{BufRead, BufReader};
@@ -32,6 +35,7 @@ use std::time::{Duration, Instant};
 
 struct Options {
     devices: usize,
+    servers: usize,
     frames: u64,
     seed: u64,
     window_us: u64,
@@ -63,6 +67,7 @@ fn parse_args() -> Options {
     };
     Options {
         devices: flag("--devices").map_or(3, |v| v.parse().expect("--devices N")),
+        servers: flag("--servers").map_or(1, |v| v.parse().expect("--servers N")),
         frames: flag("--frames").map_or(900, |v| v.parse().expect("--frames N")),
         seed: flag("--seed").map_or(42, |v| v.parse().expect("--seed N")),
         window_us: flag("--window-us").map_or(1_000_000, |v| v.parse().expect("--window-us N")),
@@ -81,6 +86,11 @@ fn fleet_config(opts: &Options, telemetry: Telemetry) -> FleetConfig {
         .collect();
     c.stream.total_frames = opts.frames;
     c.network = table_v();
+    // N=1 keeps the legacy single-server path (bit-identical by the
+    // tier determinism contract); N>1 shards devices across the tier.
+    if opts.servers > 1 {
+        c.tier = Some(TierConfig::uniform(opts.servers, ServerSpec::default()));
+    }
     c.telemetry = telemetry;
     c
 }

@@ -43,6 +43,8 @@ fn main() {
             })
             .collect(),
         seeds: vec![base_seed],
+        routings: Vec::new(),
+        admissions: Vec::new(),
         controllers: vec![
             ("framefeedback".into(), ControllerSpec::framefeedback()),
             ("all-or-nothing".into(), ControllerSpec::AllOrNothing),

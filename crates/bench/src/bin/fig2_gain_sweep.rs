@@ -46,6 +46,8 @@ fn main() {
         name: "fig2_gain_sweep".into(),
         scenarios: vec![("fig2".into(), config)],
         seeds: vec![seed],
+        routings: Vec::new(),
+        admissions: Vec::new(),
         controllers: gains
             .iter()
             .map(|&(kp, kd)| {

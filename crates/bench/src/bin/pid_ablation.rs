@@ -44,6 +44,8 @@ fn main() {
         name: "pid_ablation".into(),
         seeds: vec![config.seed],
         scenarios: vec![("table-v".into(), config)],
+        routings: Vec::new(),
+        admissions: Vec::new(),
         controllers: kis
             .iter()
             .map(|&ki| {

@@ -36,6 +36,8 @@ fn main() {
         name: "seed_sweep".into(),
         scenarios: vec![("table-v".into(), config)],
         seeds: (0..SEEDS).collect(),
+        routings: Vec::new(),
+        admissions: Vec::new(),
         controllers: vec![
             ("framefeedback".into(), ControllerSpec::framefeedback()),
             ("all-or-nothing".into(), ControllerSpec::AllOrNothing),

@@ -141,6 +141,8 @@ pub fn bench_sweep_spec(seeds: u64) -> SweepSpec {
         name: "bench_sweep".into(),
         scenarios: vec![("ideal".into(), base()), ("table-v".into(), table_v_cfg)],
         seeds: (0..seeds).collect(),
+        routings: Vec::new(),
+        admissions: Vec::new(),
         controllers: vec![
             ("framefeedback".into(), ControllerSpec::framefeedback()),
             ("all-or-nothing".into(), ControllerSpec::AllOrNothing),

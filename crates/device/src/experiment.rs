@@ -27,7 +27,10 @@ use ff_core::Controller;
 use ff_metrics::{LatencyStats, LatencySummary, QosLog};
 use ff_models::{DeviceKind, GpuProfile, ModelKind};
 use ff_net::{Link, LinkConfig, LinkStats, LossModel, NetworkConditions, SendOutcome};
-use ff_server::{BatchOutput, EdgeServer, PoissonArrivals, Request, ServerStats, Submit, TenantId};
+use ff_server::{
+    BatchOutput, OverflowPolicy, PoissonArrivals, Request, ServerStats, ServerTier, TenantId,
+    TierConfig, TierSubmit,
+};
 use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
 use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
 use ff_trace::{TraceHandle, TraceHeader};
@@ -101,6 +104,13 @@ pub struct ExperimentConfig {
     /// compression parameters.
     #[serde(default)]
     pub replay: Option<ReplayFrames>,
+    /// Explicit server-tier topology (N servers, routing policy,
+    /// admission policy). `None` — the default, so existing JSON
+    /// configs still parse — means the legacy single server built from
+    /// `gpu`, which is bit-identical to the pre-tier path. The legacy
+    /// `outage` window takes the whole tier down at once.
+    #[serde(default)]
+    pub tier: Option<TierConfig>,
 }
 
 /// A server crash-and-restart window (see [`ExperimentConfig::outage`]).
@@ -147,6 +157,7 @@ impl Default for ExperimentConfig {
             adaptive_local_model: None,
             outage: None,
             replay: None,
+            tier: None,
         }
     }
 }
@@ -198,6 +209,13 @@ pub struct ExperimentResult {
     /// Mean predicted top-1 accuracy over locally inferred frames
     /// (reflects adaptive-local-model upgrades).
     pub mean_local_accuracy: Option<f64>,
+    /// Per-server counters, in tier order (defaulted for results cached
+    /// before the tier existed).
+    #[serde(default)]
+    pub per_server_stats: Vec<ServerStats>,
+    /// Requests turned away by the tier's admission policy.
+    #[serde(default)]
+    pub admission_rejections: u64,
 }
 
 enum Event {
@@ -206,10 +224,12 @@ enum Event {
     Uplinked {
         tag: u64,
     },
-    /// `epoch` guards against batch-done events scheduled by a server
-    /// process that has since crashed: a stale epoch means the batch was
-    /// lost with the crash and the event must be ignored.
+    /// Server `server`'s running batch completes. `epoch` guards against
+    /// batch-done events scheduled by a server process that has since
+    /// crashed: a stale epoch means the batch was lost with the crash
+    /// and the event must be ignored.
     BatchDone {
+        server: usize,
         epoch: u64,
     },
     Response {
@@ -258,21 +278,37 @@ struct ExpObs {
     recorder: Recorder,
     device: Scope,
     engine: Scope,
+    /// Tier-aggregate scope; stays named "server" at any N so pinned
+    /// scope ids keep working.
     server: Scope,
+    /// Per-server scopes ("server/{i}"), interned only for N > 1 tiers.
+    servers: Vec<Scope>,
     last_server: ServerStats,
+    last_servers: Vec<ServerStats>,
+    last_admission: u64,
     last_offloaded: u64,
     last_local: u64,
     last_instant_failures: u64,
 }
 
 impl ExpObs {
-    fn new(telemetry: &Telemetry) -> ExpObs {
+    fn new(telemetry: &Telemetry, n_servers: usize) -> ExpObs {
+        let servers: Vec<Scope> = if n_servers > 1 {
+            (0..n_servers)
+                .map(|i| telemetry.scope(&format!("server/{i}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         ExpObs {
             recorder: telemetry.recorder(),
             device: telemetry.scope("device/0"),
             engine: telemetry.scope("engine"),
             server: telemetry.scope("server"),
             last_server: ServerStats::default(),
+            last_servers: vec![ServerStats::default(); servers.len()],
+            servers,
+            last_admission: 0,
             last_offloaded: 0,
             last_local: 0,
             last_instant_failures: 0,
@@ -288,7 +324,11 @@ struct World {
     source: FrameStream<ChaCha8Rng>,
     engine: LocalEngine<ChaCha8Rng>,
     link: Link<ChaCha8Rng>,
-    server: EdgeServer,
+    tier: ServerTier,
+    /// The tier's routing stream ("routing"); consumed only by
+    /// power-of-two-choices routing with two or more live servers, so
+    /// legacy single-server runs never advance it.
+    routing_rng: ChaCha8Rng,
     /// Reused batch-completion buffers: one allocation for the whole run
     /// instead of three fresh `Vec`s per finished batch.
     batch_out: BatchOutput,
@@ -311,8 +351,6 @@ struct World {
     local_accuracy_sum: f64,
     local_done_total: u64,
     end_at: SimTime,
-    server_up: bool,
-    server_epoch: u64,
     obs: ExpObs,
 }
 
@@ -335,20 +373,24 @@ impl World {
         ctx.schedule_at(submission.deadline_at, Event::Deadline { tag });
     }
 
-    fn submit_to_server(&mut self, ctx: &mut Ctx<'_, Event>, request: Request) {
-        if !self.server_up {
-            // Nothing is listening: the request vanishes and its sender
-            // finds out through the deadline, exactly like a real crash.
-            return;
-        }
-        if let Submit::BatchStarted { done_at } = self.server.submit(ctx.now(), request) {
+    fn submit_to_server(&mut self, ctx: &mut Ctx<'_, Event>, request: Request) -> TierSubmit {
+        // The measured device's real frames are subject to admission
+        // control; probes and the modeled background tenants are not.
+        let regulated =
+            request.tenant == DEVICE_TENANT && !crate::runtime::is_probe_tag(request.tag);
+        let outcome = self
+            .tier
+            .submit(ctx.now(), request, regulated, &mut self.routing_rng);
+        if let TierSubmit::BatchStarted { server, done_at } = outcome {
             ctx.schedule_at(
                 done_at,
                 Event::BatchDone {
-                    epoch: self.server_epoch,
+                    server,
+                    epoch: self.tier.epoch(server),
                 },
             );
         }
+        outcome
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_, Event>) {
@@ -443,16 +485,17 @@ impl World {
             t,
         );
 
+        // Tier aggregate under the legacy "server" scope.
         let server = self.obs.server;
-        let stats = self.server.stats();
+        let stats = self.tier.total_stats();
         let last = self.obs.last_server;
-        rec.gauge(
-            server,
-            Metric::ServerQueueDepth,
-            self.server.queue_len() as f64,
-            t,
-        );
-        let occupancy = self.server.running_batch_size().unwrap_or(0);
+        let queue_depth: usize = (0..self.tier.len())
+            .map(|i| self.tier.server(i).queue_len())
+            .sum();
+        rec.gauge(server, Metric::ServerQueueDepth, queue_depth as f64, t);
+        let occupancy: usize = (0..self.tier.len())
+            .map(|i| self.tier.server(i).running_batch_size().unwrap_or(0))
+            .sum();
         rec.gauge(server, Metric::BatchOccupancy, occupancy as f64, t);
         let d = stats.requests_received - last.requests_received;
         rec.counter(server, Metric::ServerRequests, d, t);
@@ -462,7 +505,31 @@ impl World {
         rec.counter(server, Metric::ServerRejections, d, t);
         let d = stats.batches_executed - last.batches_executed;
         rec.counter(server, Metric::ServerBatches, d, t);
+        let admission = self.tier.admission_rejections();
+        let d = admission - self.obs.last_admission;
+        rec.counter(server, Metric::AdmissionRejections, d, t);
+        self.obs.last_admission = admission;
         self.obs.last_server = stats;
+
+        // Per-server scopes, only interned for multi-server tiers.
+        for (i, &scope) in self.obs.servers.iter().enumerate() {
+            let s = self.tier.server(i);
+            let stats = s.stats();
+            let last = self.obs.last_servers[i];
+            rec.gauge(scope, Metric::ServerUp, self.tier.is_up(i) as u64 as f64, t);
+            rec.gauge(scope, Metric::ServerQueueDepth, s.queue_len() as f64, t);
+            let occupancy = s.running_batch_size().unwrap_or(0);
+            rec.gauge(scope, Metric::BatchOccupancy, occupancy as f64, t);
+            let d = stats.requests_received - last.requests_received;
+            rec.counter(scope, Metric::ServerRequests, d, t);
+            let d = stats.completions - last.completions;
+            rec.counter(scope, Metric::ServerCompletions, d, t);
+            let d = stats.rejections - last.rejections;
+            rec.counter(scope, Metric::ServerRejections, d, t);
+            let d = stats.batches_executed - last.batches_executed;
+            rec.counter(scope, Metric::ServerBatches, d, t);
+            self.obs.last_servers[i] = stats;
+        }
 
         self.obs.telemetry.poll();
     }
@@ -554,31 +621,39 @@ impl SimModel for World {
             }
 
             Event::Uplinked { tag } => {
-                if !self.server_up {
-                    // The packet crossed the link into a dead endpoint. The
-                    // frame stays un-arrived, so its timeout is attributed
-                    // to the network side (the server never saw it).
-                    return;
-                }
                 let now = ctx.now();
-                self.runtime.frame_arrived_at_server(tag, now);
                 let request = Request {
                     tenant: DEVICE_TENANT,
                     model: self.config.model,
                     submitted_at: now,
                     tag,
                 };
-                self.submit_to_server(ctx, request);
+                match self.submit_to_server(ctx, request) {
+                    // The packet crossed the link into a dead endpoint.
+                    // The frame stays un-arrived, so its timeout is
+                    // attributed to the network side (no server saw it).
+                    TierSubmit::Lost => {}
+                    // Turned away at the door: the tier saw it, so the
+                    // timeout is attributed to server load, exactly like
+                    // a batch-formation rejection.
+                    TierSubmit::AdmissionRejected => {
+                        self.runtime.frame_arrived_at_server(tag, now);
+                        self.runtime.frame_rejected_by_server(tag, now);
+                    }
+                    TierSubmit::Queued { .. } | TierSubmit::BatchStarted { .. } => {
+                        self.runtime.frame_arrived_at_server(tag, now);
+                    }
+                }
             }
 
-            Event::BatchDone { epoch } => {
-                if epoch != self.server_epoch {
+            Event::BatchDone { server, epoch } => {
+                if epoch != self.tier.epoch(server) {
                     // Scheduled by a server process that has since crashed;
                     // the batch died with it.
                     return;
                 }
                 let now = ctx.now();
-                self.server.batch_done_into(now, &mut self.batch_out);
+                self.tier.batch_done_into(server, now, &mut self.batch_out);
                 for c in &self.batch_out.completions {
                     if c.request.tenant == DEVICE_TENANT {
                         let at = now + self.config.link.propagation;
@@ -591,12 +666,7 @@ impl SimModel for World {
                     }
                 }
                 if let Some(done_at) = self.batch_out.next_done {
-                    ctx.schedule_at(
-                        done_at,
-                        Event::BatchDone {
-                            epoch: self.server_epoch,
-                        },
-                    );
+                    ctx.schedule_at(done_at, Event::BatchDone { server, epoch });
                 }
             }
 
@@ -663,13 +733,17 @@ impl SimModel for World {
             }
 
             Event::ServerCrash => {
-                self.server.crash();
-                self.server_up = false;
-                self.server_epoch += 1;
+                // The legacy outage semantics: the whole tier goes dark
+                // at once (for N = 1 this is exactly the old behaviour).
+                for i in 0..self.tier.len() {
+                    self.tier.crash(i);
+                }
             }
 
             Event::ServerRecover => {
-                self.server_up = true;
+                for i in 0..self.tier.len() {
+                    self.tier.recover(i);
+                }
             }
         }
     }
@@ -769,12 +843,19 @@ fn run_experiment_inner(
         Some(replay) => FrameStream::Replay(ReplayCursor::new(replay.clone())),
         None => FrameStream::Generated(FrameSource::new(config.stream, rng.stream("frames"))),
     };
+    let tier_config = config
+        .tier
+        .clone()
+        .unwrap_or_else(|| TierConfig::single(config.gpu, OverflowPolicy::default()));
+    let tier = ServerTier::new(&tier_config);
+    let n_servers = tier.len();
     let world = World {
         runtime,
         source,
         engine: LocalEngine::new(config.device, config.model, rng.stream("local")),
         link,
-        server: EdgeServer::new(config.gpu),
+        tier,
+        routing_rng: rng.stream("routing"),
         batch_out: BatchOutput::default(),
         bg_arrivals: PoissonArrivals::new(rng.stream("background")),
         bg_rate: initial_bg,
@@ -798,9 +879,7 @@ fn run_experiment_inner(
         local_accuracy_sum: 0.0,
         local_done_total: 0,
         end_at,
-        server_up: true,
-        server_epoch: 0,
-        obs: ExpObs::new(telemetry),
+        obs: ExpObs::new(telemetry, n_servers),
         controller,
         config,
     };
@@ -871,7 +950,9 @@ fn run_experiment_inner(
         uplink_latency: world.uplink_latencies.summary(),
         server_latency: world.server_latencies.summary(),
         link_stats: world.link.stats(),
-        server_stats: world.server.stats(),
+        server_stats: world.tier.total_stats(),
+        per_server_stats: world.tier.per_server_stats(),
+        admission_rejections: world.tier.admission_rejections(),
         cpu_usage_pct,
         local_busy_fraction,
         frames_generated,

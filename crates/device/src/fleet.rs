@@ -7,6 +7,13 @@
 //! substrate for the fairness ablation (§II-A.3 / `OverflowPolicy`):
 //! per-device outcomes expose how the server splits saturated capacity.
 //!
+//! Devices now submit through a [`ServerTier`] — N servers behind a
+//! routing policy and an admission policy (`FleetConfig::tier`). The
+//! paper's topology is the `N = 1` default, which is bit-identical to
+//! the pre-tier single-server path; per-server maintenance windows
+//! ([`TierOutage`]) fold the crash/epoch machinery in at fleet scale
+//! for rolling-restart scenarios.
+//!
 //! Tag layout: the shared packing in [`crate::tags`] — the probe flag is
 //! the runtime's `PROBE_TAG_BASE` bit, bits 55..40 the device index,
 //! bits 39..0 the per-device sequence number.
@@ -19,8 +26,8 @@ use ff_metrics::{QosLog, WindowedRate};
 use ff_models::{DeviceKind, GpuProfile, ModelKind};
 use ff_net::{Link, LinkConfig, NetworkConditions, SendOutcome};
 use ff_server::{
-    jain_fairness_index, BatchOutput, EdgeServer, OverflowPolicy, Request, ServerStats, Submit,
-    TenantId,
+    jain_fairness_index, BatchOutput, OverflowPolicy, Request, ServerStats, ServerTier, TenantId,
+    TierConfig, TierSubmit,
 };
 use ff_sim::{
     Ctx, EventQueue, QueueBackend, RngFactory, SimDuration, SimModel, SimTime, Simulation,
@@ -59,6 +66,37 @@ impl Default for EngineOptions {
     }
 }
 
+/// One server's maintenance window inside a fleet run: server `server`
+/// crashes at `from_secs` (queue and running batch lost, epoch bumped)
+/// and comes back — empty and idle — at `until_secs`. Several windows
+/// staggered across servers model a rolling restart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierOutage {
+    /// Index of the server that goes down.
+    pub server: usize,
+    /// Crash instant, in seconds of simulated time.
+    pub from_secs: f64,
+    /// Recovery instant, in seconds of simulated time.
+    pub until_secs: f64,
+}
+
+impl TierOutage {
+    /// Panic on a window that ends before it starts or starts negative.
+    pub fn validate(&self, servers: usize) {
+        assert!(
+            self.server < servers,
+            "outage names server {} but the tier has {servers}",
+            self.server
+        );
+        assert!(
+            self.from_secs >= 0.0 && self.until_secs > self.from_secs,
+            "outage window [{}, {}) is empty or negative",
+            self.from_secs,
+            self.until_secs
+        );
+    }
+}
+
 /// Per-device configuration inside a fleet.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetDeviceConfig {
@@ -91,10 +129,19 @@ pub struct FleetConfig {
     pub controller_period: SimDuration,
     /// Trailing window for the timeout-rate controller input.
     pub timeout_window: SimDuration,
-    /// Shared server GPU profile.
+    /// Shared server GPU profile (the `N = 1` legacy knob; ignored when
+    /// `tier` is set).
     pub gpu: GpuProfile,
-    /// Server overflow policy (the fairness ablation knob).
+    /// Server overflow policy (the fairness ablation knob; ignored when
+    /// `tier` is set).
     pub policy: OverflowPolicy,
+    /// Explicit server-tier topology: N servers plus routing and
+    /// admission policies. `None` means the legacy single server built
+    /// from `gpu` + `policy` — bit-identical to the pre-tier path.
+    pub tier: Option<TierConfig>,
+    /// Per-server maintenance windows (rolling restarts). Empty by
+    /// default; scheduling none keeps the event stream unchanged.
+    pub outages: Vec<TierOutage>,
     /// Engine tuning (queue backend, buffer reuse). Results are
     /// independent of this choice.
     pub engine: EngineOptions,
@@ -131,9 +178,21 @@ impl Default for FleetConfig {
             timeout_window: SimDuration::from_secs(3),
             gpu: GpuProfile::default(),
             policy: OverflowPolicy::RejectNewest,
+            tier: None,
+            outages: Vec::new(),
             engine: EngineOptions::default(),
             telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+impl FleetConfig {
+    /// The effective tier topology: the explicit `tier` if set, else the
+    /// legacy single server built from `gpu` + `policy`.
+    pub fn tier_config(&self) -> TierConfig {
+        self.tier
+            .clone()
+            .unwrap_or_else(|| TierConfig::single(self.gpu, self.policy))
     }
 }
 
@@ -165,8 +224,14 @@ pub struct FleetDeviceResult {
 pub struct FleetResult {
     /// Per-device outcomes, in configuration order.
     pub devices: Vec<FleetDeviceResult>,
-    /// Shared-server counters.
+    /// Tier-wide server counters (sum over all servers).
     pub server_stats: ServerStats,
+    /// Per-server counters, in tier order (one entry for the legacy
+    /// single-server topology).
+    pub per_server_stats: Vec<ServerStats>,
+    /// Requests turned away by the admission policy (0 under
+    /// `AdmitAll`).
+    pub admission_rejections: u64,
     /// Jain fairness index over per-device successful-offload counts.
     pub offload_fairness: f64,
     /// Total throughput summed over devices, per paper Fig. 3 ("evaluated
@@ -214,7 +279,13 @@ enum FleetEvent {
     Uplinked {
         tag: u64,
     },
-    BatchDone,
+    /// Server `server`'s running batch completes. `epoch` pins the
+    /// event to the server process that scheduled it: a crash bumps the
+    /// tier-side epoch, so completions of a dead process are discarded.
+    BatchDone {
+        server: usize,
+        epoch: u64,
+    },
     Response {
         tag: u64,
     },
@@ -222,6 +293,10 @@ enum FleetEvent {
         tag: u64,
     },
     Tick(usize),
+    /// Server `server` goes down for maintenance (a `TierOutage` start).
+    ServerCrash(usize),
+    /// Server `server` comes back, empty and idle.
+    ServerRecover(usize),
     /// Apply schedule step `step` (shared schedule: to all devices;
     /// per-device schedules: to device `dev`).
     NetworkChange {
@@ -241,22 +316,41 @@ struct FleetObs {
     telemetry: Telemetry,
     recorder: Recorder,
     engine: Scope,
+    /// Tier-aggregate scope; stays named "server" so single-server
+    /// dashboards and pinned scope ids keep working at any N.
     server: Scope,
+    /// Per-server scopes ("server/{i}"), interned only for N > 1 tiers.
+    servers: Vec<Scope>,
     devices: Vec<Scope>,
-    /// Server counter values at the previous tick, for delta emission.
+    /// Tier-aggregate counter values at the previous tick, for delta
+    /// emission.
     last_server: ServerStats,
+    /// Per-server counter values at the previous tick (N > 1 only).
+    last_servers: Vec<ServerStats>,
+    /// Admission-rejection counter at the previous tick.
+    last_admission: u64,
 }
 
 impl FleetObs {
-    fn new(telemetry: &Telemetry, n_devices: usize) -> FleetObs {
+    fn new(telemetry: &Telemetry, n_devices: usize, n_servers: usize) -> FleetObs {
+        let servers: Vec<Scope> = if n_servers > 1 {
+            (0..n_servers)
+                .map(|i| telemetry.scope(&format!("server/{i}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         FleetObs {
             recorder: telemetry.recorder(),
             engine: telemetry.scope("engine"),
             server: telemetry.scope("server"),
+            last_servers: vec![ServerStats::default(); servers.len()],
+            servers,
             devices: (0..n_devices)
                 .map(|i| telemetry.scope(&format!("device/{i}")))
                 .collect(),
             last_server: ServerStats::default(),
+            last_admission: 0,
             telemetry: telemetry.clone(),
         }
     }
@@ -265,17 +359,32 @@ impl FleetObs {
 struct FleetWorld {
     config: FleetConfig,
     devices: Vec<DeviceState>,
-    server: EdgeServer,
+    tier: ServerTier,
+    /// The tier's routing stream ("routing"); consumed only by
+    /// power-of-two-choices routing with two or more live servers, so
+    /// legacy single-server runs never advance it.
+    routing_rng: ChaCha8Rng,
     batch_out: BatchOutput,
     end_at: SimTime,
     obs: FleetObs,
 }
 
 impl FleetWorld {
-    fn submit_to_server(&mut self, ctx: &mut Ctx<'_, FleetEvent>, request: Request) {
-        if let Submit::BatchStarted { done_at } = self.server.submit(ctx.now(), request) {
-            ctx.schedule_at(done_at, FleetEvent::BatchDone);
+    fn submit_to_server(&mut self, ctx: &mut Ctx<'_, FleetEvent>, request: Request) -> TierSubmit {
+        let regulated = !tag_is_probe(request.tag);
+        let outcome = self
+            .tier
+            .submit(ctx.now(), request, regulated, &mut self.routing_rng);
+        if let TierSubmit::BatchStarted { server, done_at } = outcome {
+            ctx.schedule_at(
+                done_at,
+                FleetEvent::BatchDone {
+                    server,
+                    epoch: self.tier.epoch(server),
+                },
+            );
         }
+        outcome
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_, FleetEvent>, dev: usize) {
@@ -385,16 +494,18 @@ impl FleetWorld {
             let wheel = self.config.engine.backend == QueueBackend::Wheel;
             rec.gauge(engine, Metric::QueueBackendWheel, wheel as u64 as f64, t);
 
+            // Tier aggregate under the legacy "server" scope: for a
+            // single-server tier these are exactly the old values.
             let server = self.obs.server;
-            let stats = self.server.stats();
+            let stats = self.tier.total_stats();
             let last = self.obs.last_server;
-            rec.gauge(
-                server,
-                Metric::ServerQueueDepth,
-                self.server.queue_len() as f64,
-                t,
-            );
-            let occupancy = self.server.running_batch_size().unwrap_or(0);
+            let queue_depth: usize = (0..self.tier.len())
+                .map(|i| self.tier.server(i).queue_len())
+                .sum();
+            rec.gauge(server, Metric::ServerQueueDepth, queue_depth as f64, t);
+            let occupancy: usize = (0..self.tier.len())
+                .map(|i| self.tier.server(i).running_batch_size().unwrap_or(0))
+                .sum();
             rec.gauge(server, Metric::BatchOccupancy, occupancy as f64, t);
             let d = stats.requests_received - last.requests_received;
             rec.counter(server, Metric::ServerRequests, d, t);
@@ -404,7 +515,31 @@ impl FleetWorld {
             rec.counter(server, Metric::ServerRejections, d, t);
             let d = stats.batches_executed - last.batches_executed;
             rec.counter(server, Metric::ServerBatches, d, t);
+            let admission = self.tier.admission_rejections();
+            let d = admission - self.obs.last_admission;
+            rec.counter(server, Metric::AdmissionRejections, d, t);
+            self.obs.last_admission = admission;
             self.obs.last_server = stats;
+
+            // Per-server scopes, only interned for multi-server tiers.
+            for (i, &scope) in self.obs.servers.iter().enumerate() {
+                let s = self.tier.server(i);
+                let stats = s.stats();
+                let last = self.obs.last_servers[i];
+                rec.gauge(scope, Metric::ServerUp, self.tier.is_up(i) as u64 as f64, t);
+                rec.gauge(scope, Metric::ServerQueueDepth, s.queue_len() as f64, t);
+                let occupancy = s.running_batch_size().unwrap_or(0);
+                rec.gauge(scope, Metric::BatchOccupancy, occupancy as f64, t);
+                let d = stats.requests_received - last.requests_received;
+                rec.counter(scope, Metric::ServerRequests, d, t);
+                let d = stats.completions - last.completions;
+                rec.counter(scope, Metric::ServerCompletions, d, t);
+                let d = stats.rejections - last.rejections;
+                rec.counter(scope, Metric::ServerRejections, d, t);
+                let d = stats.batches_executed - last.batches_executed;
+                rec.counter(scope, Metric::ServerBatches, d, t);
+                self.obs.last_servers[i] = stats;
+            }
 
             self.obs.telemetry.poll();
         }
@@ -463,19 +598,44 @@ impl SimModel for FleetWorld {
                 let now = ctx.now();
                 let dev = tag_device(tag);
                 let model = self.devices[dev].model;
-                if !tag_is_probe(tag) {
-                    self.devices[dev].tracker.arrived_at_server(tag, now);
-                }
+                let probe = tag_is_probe(tag);
                 let request = Request {
                     tenant: TenantId(dev as u32),
                     model,
                     submitted_at: now,
                     tag,
                 };
-                self.submit_to_server(ctx, request);
+                let outcome = self.submit_to_server(ctx, request);
+                if probe {
+                    // Probes to a lost/rejecting tier simply never come
+                    // back: the heartbeat stays down.
+                    return;
+                }
+                match outcome {
+                    // The routed server is down: the frame vanishes in
+                    // flight, so its deadline fires as a Network-cause
+                    // timeout (same as the single-server outage path).
+                    TierSubmit::Lost => {}
+                    // Turned away at the door: the server saw it, so
+                    // this is a ServerLoad-cause timeout at the
+                    // deadline, same as a batch-formation rejection.
+                    TierSubmit::AdmissionRejected => {
+                        let d = &mut self.devices[dev];
+                        d.tracker.arrived_at_server(tag, now);
+                        d.tracker.rejected_by_server(tag);
+                    }
+                    TierSubmit::Queued { .. } | TierSubmit::BatchStarted { .. } => {
+                        self.devices[dev].tracker.arrived_at_server(tag, now);
+                    }
+                }
             }
 
-            FleetEvent::BatchDone => {
+            FleetEvent::BatchDone { server, epoch } => {
+                // A stale epoch means the batch belonged to a server
+                // process that has since crashed: its results are gone.
+                if epoch != self.tier.epoch(server) {
+                    return;
+                }
                 let now = ctx.now();
                 let propagation = self.config.link.propagation;
                 if !self.config.engine.reuse_batch_buffers {
@@ -483,7 +643,7 @@ impl SimModel for FleetWorld {
                     // vectors for every batch, like the pre-reuse code.
                     self.batch_out = BatchOutput::default();
                 }
-                self.server.batch_done_into(now, &mut self.batch_out);
+                self.tier.batch_done_into(server, now, &mut self.batch_out);
                 for c in &self.batch_out.completions {
                     ctx.schedule_at(
                         now + propagation,
@@ -497,7 +657,7 @@ impl SimModel for FleetWorld {
                     }
                 }
                 if let Some(done_at) = self.batch_out.next_done {
-                    ctx.schedule_at(done_at, FleetEvent::BatchDone);
+                    ctx.schedule_at(done_at, FleetEvent::BatchDone { server, epoch });
                 }
             }
 
@@ -537,6 +697,10 @@ impl SimModel for FleetWorld {
             }
 
             FleetEvent::Tick(dev) => self.tick(ctx, dev),
+
+            FleetEvent::ServerCrash(server) => self.tier.crash(server),
+
+            FleetEvent::ServerRecover(server) => self.tier.recover(server),
 
             FleetEvent::NetworkChange { dev, step } => match dev {
                 None => {
@@ -668,14 +832,21 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
             .map(|(step, &(t, _))| (t, None, step))
             .collect(),
     };
-    let server = EdgeServer::with_policy(config.gpu, config.policy);
+    let tier_config = config.tier_config();
+    let tier = ServerTier::new(&tier_config);
+    for outage in &config.outages {
+        outage.validate(tier.len());
+    }
+    let routing_rng = rng.stream("routing");
 
     let backend = config.engine.backend;
-    let obs = FleetObs::new(&config.telemetry, n);
+    let obs = FleetObs::new(&config.telemetry, n, tier.len());
+    let outages = config.outages.clone();
     let world = FleetWorld {
         config,
         devices,
-        server,
+        tier,
+        routing_rng,
         batch_out: BatchOutput::default(),
         end_at,
         obs,
@@ -689,6 +860,16 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
         sim.schedule_at(
             SimTime::from_secs_f64(t),
             FleetEvent::NetworkChange { dev, step },
+        );
+    }
+    for outage in outages {
+        sim.schedule_at(
+            SimTime::from_secs_f64(outage.from_secs),
+            FleetEvent::ServerCrash(outage.server),
+        );
+        sim.schedule_at(
+            SimTime::from_secs_f64(outage.until_secs),
+            FleetEvent::ServerRecover(outage.server),
         );
     }
     sim.run_until(end_at);
@@ -720,19 +901,14 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
         .map(|d| d.offload_successes as f64)
         .collect();
     let rejections_by_device: Vec<u64> = (0..device_results.len())
-        .map(|i| {
-            world
-                .server
-                .rejections_by_tenant()
-                .get(&TenantId(i as u32))
-                .copied()
-                .unwrap_or(0)
-        })
+        .map(|i| world.tier.rejections_for(TenantId(i as u32)))
         .collect();
     FleetResult {
         offload_fairness: jain_fairness_index(&successes),
         total_mean_throughput: device_results.iter().map(|d| d.mean_throughput).sum(),
-        server_stats: world.server.stats(),
+        server_stats: world.tier.total_stats(),
+        per_server_stats: world.tier.per_server_stats(),
+        admission_rejections: world.tier.admission_rejections(),
         rejections_by_device,
         events_handled,
         devices: device_results,
@@ -743,6 +919,7 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
 mod tests {
     use super::*;
     use ff_core::FrameFeedback;
+    use ff_server::{AdmissionPolicy, RoutingPolicy, ServerSpec};
     use ff_sim::RngFactory;
 
     fn short_fleet() -> FleetConfig {
@@ -1020,6 +1197,179 @@ mod tests {
     fn per_device_schedule_count_mismatch_panics() {
         let mut config = short_fleet();
         config.per_device_network = Some(vec![ff_workload::ideal_network()]);
+        run_fleet(config, ff_controllers(3));
+    }
+
+    /// The bursty six-device scenario of
+    /// `fair_share_preserves_jain_fairness_under_a_bursty_tenant`, tier
+    /// edition: same offered load, same batch-limit-6 server.
+    fn bursty_tier_config(admission: AdmissionPolicy) -> FleetConfig {
+        let mut config = short_fleet();
+        config.devices = (0..6)
+            .map(|_| FleetDeviceConfig {
+                device: DeviceKind::Pi4BRev12,
+                model: ModelKind::MobileNetV3Small,
+            })
+            .collect();
+        config.tier = Some(TierConfig {
+            admission,
+            ..TierConfig::single(GpuProfile { batch_limit: 6 }, OverflowPolicy::RejectNewest)
+        });
+        config
+    }
+
+    fn bursty_fleet() -> Vec<Box<dyn Controller>> {
+        let mut controllers = ff_controllers(5);
+        controllers.push(Box::new(ff_baselines::AlwaysOffload::new()) as Box<dyn Controller>);
+        controllers
+    }
+
+    #[test]
+    fn token_bucket_holds_fairness_where_reject_newest_collapses() {
+        // The per-tenant token bucket is an *admission-side* fix for the
+        // same collapse the FairShare overflow policy repairs on the
+        // queue side: at ~2x saturation (180 rps offered vs ~83 rps
+        // completed) a bursty tenant's standing queue crowds out the
+        // adaptive tenants under RejectNewest. Capping every tenant at
+        // its fair share (~83/6 ≈ 14 rps) before the queue keeps Jain
+        // over successful offloads at >= 0.9; admit-all collapses below.
+        let bucket = run_fleet(
+            bursty_tier_config(AdmissionPolicy::TokenBucket {
+                rate_rps: 14.0,
+                burst: 14.0,
+            }),
+            bursty_fleet(),
+        );
+        let open = run_fleet(
+            bursty_tier_config(AdmissionPolicy::AdmitAll),
+            bursty_fleet(),
+        );
+
+        assert!(
+            bucket.offload_fairness >= 0.9,
+            "token bucket must hold Jain >= 0.9 against a bursty tenant, got {:.3}",
+            bucket.offload_fairness
+        );
+        assert!(
+            open.offload_fairness < 0.9,
+            "admit-all over RejectNewest unexpectedly stayed fair ({:.3})",
+            open.offload_fairness
+        );
+        assert!(
+            bucket.admission_rejections > 0,
+            "the bucket never clipped anything at 2x saturation"
+        );
+        assert_eq!(open.admission_rejections, 0);
+    }
+
+    #[test]
+    fn po2c_beats_static_shard_on_deadline_misses_with_a_hot_shard() {
+        // Hot shard by tenant placement: four devices over two equal
+        // batch-limit-2 servers (~41 rps each). The two heavy tenants
+        // (always-offload, 30 fps each) are devices 1 and 3 — static
+        // sharding (`tenant % n`) lands *both* on server 1, 60 rps vs
+        // 41 rps capacity, while server 0 idles next to the two
+        // local-only tenants. Power-of-two choices compares live server
+        // load per request and spreads the same 60 rps across both
+        // servers, well under the tier's combined ~82 rps.
+        let hot_shard_config = |routing: RoutingPolicy| {
+            let mut config = short_fleet();
+            config.devices = (0..4)
+                .map(|_| FleetDeviceConfig {
+                    device: DeviceKind::Pi4BRev12,
+                    model: ModelKind::MobileNetV3Small,
+                })
+                .collect();
+            config.tier = Some(TierConfig {
+                routing,
+                ..TierConfig::uniform(
+                    2,
+                    ServerSpec {
+                        gpu: GpuProfile { batch_limit: 2 },
+                        policy: OverflowPolicy::RejectNewest,
+                    },
+                )
+            });
+            config
+        };
+        let lineup = || {
+            vec![
+                Box::new(ff_baselines::LocalOnly::new()) as Box<dyn Controller>,
+                Box::new(ff_baselines::AlwaysOffload::new()),
+                Box::new(ff_baselines::LocalOnly::new()),
+                Box::new(ff_baselines::AlwaysOffload::new()),
+            ]
+        };
+        let miss_rate = |r: &FleetResult| {
+            let offloaded: u64 = r.devices.iter().map(|d| d.frames_offloaded).sum();
+            let timeouts: u64 = r.devices.iter().map(|d| d.offload_timeouts).sum();
+            timeouts as f64 / offloaded.max(1) as f64
+        };
+
+        let shard = run_fleet(hot_shard_config(RoutingPolicy::StaticShard), lineup());
+        let po2c = run_fleet(hot_shard_config(RoutingPolicy::PowerOfTwoChoices), lineup());
+
+        assert!(
+            miss_rate(&po2c) < miss_rate(&shard),
+            "po2c miss rate {:.3} must beat static shard {:.3} with a hot shard",
+            miss_rate(&po2c),
+            miss_rate(&shard)
+        );
+        // The shard really was hot: static routing starved server 0.
+        assert!(shard.per_server_stats[0].completions < shard.per_server_stats[1].completions);
+    }
+
+    #[test]
+    fn rolling_restart_takes_servers_down_one_at_a_time() {
+        // PR-1's crash machinery, per server: restart server 0 during
+        // [5 s, 10 s) and server 1 during [12 s, 17 s). The tier never
+        // loses both at once, so the fleet keeps completing work, and
+        // each server's epoch guard discards its stale batch events.
+        let mut config = short_fleet();
+        config.tier = Some(TierConfig::uniform(2, ServerSpec::default()));
+        config.outages = vec![
+            TierOutage {
+                server: 0,
+                from_secs: 5.0,
+                until_secs: 10.0,
+            },
+            TierOutage {
+                server: 1,
+                from_secs: 12.0,
+                until_secs: 17.0,
+            },
+        ];
+        let result = run_fleet(config, ff_controllers(3));
+
+        assert_eq!(result.per_server_stats.len(), 2);
+        for (i, s) in result.per_server_stats.iter().enumerate() {
+            assert!(
+                s.completions > 0,
+                "server {i} completed nothing across the rolling restart"
+            );
+        }
+        // Work still flowed overall, and the per-server split accounts
+        // for every completion.
+        assert!(result.server_stats.completions > 0);
+        assert_eq!(
+            result
+                .per_server_stats
+                .iter()
+                .map(|s| s.completions)
+                .sum::<u64>(),
+            result.server_stats.completions
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outage names server")]
+    fn outage_beyond_tier_size_panics() {
+        let mut config = short_fleet();
+        config.outages = vec![TierOutage {
+            server: 3,
+            from_secs: 1.0,
+            until_secs: 2.0,
+        }];
         run_fleet(config, ff_controllers(3));
     }
 }

@@ -6,15 +6,24 @@
 //! the overflow rejected — on top of the affine GPU latency model from
 //! `ff-models`, plus a Poisson sampler for Table VI's injected
 //! multi-tenant background load.
+//!
+//! Since the multi-server refactor the canonical entry point is the
+//! [`ServerTier`]: N heterogeneous [`EdgeServer`]s behind a routing
+//! policy (static shard / join-shortest-queue on stale gossip /
+//! power-of-two choices) and an admission policy (admit-all or a
+//! per-tenant token bucket). A single-server tier is bit-identical to
+//! driving the bare server, so the paper's topology is the N=1 case.
 
 #![warn(missing_docs)]
 
 mod background;
 mod policy;
 mod server;
+mod tier;
 
 pub use background::PoissonArrivals;
 pub use policy::{jain_fairness_index, OverflowPolicy};
 pub use server::{
     BatchOutput, Completion, EdgeServer, Rejection, Request, ServerStats, Submit, TenantId,
 };
+pub use tier::{AdmissionPolicy, RoutingPolicy, ServerSpec, ServerTier, TierConfig, TierSubmit};

@@ -23,7 +23,7 @@ use crate::policy::OverflowPolicy;
 use ff_models::{GpuProfile, ModelKind};
 use ff_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifies one client device (tenant) of the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -129,8 +129,8 @@ pub struct EdgeServer {
     queue: VecDeque<Request>,
     running: Option<RunningBatch>,
     stats: ServerStats,
-    completions_by_tenant: HashMap<TenantId, u64>,
-    rejections_by_tenant: HashMap<TenantId, u64>,
+    completions_by_tenant: BTreeMap<TenantId, u64>,
+    rejections_by_tenant: BTreeMap<TenantId, u64>,
     /// Recycled batch-request buffer (the previous batch's vector).
     spare_requests: Vec<Request>,
     /// Recycled overflow-victim buffer for `drain_overflow_into`.
@@ -151,8 +151,8 @@ impl EdgeServer {
             queue: VecDeque::new(),
             running: None,
             stats: ServerStats::default(),
-            completions_by_tenant: HashMap::new(),
-            rejections_by_tenant: HashMap::new(),
+            completions_by_tenant: BTreeMap::new(),
+            rejections_by_tenant: BTreeMap::new(),
             spare_requests: Vec::new(),
             victim_scratch: Vec::new(),
         }
@@ -164,12 +164,14 @@ impl EdgeServer {
     }
 
     /// Completed inferences per tenant, for fairness accounting.
-    pub fn completions_by_tenant(&self) -> &HashMap<TenantId, u64> {
+    /// Ordered by tenant id so report serialization is reproducible.
+    pub fn completions_by_tenant(&self) -> &BTreeMap<TenantId, u64> {
         &self.completions_by_tenant
     }
 
     /// Rejections per tenant, for fairness accounting.
-    pub fn rejections_by_tenant(&self) -> &HashMap<TenantId, u64> {
+    /// Ordered by tenant id so report serialization is reproducible.
+    pub fn rejections_by_tenant(&self) -> &BTreeMap<TenantId, u64> {
         &self.rejections_by_tenant
     }
 

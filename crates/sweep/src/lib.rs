@@ -4,8 +4,11 @@
 //! experiment runs: Table V is `network-phase × controller`, the seed
 //! sweep is `seed × controller`, the Figure 2 trace is `gain × scenario`.
 //! This crate executes such a **declarative `(scenario × seed ×
-//! controller)` grid** across all cores and guarantees two properties a
-//! naive thread pool would not:
+//! controller)` grid** across all cores — optionally crossed with
+//! **routing and admission axes** ([`RoutingSpec`] / [`AdmissionSpec`])
+//! over the multi-server tier, and with a fleet-level twin
+//! ([`FleetSweepSpec`] / [`run_fleet_sweep`]) for multi-device grids —
+//! and guarantees two properties a naive thread pool would not:
 //!
 //! - **Order-independent deterministic aggregation.** Each cell is an
 //!   independent `run_experiment` call keyed by its grid coordinates;
@@ -31,7 +34,10 @@ use crossbeam::channel;
 use crossbeam::deque::{Injector, Stealer, Worker};
 use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use ff_core::{Controller, FrameFeedback, PidConfig};
-use ff_device::{run_experiment, ExperimentConfig, ExperimentResult};
+use ff_device::{
+    run_experiment, run_fleet, ExperimentConfig, ExperimentResult, FleetConfig, FleetResult,
+};
+use ff_server::{OverflowPolicy, TierConfig};
 use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -40,7 +46,20 @@ use std::time::Instant;
 /// Bump when the meaning of a cached result changes (new fields on
 /// [`ExperimentResult`], changed simulation semantics, ...). Old cache
 /// entries then miss instead of resurrecting stale results.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`ExperimentResult`] grew per-server stats and admission
+/// counters with the multi-server tier; v1 entries predate them.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
+/// A routing-policy axis entry: which server a request lands on. This is
+/// exactly [`ff_server::RoutingPolicy`] — serializable and `Copy`, so a
+/// grid can carry it the same way it carries a [`ControllerSpec`].
+pub type RoutingSpec = ff_server::RoutingPolicy;
+
+/// An admission-policy axis entry: whether a request gets in at all.
+/// Exactly [`ff_server::AdmissionPolicy`] (admit-all or per-tenant token
+/// bucket), serializable and `Copy` like [`RoutingSpec`].
+pub type AdmissionSpec = ff_server::AdmissionPolicy;
 
 /// A controller recipe a sweep cell can construct on its own thread.
 ///
@@ -87,18 +106,66 @@ impl ControllerSpec {
     }
 }
 
-/// A declarative `(scenario × seed × controller)` grid.
+/// A declarative `(scenario × seed × [routing ×] [admission ×]
+/// controller)` grid.
+///
+/// The `routings` / `admissions` axes are optional: empty vectors (the
+/// serde default, so pre-tier specs parse unchanged) mean "one
+/// pass-through combination" — each cell keeps the scenario's own tier
+/// configuration and the key's axis labels stay empty.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Sweep name (used in reports and exported artifacts).
     pub name: String,
     /// Labelled experiment configurations. Each cell overrides only the
-    /// config's `seed` field with the cell's seed.
+    /// config's `seed` field with the cell's seed (plus `tier` when a
+    /// routing/admission axis is present).
     pub scenarios: Vec<(String, ExperimentConfig)>,
     /// Master seeds; every scenario × controller pair runs once per seed.
     pub seeds: Vec<u64>,
+    /// Labelled routing policies applied over the scenario's server
+    /// tier. Empty (default) leaves every scenario's tier untouched.
+    #[serde(default)]
+    pub routings: Vec<(String, RoutingSpec)>,
+    /// Labelled admission policies applied over the scenario's server
+    /// tier. Empty (default) leaves every scenario's tier untouched.
+    #[serde(default)]
+    pub admissions: Vec<(String, AdmissionSpec)>,
     /// Labelled controller recipes.
     pub controllers: Vec<(String, ControllerSpec)>,
+}
+
+/// Materialize an optional axis: empty means one pass-through entry
+/// with an empty label and no override.
+fn axis_or_passthrough<T: Copy>(axis: &[(String, T)]) -> Vec<(String, Option<T>)> {
+    if axis.is_empty() {
+        vec![(String::new(), None)]
+    } else {
+        axis.iter().map(|(l, v)| (l.clone(), Some(*v))).collect()
+    }
+}
+
+/// Overlay routing/admission axis picks onto a config's tier. `None`
+/// picks leave the corresponding policy as the scenario configured it;
+/// if both picks are `None` the tier (possibly absent) is untouched so
+/// legacy grids stay bit-identical.
+fn overlay_tier(
+    tier: &mut Option<TierConfig>,
+    base: impl FnOnce() -> TierConfig,
+    routing: Option<RoutingSpec>,
+    admission: Option<AdmissionSpec>,
+) {
+    if routing.is_none() && admission.is_none() {
+        return;
+    }
+    let mut t = tier.take().unwrap_or_else(base);
+    if let Some(r) = routing {
+        t.routing = r;
+    }
+    if let Some(a) = admission {
+        t.admission = a;
+    }
+    *tier = Some(t);
 }
 
 impl SweepSpec {
@@ -109,35 +176,56 @@ impl SweepSpec {
             name: name.into(),
             seeds: vec![config.seed],
             scenarios: vec![("default".into(), config)],
+            routings: Vec::new(),
+            admissions: Vec::new(),
             controllers: ControllerSpec::lineup(),
         }
     }
 
     /// Total number of grid cells.
     pub fn cell_count(&self) -> usize {
-        self.scenarios.len() * self.seeds.len() * self.controllers.len()
+        self.scenarios.len()
+            * self.seeds.len()
+            * self.routings.len().max(1)
+            * self.admissions.len().max(1)
+            * self.controllers.len()
     }
 
     /// The grid cells in canonical order: scenario-major, then seed,
-    /// then controller. This order defines the layout of
-    /// [`SweepReport::cells`], independent of execution order.
+    /// then routing, admission, controller. This order defines the
+    /// layout of [`SweepReport::cells`], independent of execution order.
     pub fn cells(&self) -> Vec<Cell> {
         self.validate();
+        let routings = axis_or_passthrough(&self.routings);
+        let admissions = axis_or_passthrough(&self.admissions);
         let mut out = Vec::with_capacity(self.cell_count());
         for (scenario, config) in &self.scenarios {
             for &seed in &self.seeds {
-                for (controller, spec) in &self.controllers {
-                    let mut config = config.clone();
-                    config.seed = seed;
-                    out.push(Cell {
-                        key: CellKey {
-                            scenario: scenario.clone(),
-                            seed,
-                            controller: controller.clone(),
-                        },
-                        config,
-                        controller: spec.clone(),
-                    });
+                for (routing_label, routing) in &routings {
+                    for (admission_label, admission) in &admissions {
+                        for (controller, spec) in &self.controllers {
+                            let mut config = config.clone();
+                            config.seed = seed;
+                            let gpu = config.gpu;
+                            overlay_tier(
+                                &mut config.tier,
+                                || TierConfig::single(gpu, OverflowPolicy::default()),
+                                *routing,
+                                *admission,
+                            );
+                            out.push(Cell {
+                                key: CellKey {
+                                    scenario: scenario.clone(),
+                                    seed,
+                                    routing: routing_label.clone(),
+                                    admission: admission_label.clone(),
+                                    controller: controller.clone(),
+                                },
+                                config,
+                                controller: spec.clone(),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -156,6 +244,14 @@ impl SweepSpec {
         for (l, _) in &self.controllers {
             assert!(seen.insert(l.as_str()), "duplicate controller label {l:?}");
         }
+        seen.clear();
+        for (l, _) in &self.routings {
+            assert!(seen.insert(l.as_str()), "duplicate routing label {l:?}");
+        }
+        seen.clear();
+        for (l, _) in &self.admissions {
+            assert!(seen.insert(l.as_str()), "duplicate admission label {l:?}");
+        }
         let mut seeds = std::collections::HashSet::new();
         for &s in &self.seeds {
             assert!(seeds.insert(s), "duplicate seed {s}");
@@ -170,6 +266,12 @@ pub struct CellKey {
     pub scenario: String,
     /// Master seed of this run.
     pub seed: u64,
+    /// Routing axis label (empty when the spec has no routing axis).
+    #[serde(default)]
+    pub routing: String,
+    /// Admission axis label (empty when the spec has no admission axis).
+    #[serde(default)]
+    pub admission: String,
     /// Controller label.
     pub controller: String,
 }
@@ -298,7 +400,10 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Look up one cell by key.
+    /// Look up one cell by `(scenario, seed, controller)`. When the spec
+    /// carried routing/admission axes this returns the first matching
+    /// combination in grid order; use [`SweepReport::cells`] with a full
+    /// [`CellKey`] match to disambiguate.
     pub fn get(&self, scenario: &str, seed: u64, controller: &str) -> Option<&CellResult> {
         self.cells.iter().find(|c| {
             c.key.scenario == scenario && c.key.seed == seed && c.key.controller == controller
@@ -385,10 +490,11 @@ fn cache_write(dir: &Path, hash: u64, result: &ExperimentResult) {
     let _ = std::fs::remove_file(&tmp);
 }
 
-struct Job {
+/// One unit of work for the generic executor: which report slot the
+/// result merges into, plus whatever payload the runner needs.
+struct Job<P> {
     slot: usize,
-    config: ExperimentConfig,
-    controller: ControllerSpec,
+    payload: P,
 }
 
 fn run_cell(config: ExperimentConfig, controller: &ControllerSpec) -> ExperimentResult {
@@ -498,19 +604,46 @@ fn run_pending_parallel(
     opts: &SweepOptions,
     started: Instant,
 ) {
+    let jobs: Vec<Job<(ExperimentConfig, ControllerSpec)>> = pending
+        .iter()
+        .map(|&i| Job {
+            slot: i,
+            payload: (cells[i].config.clone(), cells[i].controller.clone()),
+        })
+        .collect();
+    run_slots_parallel(
+        jobs,
+        &|(config, controller): (ExperimentConfig, ControllerSpec)| run_cell(config, &controller),
+        slots,
+        opts,
+        started,
+    );
+}
+
+/// The work-stealing core shared by [`run_sweep`] and
+/// [`run_fleet_sweep`]: generic over the job payload and result so both
+/// grid kinds schedule identically. Results land in `slots` by grid
+/// index, so scheduling nondeterminism never reaches the report.
+fn run_slots_parallel<P, R, F>(
+    jobs: Vec<Job<P>>,
+    run: &F,
+    slots: &mut [Option<(bool, R)>],
+    opts: &SweepOptions,
+    started: Instant,
+) where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
     let workers = opts.workers;
     let injector = Injector::new();
-    for &i in pending {
-        injector.push(Job {
-            slot: i,
-            config: cells[i].config.clone(),
-            controller: cells[i].controller.clone(),
-        });
+    for job in jobs {
+        injector.push(job);
     }
-    let (tx, rx) = channel::unbounded::<(usize, ExperimentResult)>();
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
     std::thread::scope(|scope| {
-        let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
-        let stealers: Vec<Stealer<Job>> = locals.iter().map(Worker::stealer).collect();
+        let locals: Vec<Worker<Job<P>>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<Job<P>>> = locals.iter().map(Worker::stealer).collect();
         for (w, local) in locals.into_iter().enumerate() {
             let tx = tx.clone();
             let stealers = stealers.clone();
@@ -538,7 +671,7 @@ fn run_pending_parallel(
                     if stolen {
                         obs.recorder.counter(obs.scope, Metric::Steals, 1, t);
                     }
-                    let result = run_cell(job.config, &job.controller);
+                    let result = run(job.payload);
                     obs.recorder.counter(
                         obs.scope,
                         Metric::CellsDone,
@@ -561,6 +694,259 @@ fn run_pending_parallel(
     });
 }
 
+// ---------------------------------------------------------------------
+// Fleet grids: `(scenario × seed × routing × admission × fleet)` over
+// `run_fleet`. The fleet twin of `SweepSpec` — same canonical-order /
+// merge-by-slot discipline, same executor — but each cell runs a whole
+// multi-device fleet against the server tier, and the fleet axis swaps
+// the *controller lineup* (one spec per device) instead of a single
+// controller. `FleetConfig` carries live handles (a `Telemetry`
+// pipeline), so fleet grids are not serializable and never cached.
+// ---------------------------------------------------------------------
+
+/// A declarative fleet grid. Unlike [`SweepSpec`] this is not a serde
+/// type ([`FleetConfig`] is not serializable); build it in code.
+///
+/// Empty `routings` / `admissions` axes mean one pass-through
+/// combination, like [`SweepSpec`].
+#[derive(Clone)]
+pub struct FleetSweepSpec {
+    /// Sweep name (used in reports and exported artifacts).
+    pub name: String,
+    /// Labelled fleet configurations. Each cell overrides the config's
+    /// `seed` (and `tier` when a routing/admission axis is present).
+    pub scenarios: Vec<(String, FleetConfig)>,
+    /// Master seeds.
+    pub seeds: Vec<u64>,
+    /// Labelled routing policies overlaid on each scenario's tier.
+    pub routings: Vec<(String, RoutingSpec)>,
+    /// Labelled admission policies overlaid on each scenario's tier.
+    pub admissions: Vec<(String, AdmissionSpec)>,
+    /// Labelled controller lineups, one [`ControllerSpec`] per device.
+    /// Every lineup's length must match every scenario's device count.
+    pub fleets: Vec<(String, Vec<ControllerSpec>)>,
+}
+
+impl FleetSweepSpec {
+    /// Total number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len()
+            * self.seeds.len()
+            * self.routings.len().max(1)
+            * self.admissions.len().max(1)
+            * self.fleets.len()
+    }
+
+    /// The grid cells in canonical order: scenario-major, then seed,
+    /// routing, admission, fleet — the layout of
+    /// [`FleetSweepReport::cells`], independent of execution order.
+    pub fn cells(&self) -> Vec<FleetCell> {
+        self.validate();
+        let routings = axis_or_passthrough(&self.routings);
+        let admissions = axis_or_passthrough(&self.admissions);
+        let mut out = Vec::with_capacity(self.cell_count());
+        for (scenario, config) in &self.scenarios {
+            for &seed in &self.seeds {
+                for (routing_label, routing) in &routings {
+                    for (admission_label, admission) in &admissions {
+                        for (fleet, lineup) in &self.fleets {
+                            let mut config = config.clone();
+                            config.seed = seed;
+                            let base = config.tier_config();
+                            overlay_tier(&mut config.tier, || base, *routing, *admission);
+                            out.push(FleetCell {
+                                key: FleetCellKey {
+                                    scenario: scenario.clone(),
+                                    seed,
+                                    routing: routing_label.clone(),
+                                    admission: admission_label.clone(),
+                                    fleet: fleet.clone(),
+                                },
+                                config,
+                                fleet: lineup.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.scenarios.is_empty(),
+            "fleet sweep needs >= 1 scenario"
+        );
+        assert!(!self.seeds.is_empty(), "fleet sweep needs >= 1 seed");
+        assert!(
+            !self.fleets.is_empty(),
+            "fleet sweep needs >= 1 fleet lineup"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for (l, _) in &self.scenarios {
+            assert!(seen.insert(l.as_str()), "duplicate scenario label {l:?}");
+        }
+        seen.clear();
+        for (l, _) in &self.fleets {
+            assert!(seen.insert(l.as_str()), "duplicate fleet label {l:?}");
+        }
+        seen.clear();
+        for (l, _) in &self.routings {
+            assert!(seen.insert(l.as_str()), "duplicate routing label {l:?}");
+        }
+        seen.clear();
+        for (l, _) in &self.admissions {
+            assert!(seen.insert(l.as_str()), "duplicate admission label {l:?}");
+        }
+        let mut seeds = std::collections::HashSet::new();
+        for &s in &self.seeds {
+            assert!(seeds.insert(s), "duplicate seed {s}");
+        }
+        for (fleet, lineup) in &self.fleets {
+            for (scenario, config) in &self.scenarios {
+                assert_eq!(
+                    lineup.len(),
+                    config.devices.len(),
+                    "fleet {fleet:?} has {} controllers but scenario {scenario:?} has {} devices",
+                    lineup.len(),
+                    config.devices.len()
+                );
+            }
+        }
+    }
+}
+
+/// Grid coordinates of one fleet cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct FleetCellKey {
+    /// Scenario label.
+    pub scenario: String,
+    /// Master seed of this run.
+    pub seed: u64,
+    /// Routing axis label (empty when the spec has no routing axis).
+    pub routing: String,
+    /// Admission axis label (empty when the spec has no admission axis).
+    pub admission: String,
+    /// Fleet (controller lineup) label.
+    pub fleet: String,
+}
+
+/// One fully resolved fleet cell, ready to execute.
+#[derive(Clone)]
+pub struct FleetCell {
+    /// Grid coordinates.
+    pub key: FleetCellKey,
+    /// The fleet configuration (seed and tier overlay applied).
+    pub config: FleetConfig,
+    /// Controller recipes, one per device.
+    pub fleet: Vec<ControllerSpec>,
+}
+
+/// One executed fleet cell in the report.
+#[derive(Debug, Serialize)]
+pub struct FleetCellResult {
+    /// Grid coordinates.
+    pub key: FleetCellKey,
+    /// The full fleet output.
+    pub result: FleetResult,
+}
+
+/// The aggregated output of one fleet sweep, cells in canonical grid
+/// order.
+#[derive(Debug, Serialize)]
+pub struct FleetSweepReport {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// Per-cell results in [`FleetSweepSpec::cells`] order.
+    pub cells: Vec<FleetCellResult>,
+    /// Wall-clock duration in seconds (not part of the deterministic
+    /// payload — compare `cells`, not this).
+    pub elapsed_secs: f64,
+}
+
+impl FleetSweepReport {
+    /// Look up one cell by its full grid coordinates.
+    pub fn get(&self, key: &FleetCellKey) -> Option<&FleetCellResult> {
+        self.cells.iter().find(|c| c.key == *key)
+    }
+
+    /// Whether two reports carry bit-identical fleet results (keys,
+    /// cell order, every per-device summary and server counter).
+    pub fn results_identical(&self, other: &FleetSweepReport) -> bool {
+        self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(a, b)| {
+                a.key == b.key
+                    && serde_json::to_string(&a.result).expect("result serializes")
+                        == serde_json::to_string(&b.result).expect("result serializes")
+            })
+    }
+}
+
+fn run_fleet_cell(config: FleetConfig, lineup: &[ControllerSpec]) -> FleetResult {
+    run_fleet(config, lineup.iter().map(ControllerSpec::build).collect())
+}
+
+/// Execute every cell of a fleet grid and aggregate in canonical grid
+/// order. Shares the executor (and the bit-identical-at-any-worker-count
+/// guarantee) with [`run_sweep`]; fleet cells are never cached.
+pub fn run_fleet_sweep(spec: &FleetSweepSpec, opts: &SweepOptions) -> FleetSweepReport {
+    let started = std::time::Instant::now();
+    let cells = spec.cells();
+    let mut rec = opts.telemetry.recorder();
+    let sweep_scope = opts.telemetry.scope("sweep");
+
+    let mut slots: Vec<Option<(bool, FleetResult)>> = (0..cells.len()).map(|_| None).collect();
+    if opts.workers > 1 && cells.len() > 1 {
+        let jobs: Vec<Job<(FleetConfig, Vec<ControllerSpec>)>> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| Job {
+                slot: i,
+                payload: (cell.config.clone(), cell.fleet.clone()),
+            })
+            .collect();
+        run_slots_parallel(
+            jobs,
+            &|(config, lineup): (FleetConfig, Vec<ControllerSpec>)| run_fleet_cell(config, &lineup),
+            &mut slots,
+            opts,
+            started,
+        );
+    } else {
+        for (i, cell) in cells.iter().enumerate() {
+            let result = run_fleet_cell(cell.config.clone(), &cell.fleet);
+            rec.counter(
+                sweep_scope,
+                Metric::CellsDone,
+                1,
+                started.elapsed().as_micros() as u64,
+            );
+            slots[i] = Some((false, result));
+            opts.telemetry.poll();
+        }
+    }
+    opts.telemetry.poll();
+
+    let cell_results = cells
+        .into_iter()
+        .zip(slots)
+        .map(|(cell, slot)| {
+            let (_, result) = slot.expect("every slot filled");
+            FleetCellResult {
+                key: cell.key,
+                result,
+            }
+        })
+        .collect();
+
+    FleetSweepReport {
+        name: spec.name.clone(),
+        cells: cell_results,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +963,8 @@ mod tests {
             name: "test".into(),
             scenarios: vec![("ideal".into(), tiny_config())],
             seeds,
+            routings: Vec::new(),
+            admissions: Vec::new(),
             controllers: vec![
                 ("framefeedback".into(), ControllerSpec::framefeedback()),
                 ("local-only".into(), ControllerSpec::LocalOnly),
@@ -719,5 +1107,90 @@ mod tests {
     #[should_panic(expected = "duplicate seed")]
     fn duplicate_seeds_are_rejected() {
         tiny_spec(vec![1, 1]).cells();
+    }
+
+    #[test]
+    fn routing_and_admission_axes_expand_the_grid() {
+        let mut spec = tiny_spec(vec![1]);
+        spec.routings = vec![
+            ("shard".into(), RoutingSpec::StaticShard),
+            ("po2c".into(), RoutingSpec::PowerOfTwoChoices),
+        ];
+        spec.admissions = vec![("admit-all".into(), AdmissionSpec::AdmitAll)];
+        assert_eq!(spec.cell_count(), 4); // 1 scenario × 1 seed × 2 × 1 × 2
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].key.routing, "shard");
+        assert_eq!(cells[0].key.admission, "admit-all");
+        assert_eq!(cells[2].key.routing, "po2c");
+        // The axis pick lands in the cell's tier config.
+        let tier = cells[2].config.tier.as_ref().expect("axis sets a tier");
+        assert_eq!(tier.routing, RoutingSpec::PowerOfTwoChoices);
+        // Different routing, different content hash (the cache key moves).
+        assert_ne!(cells[0].content_hash(), cells[2].content_hash());
+        // No axes: the tier stays untouched and labels stay empty.
+        let legacy = tiny_spec(vec![1]).cells();
+        assert!(legacy[0].config.tier.is_none());
+        assert_eq!(legacy[0].key.routing, "");
+    }
+
+    fn tiny_fleet_spec() -> FleetSweepSpec {
+        let mut config = FleetConfig::default();
+        config.stream.total_frames = 90;
+        config.tier = Some(TierConfig::uniform(2, ff_server::ServerSpec::default()));
+        FleetSweepSpec {
+            name: "fleet-test".into(),
+            scenarios: vec![("two-servers".into(), config)],
+            seeds: vec![7],
+            routings: vec![
+                ("shard".into(), RoutingSpec::StaticShard),
+                ("po2c".into(), RoutingSpec::PowerOfTwoChoices),
+            ],
+            admissions: vec![("admit-all".into(), AdmissionSpec::AdmitAll)],
+            fleets: vec![(
+                "mixed".into(),
+                vec![
+                    ControllerSpec::framefeedback(),
+                    ControllerSpec::LocalOnly,
+                    ControllerSpec::AlwaysOffload,
+                ],
+            )],
+        }
+    }
+
+    #[test]
+    fn fleet_grid_enumerates_in_canonical_order() {
+        let spec = tiny_fleet_spec();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key.routing, "shard");
+        assert_eq!(cells[1].key.routing, "po2c");
+        assert_eq!(cells[0].key.fleet, "mixed");
+        assert_eq!(cells[0].config.seed, 7);
+        let tier = cells[1].config.tier.as_ref().expect("tier set");
+        assert_eq!(tier.routing, RoutingSpec::PowerOfTwoChoices);
+        assert_eq!(tier.servers.len(), 2);
+    }
+
+    #[test]
+    fn fleet_grid_serial_and_parallel_reports_are_bit_identical() {
+        let spec = tiny_fleet_spec();
+        let serial = run_fleet_sweep(&spec, &SweepOptions::serial());
+        let parallel = run_fleet_sweep(&spec, &SweepOptions::parallel(3));
+        assert_eq!(serial.cells.len(), 2);
+        assert!(serial.results_identical(&parallel));
+        let key = serial.cells[0].key.clone();
+        assert!(serial.get(&key).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "has 2 controllers")]
+    fn fleet_lineup_must_match_device_count() {
+        let mut spec = tiny_fleet_spec();
+        spec.fleets = vec![(
+            "short".into(),
+            vec![ControllerSpec::framefeedback(), ControllerSpec::LocalOnly],
+        )];
+        spec.cells();
     }
 }

@@ -47,6 +47,9 @@ pub enum Metric {
     Steals,
     // Live client connection lifecycle.
     Reconnects,
+    // Server tier (appended so earlier metric ids stay stable).
+    AdmissionRejections,
+    ServerUp,
 }
 
 impl Metric {
@@ -83,6 +86,8 @@ impl Metric {
             Metric::CacheHits => "cache_hits",
             Metric::Steals => "steals",
             Metric::Reconnects => "reconnects",
+            Metric::AdmissionRejections => "admission_rejections",
+            Metric::ServerUp => "server_up",
         }
     }
 

@@ -14,6 +14,8 @@ use framefeedback::controller::{Controller, FrameFeedback, PidConfig};
 use framefeedback::device::{
     replay_verify, run_experiment, run_experiment_traced, ExperimentConfig,
 };
+use framefeedback::server::{AdmissionPolicy, RoutingPolicy, ServerSpec, TierConfig};
+use framefeedback::sim::SimDuration;
 use framefeedback::trace::Trace;
 use framefeedback::workload::{fig2_loss_injection, ideal_network, table_v, table_vi};
 use std::process::ExitCode;
@@ -26,6 +28,9 @@ struct CliConfig {
     frames: u64,
     kp: Option<f64>,
     kd: Option<f64>,
+    servers: Option<usize>,
+    routing: Option<String>,
+    admission: Option<String>,
     json: Option<String>,
     config_path: Option<String>,
     trace: Option<String>,
@@ -43,6 +48,9 @@ impl Default for CliConfig {
             frames: 4_000,
             kp: None,
             kd: None,
+            servers: None,
+            routing: None,
+            admission: None,
             json: None,
             config_path: None,
             trace: None,
@@ -59,6 +67,9 @@ ffexp — FrameFeedback experiment runner
 USAGE:
   ffexp [--scenario S] [--controller C] [--seed N] [--frames N]
         [--kp X] [--kd X] [--json PATH] [--quiet]
+        [--servers N]      run an N-server tier (default: 1, the paper)
+        [--routing R]      static-shard | jsq | jsq:GOSSIP_MS | po2c
+        [--admission A]    admit-all | token-bucket:RATE[:BURST]
         [--config PATH]    load a full ExperimentConfig from JSON
         [--dump-config]    print the default config as JSON and exit
         [--trace PATH]     record the run as a binary control-loop trace
@@ -74,6 +85,60 @@ SCENARIOS:
 CONTROLLERS:
   framefeedback | local-only | always-offload | all-or-nothing
 ";
+
+fn parse_routing(s: &str) -> Result<RoutingPolicy, String> {
+    match s {
+        "static-shard" => Ok(RoutingPolicy::StaticShard),
+        "po2c" => Ok(RoutingPolicy::PowerOfTwoChoices),
+        "jsq" => Ok(RoutingPolicy::JoinShortestQueue {
+            gossip_interval: SimDuration::from_millis(500),
+        }),
+        other => {
+            let ms: u64 = other
+                .strip_prefix("jsq:")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    format!("unknown routing {other:?} (static-shard | jsq[:MS] | po2c)")
+                })?;
+            if ms == 0 {
+                return Err("jsq gossip interval must be positive".into());
+            }
+            Ok(RoutingPolicy::JoinShortestQueue {
+                gossip_interval: SimDuration::from_millis(ms),
+            })
+        }
+    }
+}
+
+fn parse_admission(s: &str) -> Result<AdmissionPolicy, String> {
+    if s == "admit-all" {
+        return Ok(AdmissionPolicy::AdmitAll);
+    }
+    let spec = s.strip_prefix("token-bucket:").ok_or_else(|| {
+        format!("unknown admission {s:?} (admit-all | token-bucket:RATE[:BURST])")
+    })?;
+    let mut parts = spec.split(':');
+    let rate: f64 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad token-bucket rate in {s:?}"))?;
+    let burst: f64 = match parts.next() {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad token-bucket burst: {e}"))?,
+        None => rate,
+    };
+    if parts.next().is_some() {
+        return Err(format!("too many fields in {s:?}"));
+    }
+    if !(rate > 0.0 && rate.is_finite() && burst >= 1.0 && burst.is_finite()) {
+        return Err("token bucket needs rate > 0 and burst >= 1".into());
+    }
+    Ok(AdmissionPolicy::TokenBucket {
+        rate_rps: rate,
+        burst,
+    })
+}
 
 fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     let mut config = CliConfig::default();
@@ -99,6 +164,25 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             }
             "--kp" => config.kp = Some(value("--kp")?.parse().map_err(|e| format!("--kp: {e}"))?),
             "--kd" => config.kd = Some(value("--kd")?.parse().map_err(|e| format!("--kd: {e}"))?),
+            "--servers" => {
+                let n: usize = value("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?;
+                if n == 0 {
+                    return Err("--servers: the tier needs at least one server".into());
+                }
+                config.servers = Some(n);
+            }
+            "--routing" => {
+                let v = value("--routing")?;
+                parse_routing(&v)?; // validate now, apply in build_experiment
+                config.routing = Some(v);
+            }
+            "--admission" => {
+                let v = value("--admission")?;
+                parse_admission(&v)?;
+                config.admission = Some(v);
+            }
             "--json" => config.json = Some(value("--json")?),
             "--config" => config.config_path = Some(value("--config")?),
             "--trace" => config.trace = Some(value("--trace")?),
@@ -150,6 +234,33 @@ fn build_controller(cli: &CliConfig) -> Box<dyn Controller> {
     }
 }
 
+/// Overlay the tier flags onto a config. No flags → the config's own
+/// `tier` (usually `None`, the paper's single server) stays untouched.
+fn apply_tier_flags(config: &mut ExperimentConfig, cli: &CliConfig) {
+    if cli.servers.is_none() && cli.routing.is_none() && cli.admission.is_none() {
+        return;
+    }
+    let mut tier = config.tier.take().unwrap_or_else(|| {
+        TierConfig::single(config.gpu, framefeedback::server::OverflowPolicy::default())
+    });
+    if let Some(n) = cli.servers {
+        // Uniform tier over the first server's profile (or the config's
+        // GPU when the file had no tier).
+        let spec = tier.servers.first().copied().unwrap_or(ServerSpec {
+            gpu: config.gpu,
+            ..ServerSpec::default()
+        });
+        tier.servers = vec![spec; n];
+    }
+    if let Some(r) = &cli.routing {
+        tier.routing = parse_routing(r).expect("routing validated at parse time");
+    }
+    if let Some(a) = &cli.admission {
+        tier.admission = parse_admission(a).expect("admission validated at parse time");
+    }
+    config.tier = Some(tier);
+}
+
 fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
     if let Some(path) = &cli.config_path {
         let body = std::fs::read_to_string(path)
@@ -161,6 +272,7 @@ fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
         if cli.frames != CliConfig::default().frames {
             config.stream.total_frames = cli.frames;
         }
+        apply_tier_flags(&mut config, cli);
         return config;
     }
     let mut config = ExperimentConfig::default();
@@ -184,6 +296,7 @@ fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
         "fig2" => config.network = fig2_loss_injection(),
         other => unreachable!("validated scenario name {other}"),
     }
+    apply_tier_flags(&mut config, cli);
     config
 }
 
@@ -289,6 +402,19 @@ fn main() -> ExitCode {
         result.offload_timeouts,
         result.cpu_usage_pct
     );
+    if result.per_server_stats.len() > 1 || result.admission_rejections > 0 {
+        let per: Vec<String> = result
+            .per_server_stats
+            .iter()
+            .map(|s| s.completions.to_string())
+            .collect();
+        println!(
+            "tier: {} servers | completions per server [{}] | admission rejections {}",
+            result.per_server_stats.len(),
+            per.join(", "),
+            result.admission_rejections
+        );
+    }
     if let Some(lat) = result.offload_latency {
         println!(
             "offload latency: p50 {:.0} ms, p95 {:.0} ms, p99 {:.0} ms (deadline 250 ms)",
@@ -431,6 +557,97 @@ mod tests {
     fn dump_config_flag_parses() {
         let c = parse_args(&args("--dump-config")).unwrap();
         assert!(c.dump_config);
+    }
+
+    #[test]
+    fn tier_flags_parse_and_build_a_tier() {
+        let c = parse_args(&args(
+            "--servers 4 --routing po2c --admission token-bucket:20:40 --frames 30",
+        ))
+        .unwrap();
+        let config = build_experiment(&c);
+        let tier = config.tier.expect("tier flags build a tier");
+        assert_eq!(tier.servers.len(), 4);
+        assert_eq!(tier.routing, RoutingPolicy::PowerOfTwoChoices);
+        assert_eq!(
+            tier.admission,
+            AdmissionPolicy::TokenBucket {
+                rate_rps: 20.0,
+                burst: 40.0
+            }
+        );
+        // Every server inherits the config's GPU profile.
+        assert!(tier.servers.iter().all(|s| s.gpu == config.gpu));
+    }
+
+    #[test]
+    fn routing_strings_parse() {
+        assert_eq!(
+            parse_routing("static-shard"),
+            Ok(RoutingPolicy::StaticShard)
+        );
+        assert_eq!(
+            parse_routing("jsq:250"),
+            Ok(RoutingPolicy::JoinShortestQueue {
+                gossip_interval: SimDuration::from_millis(250)
+            })
+        );
+        assert!(parse_routing("jsq:0").is_err());
+        assert!(parse_routing("round-robin").is_err());
+    }
+
+    #[test]
+    fn admission_strings_parse() {
+        assert_eq!(parse_admission("admit-all"), Ok(AdmissionPolicy::AdmitAll));
+        // Burst defaults to the rate.
+        assert_eq!(
+            parse_admission("token-bucket:15"),
+            Ok(AdmissionPolicy::TokenBucket {
+                rate_rps: 15.0,
+                burst: 15.0
+            })
+        );
+        assert!(parse_admission("token-bucket:0").is_err());
+        assert!(parse_admission("token-bucket:10:0.5").is_err());
+        assert!(parse_admission("token-bucket:10:20:30").is_err());
+        assert!(parse_admission("leaky-bucket:10").is_err());
+    }
+
+    #[test]
+    fn bad_tier_flags_are_rejected_at_parse_time() {
+        assert!(parse_args(&args("--servers 0")).is_err());
+        assert!(parse_args(&args("--routing nope")).is_err());
+        assert!(parse_args(&args("--admission nope")).is_err());
+    }
+
+    #[test]
+    fn no_tier_flags_leave_the_config_untouched() {
+        let mut cli = CliConfig::default();
+        cli.frames = 30;
+        assert!(build_experiment(&cli).tier.is_none());
+    }
+
+    #[test]
+    fn pre_tier_config_json_still_parses() {
+        // Configs written before the tier fields existed have no "tier"
+        // key; `#[serde(default)]` must fill it with None.
+        let body = serde_json::to_string(&ExperimentConfig::default()).unwrap();
+        let legacy = body
+            .replace("\"tier\":null,", "")
+            .replace(",\"tier\":null", "");
+        assert_ne!(legacy, body, "expected to strip the tier key");
+        let parsed: ExperimentConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.tier.is_none());
+        // And the CLI can still overlay a tier on such a config.
+        let dir = std::env::temp_dir().join("ffexp-tier-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, &legacy).unwrap();
+        let mut cli = CliConfig::default();
+        cli.config_path = Some(path.to_string_lossy().into_owned());
+        cli.servers = Some(2);
+        let loaded = build_experiment(&cli);
+        assert_eq!(loaded.tier.unwrap().servers.len(), 2);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod net {
     pub use ff_net::*;
 }
 
-/// The multi-tenant batching server (`ff-server`).
+/// The multi-tenant batching server and the N-server tier (`ff-server`):
+/// routing policies (static shard, stale-gossip JSQ, power-of-two
+/// choices) and per-tenant token-bucket admission in front of
+/// heterogeneous `EdgeServer`s.
 pub mod server {
     pub use ff_server::*;
 }
@@ -88,8 +91,10 @@ pub mod trace {
 }
 
 /// The parallel deterministic sweep engine (`ff-sweep`): declarative
-/// `(scenario × seed × controller)` grids, work-stealing execution,
-/// order-independent aggregation, and the content-hash result cache.
+/// `(scenario × seed × routing × admission × controller)` grids — plus
+/// the fleet twin `FleetSweepSpec` crossing whole controller lineups —
+/// work-stealing execution, order-independent aggregation, and the
+/// content-hash result cache (experiment grids only).
 pub mod sweep {
     pub use ff_sweep::*;
 }

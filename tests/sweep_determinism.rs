@@ -36,6 +36,8 @@ fn grid() -> SweepSpec {
             ("table-v".into(), short(true)),
         ],
         seeds: (0..3).map(|i| MASTER_SEED.wrapping_add(i)).collect(),
+        routings: Vec::new(),
+        admissions: Vec::new(),
         controllers: vec![
             ("framefeedback".into(), ControllerSpec::framefeedback()),
             ("all-or-nothing".into(), ControllerSpec::AllOrNothing),

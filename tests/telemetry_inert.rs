@@ -16,6 +16,7 @@ use framefeedback::controller::{Controller, FrameFeedback};
 use framefeedback::device::{
     run_experiment, run_experiment_with_telemetry, run_fleet, ExperimentConfig, FleetConfig,
 };
+use framefeedback::server::{RoutingPolicy, ServerSpec, TierConfig};
 use framefeedback::telemetry::{Metric, Snapshot, Telemetry, TelemetryConfig};
 use framefeedback::workload::table_v;
 
@@ -102,6 +103,44 @@ fn fleet_run_is_bit_identical_with_telemetry_on_and_off() {
         off.events_handled, on.events_handled,
         "telemetry scheduled simulation events"
     );
+}
+
+#[test]
+fn multi_server_fleet_is_bit_identical_and_emits_per_server_scopes() {
+    // Same contract over the N=2 tier: routing draws from its own RNG
+    // stream and gossip schedules no events, so observation must still
+    // change nothing — and the tier must surface `server/<i>` scopes.
+    let tiered = |telemetry: Telemetry| {
+        let mut c = fleet_config(telemetry);
+        c.tier = Some(TierConfig {
+            routing: RoutingPolicy::PowerOfTwoChoices,
+            ..TierConfig::uniform(2, ServerSpec::default())
+        });
+        c
+    };
+    let n = FleetConfig::default().devices.len();
+    let off = run_fleet(tiered(Telemetry::disabled()), fleet_controllers(n));
+
+    let (telemetry, rx) = observed_pipeline();
+    let on = run_fleet(tiered(telemetry.clone()), fleet_controllers(n));
+    telemetry.finish();
+
+    for (a, b) in off.devices.iter().zip(&on.devices) {
+        assert_eq!(a.qos, b.qos, "tiered QoS diverged for {}", a.device);
+    }
+    assert_eq!(off.per_server_stats, on.per_server_stats);
+    assert_eq!(off.events_handled, on.events_handled);
+
+    let scopes: std::collections::BTreeSet<String> = drain(&rx)
+        .iter()
+        .flat_map(|s| s.scopes.iter().map(|sc| sc.scope.clone()))
+        .collect();
+    for scope in ["server/0", "server/1"] {
+        assert!(
+            scopes.contains(scope),
+            "expected per-server scope {scope:?} in snapshot stream, saw {scopes:?}"
+        );
+    }
 }
 
 #[test]
