@@ -20,6 +20,7 @@ use crate::quality::{QualityAdapter, QualityConfig};
 use crate::runtime::{
     DeviceRuntime, FrameOutcome, RuntimeConfig, SubmitOutcome, Transport, BACKGROUND_TAG_BASE,
 };
+use crate::selection::ModelSelection;
 use crate::selector::{ModelSelector, SelectorConfig};
 use crate::splitter::Route;
 use crate::trace::{timeout_fate, FrameFate, FrameRecord, FrameTrace};
@@ -35,7 +36,8 @@ use ff_sim::{Ctx, RngFactory, SimDuration, SimModel, SimTime, Simulation};
 use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
 use ff_trace::{TraceHandle, TraceHeader};
 use ff_workload::{
-    FrameSource, FrameStream, ReplayCursor, ReplayFrames, StepSchedule, StreamConfig,
+    FilterConfig, FilterStats, FilterVerdict, FrameSource, FrameStream, ReplayCursor, ReplayFrames,
+    SceneScript, SemanticFilter, StepSchedule, StreamConfig,
 };
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -111,6 +113,29 @@ pub struct ExperimentConfig {
     /// `outage` window takes the whole tier down at once.
     #[serde(default)]
     pub tier: Option<TierConfig>,
+    /// Scene-change script scoring each generated frame's information
+    /// content on a dedicated RNG stream ("scene"). `None` — the default
+    /// — draws nothing and is bit-identical to the pre-scene source.
+    /// Ignored for replayed capture schedules (recorded sizes already
+    /// embed any content structure).
+    #[serde(default)]
+    pub scene: Option<SceneScript>,
+    /// Semantic frame filter (skip/shrink/pass). Only acts on frames
+    /// that carry an information score, i.e. requires `scene`; `None`
+    /// passes every frame untouched.
+    #[serde(default)]
+    pub filter: Option<FilterConfig>,
+    /// Accuracy-aware model selection. The default `AlwaysPaper` is the
+    /// paper's always-remote policy, bit-identical to the pre-selection
+    /// runtime (`tests/content_inert.rs`).
+    #[serde(default)]
+    pub selection: ModelSelection,
+    /// The model served remotely. `None` — the default — means the
+    /// device model `model` runs on the server too (the paper's setup);
+    /// `Some` enables the small-local / large-remote split whose
+    /// accuracies feed [`ModelSelection::ExpectedAccuracy`].
+    #[serde(default)]
+    pub remote_model: Option<ModelKind>,
 }
 
 /// A server crash-and-restart window (see [`ExperimentConfig::outage`]).
@@ -158,6 +183,10 @@ impl Default for ExperimentConfig {
             outage: None,
             replay: None,
             tier: None,
+            scene: None,
+            filter: None,
+            selection: ModelSelection::AlwaysPaper,
+            remote_model: None,
         }
     }
 }
@@ -216,6 +245,15 @@ pub struct ExperimentResult {
     /// Requests turned away by the tier's admission policy.
     #[serde(default)]
     pub admission_rejections: u64,
+    /// Semantic-filter verdict counts (`None` when no filter ran).
+    /// Conservation is structural: `passed + shrunk + skipped ==
+    /// captured`, and skipped frames appear in no other frame counter.
+    #[serde(default)]
+    pub filter_stats: Option<FilterStats>,
+    /// Mean accuracy-weighted throughput over intervals that completed
+    /// at least one frame (Table III weighting; see `QosAggregate`).
+    #[serde(default)]
+    pub mean_accuracy_weighted_throughput: f64,
 }
 
 enum Event {
@@ -340,6 +378,10 @@ struct World {
     uplink_latencies: LatencyStats,
     server_latencies: LatencyStats,
     frames_local: u64,
+    filter: Option<SemanticFilter>,
+    /// The model classifying offloaded frames (`remote_model` when set,
+    /// else the device model — the paper's single-model setup).
+    offload_model: ModelKind,
     quality: Option<QualityAdapter>,
     accuracy_sum: f64,
     quality_sum: f64,
@@ -561,19 +603,44 @@ impl SimModel for World {
                 };
                 let now = ctx.now();
                 debug_assert_eq!(frame.captured_at, now, "capture event out of sync");
-                match self.runtime.route_frame(frame.id.0, frame.bytes, now) {
+                // The semantic filter sits between capture and the
+                // splitter; it only sees frames with an information
+                // score (generated streams with a scene script).
+                let mut frame_bytes = frame.bytes;
+                if let (Some(filter), Some(info)) = (&mut self.filter, self.source.last_info()) {
+                    match filter.verdict(info, frame.bytes) {
+                        FilterVerdict::Pass => {}
+                        FilterVerdict::Shrink { bytes } => frame_bytes = bytes,
+                        FilterVerdict::Skip => {
+                            // Never reaches the splitter; counted only in
+                            // the filter stats and the per-frame trace.
+                            self.trace.captured(
+                                frame.id.0,
+                                now,
+                                frame.bytes,
+                                FrameFate::FilteredOut,
+                            );
+                            if !self.source.exhausted() {
+                                let next = self.source.next_capture_time();
+                                ctx.schedule_at(next, Event::Capture);
+                            }
+                            return;
+                        }
+                    }
+                }
+                match self.runtime.route_frame(frame.id.0, frame_bytes, now) {
                     Route::Offload => {
                         let resolution = self.config.stream.compression.resolution;
                         let (bytes, quality) = match &self.quality {
                             Some(adapter) => (
-                                (frame.bytes as f64 * adapter.byte_scale(resolution)).round()
+                                (frame_bytes as f64 * adapter.byte_scale(resolution)).round()
                                     as u64,
                                 adapter.quality(),
                             ),
-                            None => (frame.bytes, self.config.stream.compression.quality),
+                            None => (frame_bytes, self.config.stream.compression.quality),
                         };
                         self.accuracy_sum += ff_models::predicted_top1(
-                            self.config.model,
+                            self.offload_model,
                             ff_models::Compression::new(quality, resolution),
                         );
                         self.quality_sum += quality as f64;
@@ -583,7 +650,7 @@ impl SimModel for World {
                     }
                     Route::Local => {
                         self.trace
-                            .captured(frame.id.0, now, frame.bytes, FrameFate::Unresolved);
+                            .captured(frame.id.0, now, frame_bytes, FrameFate::Unresolved);
                         match self.engine.offer(now) {
                             LocalOutcome::Started { done_at } => {
                                 ctx.schedule_at(done_at, Event::LocalDone);
@@ -799,6 +866,12 @@ fn run_experiment_inner(
         outage.validate();
     }
 
+    // Run-constant Table III accuracies: the device model answers local
+    // frames, `remote_model` (when set) answers offloaded ones.
+    let local_accuracy = config.model.profile().top1_accuracy;
+    let offload_model = config.remote_model.unwrap_or(config.model);
+    let remote_accuracy = offload_model.profile().top1_accuracy;
+
     // The runtime makes the bootstrap decision at t = 0 so policies with
     // static targets (e.g. always-offload) act from the first frame.
     let mut runtime = DeviceRuntime::new(
@@ -808,6 +881,9 @@ fn run_experiment_inner(
             controller_period: config.controller_period,
             timeout_window: config.timeout_window,
             probe_bytes: config.stream.compression.mean_frame_bytes(),
+            selection: config.selection,
+            local_accuracy,
+            remote_accuracy,
         },
         controller.as_mut(),
     );
@@ -820,6 +896,10 @@ fn run_experiment_inner(
             probe_bytes: config.stream.compression.mean_frame_bytes(),
             seed: config.seed,
             controller: controller.name().to_string(),
+            selection: config.selection.code(),
+            selection_margin: config.selection.margin(),
+            local_accuracy,
+            remote_accuracy,
         }));
     }
 
@@ -839,9 +919,17 @@ fn run_experiment_inner(
     if let Some(model) = config.loss_model {
         link.set_loss_model(model);
     }
-    let source = match &config.replay {
-        Some(replay) => FrameStream::Replay(ReplayCursor::new(replay.clone())),
-        None => FrameStream::Generated(FrameSource::new(config.stream, rng.stream("frames"))),
+    let source = match (&config.replay, &config.scene) {
+        (Some(replay), _) => FrameStream::Replay(ReplayCursor::new(replay.clone())),
+        (None, Some(script)) => FrameStream::Generated(FrameSource::with_scene(
+            config.stream,
+            rng.stream("frames"),
+            script.clone(),
+            rng.stream("scene"),
+        )),
+        (None, None) => {
+            FrameStream::Generated(FrameSource::new(config.stream, rng.stream("frames")))
+        }
     };
     let tier_config = config
         .tier
@@ -865,6 +953,8 @@ fn run_experiment_inner(
         uplink_latencies: LatencyStats::new(),
         server_latencies: LatencyStats::new(),
         frames_local: 0,
+        filter: config.filter.map(SemanticFilter::new),
+        offload_model,
         quality: config.adaptive_quality.map(QualityAdapter::new),
         accuracy_sum: 0.0,
         quality_sum: 0.0,
@@ -968,6 +1058,8 @@ fn run_experiment_inner(
         mean_local_accuracy: (world.local_done_total > 0)
             .then(|| world.local_accuracy_sum / world.local_done_total as f64),
         trace: world.trace.is_enabled().then(|| world.trace.into_records()),
+        filter_stats: world.filter.as_ref().map(|f| f.stats()),
+        mean_accuracy_weighted_throughput: qos.mean_accuracy_weighted(),
         qos,
     };
     (result, binary_trace)

@@ -20,6 +20,7 @@
 
 use crate::local::{LocalEngine, LocalOutcome};
 use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
+use crate::selection::{deadline_risk, ModelSelection};
 use crate::splitter::{FrameSplitter, Route};
 use ff_core::{Controller, Measurement};
 use ff_metrics::{QosLog, WindowedRate};
@@ -33,7 +34,10 @@ use ff_sim::{
     Ctx, EventQueue, QueueBackend, RngFactory, SimDuration, SimModel, SimTime, Simulation,
 };
 use ff_telemetry::{Metric, Recorder, Scope, Telemetry};
-use ff_workload::{FrameSource, StepSchedule, StreamConfig};
+use ff_workload::{
+    FilterConfig, FilterStats, FilterVerdict, FrameSource, SceneScript, SemanticFilter,
+    StepSchedule, StreamConfig,
+};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -149,6 +153,21 @@ pub struct FleetConfig {
     /// fleet results bit-identical (asserted by `telemetry_inert.rs`) —
     /// recorders never schedule events or touch an RNG stream.
     pub telemetry: Telemetry,
+    /// Optional scene script modulating every device's per-frame
+    /// information (each device gets its own `"fleet-scene"` indexed
+    /// stream, so enabling this never perturbs the existing streams).
+    /// `None` keeps the fleet bit-identical to the pre-scene path.
+    pub scene: Option<SceneScript>,
+    /// Optional semantic frame filter applied per device before
+    /// routing. Inert without `scene` (frames carry no information
+    /// score otherwise); `None` is bit-identical to no filtering.
+    pub filter: Option<FilterConfig>,
+    /// Model-selection policy shared by all devices. The default
+    /// `AlwaysPaper` reproduces the paper's fixed split bit-for-bit.
+    pub selection: ModelSelection,
+    /// Model served by the tier for offloaded frames. `None` means each
+    /// device's own `model` (the paper's symmetric setup).
+    pub remote_model: Option<ModelKind>,
 }
 
 impl Default for FleetConfig {
@@ -182,6 +201,10 @@ impl Default for FleetConfig {
             outages: Vec::new(),
             engine: EngineOptions::default(),
             telemetry: Telemetry::disabled(),
+            scene: None,
+            filter: None,
+            selection: ModelSelection::AlwaysPaper,
+            remote_model: None,
         }
     }
 }
@@ -217,6 +240,12 @@ pub struct FleetDeviceResult {
     pub offload_timeouts: u64,
     /// Mean total throughput `P` for this device.
     pub mean_throughput: f64,
+    /// Mean accuracy-weighted throughput (correct classifications per
+    /// second) over intervals that completed frames.
+    pub mean_accuracy_weighted_throughput: f64,
+    /// Semantic-filter accounting for this device (`None` when the
+    /// fleet runs without a filter).
+    pub filter_stats: Option<FilterStats>,
 }
 
 /// Outcome of a fleet run.
@@ -248,6 +277,7 @@ pub struct FleetResult {
 struct IntervalCounters {
     sent: u64,
     local_done: u64,
+    offload_success: u64,
     timeouts: u64,
     timeouts_network: u64,
     timeouts_load: u64,
@@ -261,6 +291,12 @@ struct DeviceState {
     link: Link<ChaCha8Rng>,
     tracker: OffloadTracker,
     model: ModelKind,
+    /// Model the tier runs for this device's offloads (== `model`
+    /// unless `FleetConfig::remote_model` overrides it).
+    offload_model: ModelKind,
+    filter: Option<SemanticFilter>,
+    local_accuracy: f64,
+    remote_accuracy: f64,
     device_kind: DeviceKind,
     probes: HashMap<u64, SimTime, TagHash>,
     probe_seq: u64,
@@ -408,6 +444,9 @@ impl FleetWorld {
             dt_secs: dt,
         });
         d.po_target = decision.po_target;
+        let accuracy_weighted = (d.local_accuracy * d.interval.local_done as f64
+            + d.remote_accuracy * d.interval.offload_success as f64)
+            / dt;
         d.qos.push_at(
             now,
             pl,
@@ -415,6 +454,7 @@ impl FleetWorld {
             d.interval.timeouts_network as f64 / dt,
             d.interval.timeouts_load as f64 / dt,
             d.po_target,
+            accuracy_weighted,
         );
         let interval = d.interval;
         d.interval = IntervalCounters::default();
@@ -559,13 +599,44 @@ impl SimModel for FleetWorld {
                 let Some(frame) = d.source.next_frame() else {
                     return;
                 };
-                match d.splitter.route(d.po_target, fs) {
+                // Semantic filter: drop or shrink low-information frames
+                // before they cost routing, uplink, or local compute.
+                let mut frame_bytes = frame.bytes;
+                if let (Some(filter), Some(info)) = (&mut d.filter, d.source.last_info()) {
+                    match filter.verdict(info, frame.bytes) {
+                        FilterVerdict::Pass => {}
+                        FilterVerdict::Shrink { bytes } => frame_bytes = bytes,
+                        FilterVerdict::Skip => {
+                            if !d.source.exhausted() {
+                                let next = d.source.next_capture_time();
+                                ctx.schedule_at(next, FleetEvent::Capture(dev));
+                            }
+                            return;
+                        }
+                    }
+                }
+                let mut route = d.splitter.route(d.po_target, fs);
+                if route == Route::Offload && self.config.selection != ModelSelection::AlwaysPaper {
+                    // Accuracy-aware demotion: keep the frame local when
+                    // the deadline risk eats the remote model's accuracy
+                    // edge. Guarded so `AlwaysPaper` never touches the
+                    // timeout-rate window outside ticks (bit-inert).
+                    let risk = deadline_risk(d.timeout_rate.rate_at(now), d.po_target);
+                    if self.config.selection.prefers_local(
+                        d.local_accuracy,
+                        d.remote_accuracy,
+                        risk,
+                    ) {
+                        route = Route::Local;
+                    }
+                }
+                match route {
                     Route::Offload => {
                         let tag = make_tag(dev, frame.id.0, false);
                         d.tracker.sent(tag, now);
                         d.interval.sent += 1;
                         d.frames_offloaded += 1;
-                        match d.link.send(now, frame.bytes) {
+                        match d.link.send(now, frame_bytes) {
                             SendOutcome::Delivered { at } => {
                                 ctx.schedule_at(at, FleetEvent::Uplinked { tag })
                             }
@@ -597,7 +668,7 @@ impl SimModel for FleetWorld {
             FleetEvent::Uplinked { tag } => {
                 let now = ctx.now();
                 let dev = tag_device(tag);
-                let model = self.devices[dev].model;
+                let model = self.devices[dev].offload_model;
                 let probe = tag_is_probe(tag);
                 let request = Request {
                     tenant: TenantId(dev as u32),
@@ -674,10 +745,10 @@ impl SimModel for FleetWorld {
                     }
                     return;
                 }
-                if let Some(OffloadResolution::Timeout { cause }) =
-                    d.tracker.response_arrived(tag, now)
-                {
-                    record_timeout(d, now, cause);
+                match d.tracker.response_arrived(tag, now) {
+                    Some(OffloadResolution::Success { .. }) => d.interval.offload_success += 1,
+                    Some(OffloadResolution::Timeout { cause }) => record_timeout(d, now, cause),
+                    None => {}
                 }
             }
 
@@ -775,12 +846,23 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
                     dt_secs: config.controller_period.as_secs_f64(),
                 })
                 .po_target;
-            DeviceState {
-                controller,
-                source: FrameSource::new(
+            let offload_model = config.remote_model.unwrap_or(dc.model);
+            let source = match &config.scene {
+                // The scene draws from its own indexed stream, so the
+                // frame/local/link streams are untouched by enabling it.
+                Some(script) => FrameSource::with_scene(
                     config.stream,
                     rng.indexed_stream("fleet-frames", i as u64),
+                    script.clone(),
+                    rng.indexed_stream("fleet-scene", i as u64),
                 ),
+                None => {
+                    FrameSource::new(config.stream, rng.indexed_stream("fleet-frames", i as u64))
+                }
+            };
+            DeviceState {
+                controller,
+                source,
                 splitter: FrameSplitter::new(),
                 engine: LocalEngine::new(
                     dc.device,
@@ -794,6 +876,10 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
                 ),
                 tracker: OffloadTracker::new(config.deadline),
                 model: dc.model,
+                offload_model,
+                filter: config.filter.map(SemanticFilter::new),
+                local_accuracy: dc.model.profile().top1_accuracy,
+                remote_accuracy: offload_model.profile().top1_accuracy,
                 device_kind: dc.device,
                 probes: HashMap::default(),
                 probe_seq: 0,
@@ -888,6 +974,8 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
             device: d.device_kind.name().to_string(),
             model: d.model.name().to_string(),
             mean_throughput: d.qos.mean_throughput(),
+            mean_accuracy_weighted_throughput: d.qos.mean_accuracy_weighted(),
+            filter_stats: d.filter.as_ref().map(|f| f.stats()),
             frames_offloaded: d.frames_offloaded,
             frames_local: d.frames_local,
             offload_successes: d.tracker.successes(),

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+mod content;
 mod cpu;
 mod experiment;
 mod fleet;
@@ -28,12 +29,14 @@ mod offload;
 mod quality;
 mod replay;
 pub mod runtime;
+mod selection;
 mod selector;
 mod splitter;
 pub mod taghash;
 pub mod tags;
 mod trace;
 
+pub use content::{content_scenario, content_scenarios, CONTENT_SCENARIO_NAMES};
 pub use cpu::{CpuModel, EnergyModel};
 pub use experiment::{
     run_experiment, run_experiment_traced, run_experiment_with_telemetry, ExperimentConfig,
@@ -53,6 +56,7 @@ pub use runtime::{
     is_probe_tag, DeviceRuntime, FrameOutcome, OffloadSubmission, RuntimeConfig, SubmitOutcome,
     TickOutput, Transport, WallClock, BACKGROUND_TAG_BASE, PROBE_TAG_BASE,
 };
+pub use selection::{deadline_risk, ModelSelection};
 pub use selector::{ModelSelector, SelectorConfig};
 pub use splitter::{FrameSplitter, Route};
 pub use trace::{FrameFate, FrameRecord, FrameTrace, TraceSummary};

@@ -14,6 +14,7 @@
 use crate::runtime::{
     trace_cause, trace_outcome, DeviceRuntime, RuntimeConfig, SubmitOutcome, Transport,
 };
+use crate::selection::ModelSelection;
 use crate::splitter::Route;
 use ff_baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use ff_core::{Controller, FrameFeedback};
@@ -128,6 +129,11 @@ pub fn replay_verify_with(
     controller: &mut dyn Controller,
 ) -> Result<ReplayReport, ReplayMismatch> {
     let h = &trace.header;
+    let selection =
+        ModelSelection::from_code(h.selection, h.selection_margin).ok_or(ReplayMismatch {
+            index: 0,
+            detail: format!("unknown model-selection code {} in header", h.selection),
+        })?;
     let mut rt = DeviceRuntime::new(
         RuntimeConfig {
             fs: h.fs,
@@ -135,6 +141,9 @@ pub fn replay_verify_with(
             controller_period: SimDuration::from_micros(h.controller_period_us),
             timeout_window: SimDuration::from_micros(h.timeout_window_us),
             probe_bytes: h.probe_bytes,
+            selection,
+            local_accuracy: h.local_accuracy,
+            remote_accuracy: h.remote_accuracy,
         },
         controller,
     );
@@ -277,6 +286,7 @@ pub fn replay_verify_with(
                     r.timeouts_network,
                     r.timeouts_load,
                     r.po_target,
+                    r.accuracy_weighted_throughput,
                 ];
                 let want = [
                     qos.t_secs,
@@ -286,6 +296,7 @@ pub fn replay_verify_with(
                     qos.timeouts_network,
                     qos.timeouts_load,
                     qos.po_target,
+                    qos.accuracy_weighted_throughput,
                 ];
                 if got.map(f64::to_bits) != want.map(f64::to_bits) {
                     return fail(

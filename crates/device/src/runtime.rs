@@ -25,6 +25,7 @@
 //! [`DeviceRuntime::expire_due`] each iteration instead.
 
 use crate::offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};
+use crate::selection::{deadline_risk, ModelSelection};
 use crate::splitter::{FrameSplitter, Route};
 use ff_core::{Controller, Measurement};
 use ff_metrics::{QosLog, QosRecord, WindowedRate};
@@ -78,6 +79,15 @@ pub struct RuntimeConfig {
     pub timeout_window: SimDuration,
     /// Payload size of heartbeat probes.
     pub probe_bytes: u64,
+    /// Which model answers offload-routed frames. [`ModelSelection::AlwaysPaper`]
+    /// reproduces the paper's runtime bit for bit.
+    pub selection: ModelSelection,
+    /// Top-1 accuracy of the on-device model (Table III), used by
+    /// [`ModelSelection::ExpectedAccuracy`] and the accuracy-weighted
+    /// throughput QoS field.
+    pub local_accuracy: f64,
+    /// Top-1 accuracy of the remote model (Table III).
+    pub remote_accuracy: f64,
 }
 
 /// Result of [`DeviceRuntime::offload`].
@@ -173,6 +183,7 @@ impl WallClock {
 struct IntervalCounters {
     sent: u64,
     local_done: u64,
+    offload_success: u64,
     timeouts_network: u64,
     timeouts_load: u64,
 }
@@ -326,7 +337,21 @@ impl DeviceRuntime {
     /// Hosts that may record a trace use this; `route()` remains for
     /// callers without per-frame identity.
     pub fn route_frame(&mut self, frame_id: u64, bytes: u64, now: SimTime) -> Route {
-        let route = self.splitter.route(self.po_target, self.config.fs);
+        let mut route = self.splitter.route(self.po_target, self.config.fs);
+        // Accuracy-aware demotion: an offload verdict may fall back to the
+        // local model when the deadline risk discounts the remote model
+        // below the local one. `AlwaysPaper` skips this entirely (not even
+        // a rate-estimator read), keeping legacy runs bit-identical.
+        if route == Route::Offload && self.config.selection != ModelSelection::AlwaysPaper {
+            let risk = deadline_risk(self.timeout_rate.rate_at(now), self.po_target);
+            if self.config.selection.prefers_local(
+                self.config.local_accuracy,
+                self.config.remote_accuracy,
+                risk,
+            ) {
+                route = Route::Local;
+            }
+        }
         self.trace.record_with(|| TraceEvent::Capture {
             at: now,
             frame_id,
@@ -412,6 +437,7 @@ impl DeviceRuntime {
         }
         match self.tracker.response_arrived(tag, now) {
             Some(OffloadResolution::Success { latency, breakdown }) => {
+                self.interval.offload_success += 1;
                 FrameOutcome::Success { latency, breakdown }
             }
             Some(OffloadResolution::Timeout { cause }) => {
@@ -518,6 +544,13 @@ impl DeviceRuntime {
         };
         self.po_target = controller.update(&m).po_target;
 
+        // Accuracy-weighted throughput: completed inferences per second,
+        // each weighted by its model's Table III top-1 accuracy. A timed-
+        // out offload contributes nothing — which is exactly what the
+        // ExpectedAccuracy selection policy optimises for.
+        let accuracy_weighted = (self.config.local_accuracy * self.interval.local_done as f64
+            + self.config.remote_accuracy * self.interval.offload_success as f64)
+            / dt;
         self.qos.push_at(
             now,
             pl,
@@ -525,6 +558,7 @@ impl DeviceRuntime {
             self.interval.timeouts_network as f64 / dt,
             self.interval.timeouts_load as f64 / dt,
             self.po_target,
+            accuracy_weighted,
         );
         let record = *self.qos.records().last().expect("record just pushed");
         self.interval = IntervalCounters::default();
@@ -539,6 +573,7 @@ impl DeviceRuntime {
                 timeouts_network: record.timeouts_network,
                 timeouts_load: record.timeouts_load,
                 po_target: record.po_target,
+                accuracy_weighted_throughput: record.accuracy_weighted_throughput,
             },
             timeout_rate: t_windowed,
             heartbeat_ok: m.heartbeat_ok,
@@ -661,6 +696,9 @@ mod tests {
             controller_period: SimDuration::from_secs(1),
             timeout_window: SimDuration::from_secs(3),
             probe_bytes: 25_000,
+            selection: ModelSelection::AlwaysPaper,
+            local_accuracy: 0.68,
+            remote_accuracy: 0.77,
         }
     }
 

@@ -32,6 +32,9 @@ pub enum FrameFate {
     },
     /// Offloaded; still unresolved when the experiment ended.
     Unresolved,
+    /// Dropped by the semantic filter before reaching the splitter
+    /// (near-duplicate content; never entered the control loop).
+    FilteredOut,
 }
 
 /// The life of one captured frame.
@@ -153,6 +156,7 @@ impl FrameTrace {
         s.offload_succeeded += tail.offload_succeeded;
         s.offload_timed_out += tail.offload_timed_out;
         s.unresolved += tail.unresolved;
+        s.filtered_out += tail.filtered_out;
         s.dropped = self.dropped;
         s
     }
@@ -181,6 +185,8 @@ pub struct TraceSummary {
     pub offload_timed_out: u64,
     /// Frames still unresolved at the experiment horizon.
     pub unresolved: u64,
+    /// Frames dropped by the semantic filter.
+    pub filtered_out: u64,
     /// Records evicted by the trace's drop-oldest cap (not represented
     /// in the other counts).
     pub dropped: u64,
@@ -198,6 +204,7 @@ impl TraceSummary {
                 FrameFate::OffloadSucceeded { .. } => s.offload_succeeded += 1,
                 FrameFate::OffloadTimedOut { .. } => s.offload_timed_out += 1,
                 FrameFate::Unresolved => s.unresolved += 1,
+                FrameFate::FilteredOut => s.filtered_out += 1,
             }
         }
         s
@@ -210,6 +217,7 @@ impl TraceSummary {
             + self.offload_succeeded
             + self.offload_timed_out
             + self.unresolved
+            + self.filtered_out
             + self.dropped
     }
 }

@@ -17,7 +17,8 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use ff_core::Controller;
 use ff_device::{
-    DeviceRuntime, FrameOutcome, Route, RuntimeConfig, SubmitOutcome, Transport, WallClock,
+    DeviceRuntime, FrameOutcome, ModelSelection, Route, RuntimeConfig, SubmitOutcome, Transport,
+    WallClock,
 };
 use ff_metrics::{LogHistogram, QosLog};
 use ff_sim::{SimDuration, SimTime};
@@ -473,6 +474,12 @@ pub fn run_live_device_with_telemetry(
             controller_period: SimDuration::from_micros(config.tick.as_micros() as u64),
             timeout_window: SimDuration::from_micros(config.timeout_window.as_micros() as u64),
             probe_bytes: config.frame_bytes,
+            // A live run has no model profiles: the paper split with
+            // unit accuracy weights, so the accuracy-weighted column
+            // degenerates to plain completed throughput.
+            selection: ModelSelection::AlwaysPaper,
+            local_accuracy: 1.0,
+            remote_accuracy: 1.0,
         },
         controller,
     );
@@ -486,6 +493,10 @@ pub fn run_live_device_with_telemetry(
             // A wall-clock run has no master seed; 0 marks "live".
             seed: 0,
             controller: controller.name().to_string(),
+            selection: ModelSelection::AlwaysPaper.code(),
+            selection_margin: 0.0,
+            local_accuracy: 1.0,
+            remote_accuracy: 1.0,
         }));
     }
 

@@ -31,6 +31,13 @@ pub struct QosRecord {
     pub timeouts_load: f64,
     /// The controller's current offload-rate target (frames / s).
     pub po_target: f64,
+    /// Accuracy-weighted throughput: successful inferences per second,
+    /// each weighted by the predicted top-1 accuracy of the model that
+    /// served it (Table III). Scores whether the frames that made the
+    /// deadline were *worth* inferring. Serde-default so records
+    /// serialized before this field existed still parse (as 0.0).
+    #[serde(default)]
+    pub accuracy_weighted_throughput: f64,
 }
 
 impl QosRecord {
@@ -68,6 +75,18 @@ pub struct QosAggregate {
     pub mean_timeouts: f64,
     /// Mean controller offload target.
     pub mean_po_target: f64,
+    /// Intervals in the range that processed at least one frame
+    /// (`pl + po > 0`). Serde-default for pre-field artifacts.
+    #[serde(default)]
+    pub active_intervals: usize,
+    /// Mean accuracy-weighted throughput over the **active** intervals
+    /// only (0.0 when none were active). Unlike the legacy means, this
+    /// does not divide by all-skipped intervals: a semantic filter that
+    /// drops every frame of a static scene would otherwise dilute the
+    /// score of the frames actually inferred. Serde-default for
+    /// pre-field artifacts.
+    #[serde(default)]
+    pub mean_accuracy_weighted_throughput: f64,
 }
 
 impl QosLog {
@@ -97,6 +116,7 @@ impl QosLog {
         timeouts_network: f64,
         timeouts_load: f64,
         po_target: f64,
+        accuracy_weighted_throughput: f64,
     ) {
         self.push(QosRecord {
             t_secs: t.as_secs_f64(),
@@ -106,6 +126,7 @@ impl QosLog {
             timeouts_network,
             timeouts_load,
             po_target,
+            accuracy_weighted_throughput,
         });
     }
 
@@ -130,7 +151,8 @@ impl QosLog {
     /// engine's per-cell summary path and runs once per grid cell.
     pub fn aggregate(&self, from: f64, to: f64) -> Option<QosAggregate> {
         let mut n = 0usize;
-        let (mut tp, mut pl, mut po, mut to_sum, mut tgt) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut active = 0usize;
+        let (mut tp, mut pl, mut po, mut to_sum, mut tgt, mut aw) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
         for r in self
             .records
             .iter()
@@ -142,6 +164,10 @@ impl QosLog {
             po += r.po;
             to_sum += r.timeouts;
             tgt += r.po_target;
+            if r.pl + r.po > 0.0 {
+                active += 1;
+                aw += r.accuracy_weighted_throughput;
+            }
         }
         if n == 0 {
             return None;
@@ -156,6 +182,11 @@ impl QosLog {
             mean_po: po / nf,
             mean_timeouts: to_sum / nf,
             mean_po_target: tgt / nf,
+            active_intervals: active,
+            // Guard the all-skipped case: with zero active intervals the
+            // mean is 0.0, never 0/0 = NaN — and all-skipped intervals
+            // never dilute the mean of the frames actually inferred.
+            mean_accuracy_weighted_throughput: if active == 0 { 0.0 } else { aw / active as f64 },
         })
     }
 
@@ -168,6 +199,13 @@ impl QosLog {
     /// controller-vs-controller comparisons.
     pub fn mean_throughput(&self) -> f64 {
         self.aggregate_all().map_or(0.0, |a| a.mean_throughput)
+    }
+
+    /// Mean accuracy-weighted throughput over the whole run's active
+    /// intervals — the scalar used for model-selection comparisons.
+    pub fn mean_accuracy_weighted(&self) -> f64 {
+        self.aggregate_all()
+            .map_or(0.0, |a| a.mean_accuracy_weighted_throughput)
     }
 
     /// Fraction of intervals in which `P < P_l`-floor would have been
@@ -199,6 +237,7 @@ mod tests {
             timeouts_network: tn,
             timeouts_load: tl,
             po_target: po,
+            accuracy_weighted_throughput: 0.7 * (pl + po - tn - tl),
         }
     }
 
@@ -224,11 +263,52 @@ mod tests {
     #[test]
     fn push_at_sums_timeout_components() {
         let mut log = QosLog::new();
-        log.push_at(SimTime::from_secs(1), 5.0, 12.0, 2.0, 1.0, 13.0);
+        log.push_at(SimTime::from_secs(1), 5.0, 12.0, 2.0, 1.0, 13.0, 9.8);
         let r = log.records()[0];
         assert_eq!(r.timeouts, 3.0);
         assert_eq!(r.t_secs, 1.0);
         assert_eq!(r.po_target, 13.0);
+        assert_eq!(r.accuracy_weighted_throughput, 9.8);
+    }
+
+    #[test]
+    fn all_skipped_intervals_do_not_dilute_the_accuracy_weighted_mean() {
+        // Three intervals: two active at aw = 10, one all-skipped
+        // (pl = po = 0, the semantic filter dropped every frame). The
+        // aw mean must average the two active intervals, not divide by
+        // three — while the legacy means keep their historical ÷n.
+        let mut log = QosLog::new();
+        log.push(rec(0.0, 10.0, 5.0, 0.0, 0.0));
+        log.push(rec(1.0, 0.0, 0.0, 0.0, 0.0));
+        log.push(rec(2.0, 10.0, 5.0, 0.0, 0.0));
+        let a = log.aggregate_all().unwrap();
+        assert_eq!(a.intervals, 3);
+        assert_eq!(a.active_intervals, 2);
+        assert!((a.mean_accuracy_weighted_throughput - 0.7 * 15.0).abs() < 1e-12);
+        assert!((a.mean_throughput - 10.0).abs() < 1e-12, "legacy mean ÷ n");
+    }
+
+    #[test]
+    fn zero_frame_log_aggregates_to_zero_not_nan() {
+        // Every interval all-skipped: the guard must yield 0.0, not 0/0.
+        let mut log = QosLog::new();
+        log.push(rec(0.0, 0.0, 0.0, 0.0, 0.0));
+        log.push(rec(1.0, 0.0, 0.0, 0.0, 0.0));
+        let a = log.aggregate_all().unwrap();
+        assert_eq!(a.active_intervals, 0);
+        assert_eq!(a.mean_accuracy_weighted_throughput, 0.0);
+        assert_eq!(log.mean_accuracy_weighted(), 0.0);
+        assert_eq!(QosLog::new().mean_accuracy_weighted(), 0.0);
+    }
+
+    #[test]
+    fn pre_field_records_still_parse_with_zero_weighted_throughput() {
+        // A record exactly as serialized before the field existed.
+        let legacy = "{\"t_secs\":1.0,\"pl\":3.0,\"po\":4.0,\"timeouts\":0.0,\
+                      \"timeouts_network\":0.0,\"timeouts_load\":0.0,\"po_target\":4.0}";
+        let parsed: QosRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.accuracy_weighted_throughput, 0.0);
+        assert_eq!(parsed.pl, 3.0);
     }
 
     #[test]

@@ -49,7 +49,11 @@ use std::time::Instant;
 ///
 /// v2: [`ExperimentResult`] grew per-server stats and admission
 /// counters with the multi-server tier; v1 entries predate them.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `QosRecord` grew the accuracy-weighted throughput column and
+/// [`ExperimentResult`] the filter/selection summaries with the
+/// content-aware workload layer; v2 entries predate them.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// A routing-policy axis entry: which server a request lands on. This is
 /// exactly [`ff_server::RoutingPolicy`] — serializable and `Copy`, so a

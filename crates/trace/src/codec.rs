@@ -215,6 +215,10 @@ pub(crate) fn put_header(buf: &mut Vec<u8>, h: &TraceHeader) {
     put_varint(buf, h.seed);
     put_varint(buf, h.controller.len() as u64);
     buf.extend_from_slice(h.controller.as_bytes());
+    buf.push(h.selection);
+    put_f64(buf, h.selection_margin);
+    put_f64(buf, h.local_accuracy);
+    put_f64(buf, h.remote_accuracy);
 }
 
 fn read_header(r: &mut Reader<'_>) -> Result<TraceHeader, TraceError> {
@@ -238,6 +242,10 @@ fn read_header(r: &mut Reader<'_>) -> Result<TraceHeader, TraceError> {
     let controller = std::str::from_utf8(r.bytes(name_len as usize)?)
         .map_err(|_| TraceError::BadValue("controller name is not UTF-8"))?
         .to_string();
+    let selection = r.u8()?;
+    let selection_margin = r.f64()?;
+    let local_accuracy = r.f64()?;
+    let remote_accuracy = r.f64()?;
     Ok(TraceHeader {
         fs,
         deadline_us,
@@ -246,6 +254,10 @@ fn read_header(r: &mut Reader<'_>) -> Result<TraceHeader, TraceError> {
         probe_bytes,
         seed,
         controller,
+        selection,
+        selection_margin,
+        local_accuracy,
+        remote_accuracy,
     })
 }
 
@@ -331,6 +343,7 @@ pub(crate) fn put_event(buf: &mut Vec<u8>, last_at_us: &mut u64, e: &TraceEvent)
             put_f64(buf, qos.timeouts_network);
             put_f64(buf, qos.timeouts_load);
             put_f64(buf, qos.po_target);
+            put_f64(buf, qos.accuracy_weighted_throughput);
             put_f64(buf, *timeout_rate);
             put_bool(buf, *heartbeat_ok);
             put_varint(buf, *probe_tag);
@@ -419,6 +432,7 @@ fn read_event(r: &mut Reader<'_>, last_at_us: &mut u64) -> Result<TraceEvent, Tr
                 timeouts_network: r.f64()?,
                 timeouts_load: r.f64()?,
                 po_target: r.f64()?,
+                accuracy_weighted_throughput: r.f64()?,
             },
             timeout_rate: r.f64()?,
             heartbeat_ok: r.bool()?,
@@ -472,6 +486,10 @@ mod tests {
             probe_bytes: 25_000,
             seed: 42,
             controller: "framefeedback".into(),
+            selection: 0,
+            selection_margin: 0.0,
+            local_accuracy: 0.68,
+            remote_accuracy: 0.77,
         }
     }
 
@@ -534,6 +552,16 @@ mod tests {
         buf.extend_from_slice(&TRACE_MAGIC);
         put_varint(&mut buf, 999);
         assert_eq!(decode_trace(&buf), Err(TraceError::UnsupportedSchema(999)));
+    }
+
+    #[test]
+    fn v1_traces_are_rejected_with_their_version() {
+        // Schema 1 predates the selection fields; a v1 trace must fail
+        // loudly rather than misparse its header tail as f64s.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TRACE_MAGIC);
+        put_varint(&mut buf, 1);
+        assert_eq!(decode_trace(&buf), Err(TraceError::UnsupportedSchema(1)));
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //!
 //! ```text
 //! magic   "FFTR" (4 bytes)
-//! schema  varint, currently 1
+//! schema  varint, currently 2
 //! header  fs (f64, 8 bytes LE) ∥ deadline_us ∥ controller_period_us
 //!         ∥ timeout_window_us ∥ probe_bytes ∥ seed (all varint)
 //!         ∥ controller-name length (varint) ∥ UTF-8 name bytes
+//!         ∥ selection code (1 byte) ∥ selection margin ∥
+//!         local_accuracy ∥ remote_accuracy (f64, 8 bytes LE each)
 //! event   opcode (1 byte) ∥ zigzag-varint time delta (µs, from the
 //!         previous event's time) ∥ opcode-specific fields
 //! ```
@@ -49,7 +51,11 @@ pub const TRACE_MAGIC: [u8; 4] = *b"FFTR";
 
 /// Current trace schema version. Bump on any change to the header or
 /// event wire layout; decoders reject traces from other versions.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the header grew the model-selection policy (code + margin) and
+/// the Table III local/remote accuracies; [`TickQos`] grew the
+/// accuracy-weighted throughput field.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Static parameters of the recorded run — everything needed to rebuild
 /// an identically-configured `DeviceRuntime` for replay.
@@ -71,6 +77,17 @@ pub struct TraceHeader {
     /// Name of the controller that drove the run; replay must construct
     /// a controller with identical dynamics.
     pub controller: String,
+    /// Model-selection policy code (0 = always-paper, 1 = expected-
+    /// accuracy). Kept as a raw code so `ff-trace` stays free of an
+    /// `ff-device` dependency; `ff_device::ModelSelection::from_code`
+    /// rebuilds the typed policy.
+    pub selection: u8,
+    /// Hysteresis margin of the selection policy (0 for always-paper).
+    pub selection_margin: f64,
+    /// Top-1 accuracy of the on-device model (Table III).
+    pub local_accuracy: f64,
+    /// Top-1 accuracy of the remote model (Table III).
+    pub remote_accuracy: f64,
 }
 
 /// Which way the splitter routed a captured frame.
@@ -142,6 +159,9 @@ pub struct TickQos {
     pub timeouts_load: f64,
     /// The controller's new offload-rate target (its output).
     pub po_target: f64,
+    /// Accuracy-weighted throughput: completed inferences per second,
+    /// weighted by their model's Table III top-1 accuracy.
+    pub accuracy_weighted_throughput: f64,
 }
 
 /// One recorded control-loop event. The sequence of events in a trace

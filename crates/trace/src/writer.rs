@@ -107,6 +107,10 @@ mod tests {
             probe_bytes: 25_000,
             seed: 1,
             controller: "t".into(),
+            selection: 0,
+            selection_margin: 0.0,
+            local_accuracy: 0.68,
+            remote_accuracy: 0.77,
         }
     }
 

@@ -77,6 +77,7 @@ fn arb_event(sel: u8, at_us: u64, a: u64, b: u64, bits: u64) -> TraceEvent {
                 timeouts_network: f + 1.0,
                 timeouts_load: f - 1.0,
                 po_target: f * f,
+                accuracy_weighted_throughput: f * 0.77,
             },
             timeout_rate: f,
             heartbeat_ok: b % 2 == 1,
@@ -103,6 +104,11 @@ fn arb_header(fs_bits: u64, a: u64, b: u64, name_len: usize) -> TraceHeader {
         probe_bytes: b.wrapping_add(1),
         seed: a ^ b,
         controller: "ctl-\u{00e9}x".chars().cycle().take(name_len).collect(),
+        selection: (a % 2) as u8,
+        // Raw-bit f64 fields, same NaN-tolerant guarantee as `fs`.
+        selection_margin: f64::from_bits(b),
+        local_accuracy: f64::from_bits(a.rotate_left(17)),
+        remote_accuracy: f64::from_bits(b.rotate_left(31)),
     }
 }
 

@@ -7,6 +7,7 @@
 //! mean. The paper found webcam vs. ImageNet indistinguishable for
 //! throughput, so only cadence and size distribution matter.
 
+use crate::scene::{SceneScript, SceneState};
 use ff_models::Compression;
 use ff_sim::{round_nonneg_f64, SimDuration, SimTime};
 use rand::Rng;
@@ -92,6 +93,13 @@ pub struct FrameSource<R: Rng> {
     /// frame. Integer-µs addition, so it always equals
     /// `capture_time(next_id)` exactly.
     next_capture: SimTime,
+    /// Optional scene script evolving per-frame information scores on
+    /// its own RNG stream. `None` (the default) leaves the stream
+    /// bit-identical to a pre-scene source.
+    scene: Option<SceneState<R>>,
+    /// Information score of the most recent frame (`None` until the
+    /// first frame, or forever without a scene script).
+    last_info: Option<f64>,
 }
 
 impl<R: Rng> FrameSource<R> {
@@ -109,7 +117,19 @@ impl<R: Rng> FrameSource<R> {
             rng,
             next_id: 0,
             next_capture: SimTime::ZERO,
+            scene: None,
+            last_info: None,
         }
+    }
+
+    /// A source whose sizes are additionally modulated by a scene
+    /// script. `scene_rng` must be a dedicated stream (e.g.
+    /// `rng.stream("scene")`): the size-jitter stream advances exactly
+    /// as without a script, so scene-off runs stay bit-identical.
+    pub fn with_scene(config: StreamConfig, rng: R, script: SceneScript, scene_rng: R) -> Self {
+        let mut source = FrameSource::new(config, rng);
+        source.scene = Some(SceneState::new(script, scene_rng));
+        source
     }
 
     /// The stream configuration.
@@ -154,11 +174,24 @@ impl<R: Rng> FrameSource<R> {
         } else {
             self.rng.gen_range(1.0 - j..=1.0 + j)
         };
+        let mut bytes = self.mean_bytes * factor;
+        if let Some(scene) = &mut self.scene {
+            let info = scene.next_info(captured_at.as_secs_f64(), self.config.fps);
+            bytes *= scene.size_factor(info);
+            self.last_info = Some(info);
+        }
         Some(Frame {
             id: FrameId(id),
             captured_at,
-            bytes: round_nonneg_f64(self.mean_bytes * factor).max(1),
+            bytes: round_nonneg_f64(bytes).max(1),
         })
+    }
+
+    /// Information score of the most recent frame, when a scene script
+    /// is attached (`None` otherwise — the filter then sees every frame
+    /// as full-information and passes it).
+    pub fn last_info(&self) -> Option<f64> {
+        self.last_info
     }
 }
 
@@ -203,6 +236,16 @@ impl<R: Rng> FrameStream<R> {
         match self {
             FrameStream::Generated(s) => s.next_frame(),
             FrameStream::Replay(c) => c.next_frame(),
+        }
+    }
+
+    /// Information score of the most recent frame. `None` for replayed
+    /// streams (the recorded captures are post-filter) and for
+    /// generated streams without a scene script.
+    pub fn last_info(&self) -> Option<f64> {
+        match self {
+            FrameStream::Generated(s) => s.last_info(),
+            FrameStream::Replay(_) => None,
         }
     }
 }
@@ -301,6 +344,65 @@ mod tests {
         let mut cfg = StreamConfig::default();
         cfg.size_jitter = 1.0;
         let _ = source(cfg);
+    }
+
+    #[test]
+    fn scene_modulation_draws_from_its_own_stream() {
+        // A scene-scripted source must consume the frame-size stream in
+        // exactly the pre-scene order: stripping the scene modulation
+        // off its sizes recovers the plain source's sizes bit for bit.
+        let cfg = StreamConfig::default();
+        let rng = RngFactory::new(5);
+        let mut plain = FrameSource::new(cfg, rng.stream("frames"));
+        let mut scened = FrameSource::with_scene(
+            cfg,
+            rng.stream("frames"),
+            crate::scene::scene_bursty(),
+            rng.stream("scene"),
+        );
+        assert!(plain.last_info().is_none());
+        for _ in 0..300 {
+            let p = plain.next_frame().unwrap();
+            let s = scened.next_frame().unwrap();
+            assert_eq!(p.id, s.id);
+            assert_eq!(p.captured_at, s.captured_at);
+            let info = scened.last_info().expect("scene source scores frames");
+            assert!((0.0..=1.0).contains(&info));
+            // Same jitter draw underneath: the scened size divided by
+            // the scene factor rounds back to the plain size (±1 for
+            // the double rounding).
+            let factor = 1.0 + 0.5 * (2.0 * info - 1.0);
+            let recovered = (s.bytes as f64 / factor).round() as i64;
+            assert!(
+                (recovered - p.bytes as i64).abs() <= 1,
+                "frame {}: recovered {recovered} vs plain {}",
+                p.id.0,
+                p.bytes
+            );
+        }
+    }
+
+    #[test]
+    fn scene_source_is_deterministic_at_a_seed() {
+        let cfg = StreamConfig::default();
+        let make = || {
+            let rng = RngFactory::new(77);
+            FrameSource::with_scene(
+                cfg,
+                rng.stream("frames"),
+                crate::scene::scene_cut_storm(),
+                rng.stream("scene"),
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        for _ in 0..500 {
+            assert_eq!(a.next_frame(), b.next_frame());
+            assert_eq!(
+                a.last_info().map(f64::to_bits),
+                b.last_info().map(f64::to_bits)
+            );
+        }
     }
 
     proptest! {

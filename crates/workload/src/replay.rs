@@ -199,6 +199,10 @@ mod tests {
                 probe_bytes: 25_000,
                 seed: 7,
                 controller: "framefeedback".into(),
+                selection: 0,
+                selection_margin: 0.0,
+                local_accuracy: 0.68,
+                remote_accuracy: 0.77,
             },
             events: vec![
                 TraceEvent::Capture {

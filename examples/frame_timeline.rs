@@ -4,7 +4,8 @@
 //! this structure.
 //!
 //! Legend: `o` offload ok, `X` offload timeout (network), `x` offload
-//! timeout (server), `L` local inference, `.` skipped, `?` unresolved.
+//! timeout (server), `L` local inference, `.` skipped, `-` filtered
+//! out, `?` unresolved.
 //!
 //! ```sh
 //! cargo run --release --example frame_timeline
@@ -22,6 +23,7 @@ fn glyph(fate: FrameFate) -> char {
         FrameFate::OffloadSucceeded { .. } => 'o',
         FrameFate::OffloadTimedOut { network: true } => 'X',
         FrameFate::OffloadTimedOut { network: false } => 'x',
+        FrameFate::FilteredOut => '-',
         FrameFate::Unresolved => '?',
     }
 }

@@ -12,7 +12,8 @@
 use framefeedback::baselines::{AllOrNothing, AlwaysOffload, LocalOnly};
 use framefeedback::controller::{Controller, FrameFeedback, PidConfig};
 use framefeedback::device::{
-    replay_verify, run_experiment, run_experiment_traced, ExperimentConfig,
+    content_scenario, replay_verify, run_experiment, run_experiment_traced, ExperimentConfig,
+    ModelSelection,
 };
 use framefeedback::server::{AdmissionPolicy, RoutingPolicy, ServerSpec, TierConfig};
 use framefeedback::sim::SimDuration;
@@ -31,6 +32,7 @@ struct CliConfig {
     servers: Option<usize>,
     routing: Option<String>,
     admission: Option<String>,
+    selection: Option<String>,
     json: Option<String>,
     config_path: Option<String>,
     trace: Option<String>,
@@ -51,6 +53,7 @@ impl Default for CliConfig {
             servers: None,
             routing: None,
             admission: None,
+            selection: None,
             json: None,
             config_path: None,
             trace: None,
@@ -70,6 +73,7 @@ USAGE:
         [--servers N]      run an N-server tier (default: 1, the paper)
         [--routing R]      static-shard | jsq | jsq:GOSSIP_MS | po2c
         [--admission A]    admit-all | token-bucket:RATE[:BURST]
+        [--selection P]    paper | expected-accuracy[:MARGIN]
         [--config PATH]    load a full ExperimentConfig from JSON
         [--dump-config]    print the default config as JSON and exit
         [--trace PATH]     record the run as a binary control-loop trace
@@ -81,6 +85,9 @@ SCENARIOS:
   table6    the paper's server-load schedule (Fig. 4)
   combined  table5 x table6 simultaneously
   fig2      ideal network, 7% packet loss injected at t = 27 s
+  scene-static / scene-bursty / scene-cut-storm
+            content-aware workloads: scene scripts + semantic filter +
+            EfficientNetB0 on the server, over the table5 network
 
 CONTROLLERS:
   framefeedback | local-only | always-offload | all-or-nothing
@@ -140,6 +147,25 @@ fn parse_admission(s: &str) -> Result<AdmissionPolicy, String> {
     })
 }
 
+fn parse_selection(s: &str) -> Result<ModelSelection, String> {
+    match s {
+        "paper" => Ok(ModelSelection::AlwaysPaper),
+        "expected-accuracy" => Ok(ModelSelection::ExpectedAccuracy { margin: 0.0 }),
+        other => {
+            let margin: f64 = other
+                .strip_prefix("expected-accuracy:")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    format!("unknown selection {other:?} (paper | expected-accuracy[:MARGIN])")
+                })?;
+            if !margin.is_finite() {
+                return Err("selection margin must be finite".into());
+            }
+            Ok(ModelSelection::ExpectedAccuracy { margin })
+        }
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     let mut config = CliConfig::default();
     let mut it = args.iter();
@@ -183,6 +209,11 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                 parse_admission(&v)?;
                 config.admission = Some(v);
             }
+            "--selection" => {
+                let v = value("--selection")?;
+                parse_selection(&v)?;
+                config.selection = Some(v);
+            }
             "--json" => config.json = Some(value("--json")?),
             "--config" => config.config_path = Some(value("--config")?),
             "--trace" => config.trace = Some(value("--trace")?),
@@ -193,7 +224,18 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             other => return Err(format!("unknown argument {other}\n\n{USAGE}")),
         }
     }
-    if !["ideal", "table5", "table6", "combined", "fig2"].contains(&config.scenario.as_str()) {
+    if ![
+        "ideal",
+        "table5",
+        "table6",
+        "combined",
+        "fig2",
+        "scene-static",
+        "scene-bursty",
+        "scene-cut-storm",
+    ]
+    .contains(&config.scenario.as_str())
+    {
         return Err(format!("unknown scenario {:?}\n\n{USAGE}", config.scenario));
     }
     if ![
@@ -272,12 +314,13 @@ fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
         if cli.frames != CliConfig::default().frames {
             config.stream.total_frames = cli.frames;
         }
+        if let Some(s) = &cli.selection {
+            config.selection = parse_selection(s).expect("selection validated at parse time");
+        }
         apply_tier_flags(&mut config, cli);
         return config;
     }
     let mut config = ExperimentConfig::default();
-    config.seed = cli.seed;
-    config.stream.total_frames = cli.frames;
     match cli.scenario.as_str() {
         "ideal" => {
             config.network = ideal_network();
@@ -294,7 +337,15 @@ fn build_experiment(cli: &CliConfig) -> ExperimentConfig {
             config.peer_devices = 0;
         }
         "fig2" => config.network = fig2_loss_injection(),
-        other => unreachable!("validated scenario name {other}"),
+        scene => {
+            config = content_scenario(scene)
+                .unwrap_or_else(|| unreachable!("validated scenario name {scene}"));
+        }
+    }
+    config.seed = cli.seed;
+    config.stream.total_frames = cli.frames;
+    if let Some(s) = &cli.selection {
+        config.selection = parse_selection(s).expect("selection validated at parse time");
     }
     apply_tier_flags(&mut config, cli);
     config
@@ -415,6 +466,12 @@ fn main() -> ExitCode {
             result.admission_rejections
         );
     }
+    if let Some(fs) = &result.filter_stats {
+        println!(
+            "content: accuracy-weighted P = {:.2}/s | filter captured {} passed {} shrunk {} skipped {}",
+            result.mean_accuracy_weighted_throughput, fs.captured, fs.passed, fs.shrunk, fs.skipped
+        );
+    }
     if let Some(lat) = result.offload_latency {
         println!(
             "offload latency: p50 {:.0} ms, p95 {:.0} ms, p99 {:.0} ms (deadline 250 ms)",
@@ -518,13 +575,64 @@ mod tests {
 
     #[test]
     fn every_scenario_builds_an_experiment() {
-        for scenario in ["ideal", "table5", "table6", "combined", "fig2"] {
+        for scenario in [
+            "ideal",
+            "table5",
+            "table6",
+            "combined",
+            "fig2",
+            "scene-static",
+            "scene-bursty",
+            "scene-cut-storm",
+        ] {
             let mut cli = CliConfig::default();
             cli.scenario = scenario.into();
             cli.frames = 30;
             let config = build_experiment(&cli);
             assert_eq!(config.stream.total_frames, 30);
         }
+    }
+
+    #[test]
+    fn scene_scenarios_carry_the_content_layer() {
+        let mut cli = CliConfig::default();
+        cli.scenario = "scene-bursty".into();
+        cli.frames = 30;
+        cli.seed = 9;
+        let config = build_experiment(&cli);
+        assert!(config.scene.is_some());
+        assert!(config.filter.is_some());
+        assert_eq!(config.seed, 9, "CLI seed overrides the scenario");
+        assert_eq!(config.selection, ModelSelection::AlwaysPaper);
+    }
+
+    #[test]
+    fn selection_strings_parse() {
+        assert_eq!(parse_selection("paper"), Ok(ModelSelection::AlwaysPaper));
+        assert_eq!(
+            parse_selection("expected-accuracy"),
+            Ok(ModelSelection::ExpectedAccuracy { margin: 0.0 })
+        );
+        assert_eq!(
+            parse_selection("expected-accuracy:0.05"),
+            Ok(ModelSelection::ExpectedAccuracy { margin: 0.05 })
+        );
+        assert!(parse_selection("expected-accuracy:inf").is_err());
+        assert!(parse_selection("oracle").is_err());
+    }
+
+    #[test]
+    fn selection_flag_lands_in_the_config() {
+        let c = parse_args(&args(
+            "--scenario scene-static --selection expected-accuracy:0.02 --frames 30",
+        ))
+        .unwrap();
+        let config = build_experiment(&c);
+        assert_eq!(
+            config.selection,
+            ModelSelection::ExpectedAccuracy { margin: 0.02 }
+        );
+        assert!(parse_args(&args("--selection nope")).is_err());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! unchanged in simulation and on a real network.
 
 use framefeedback::controller::FrameFeedback;
-use framefeedback::device::{DeviceRuntime, Route, RuntimeConfig, SubmitOutcome, Transport};
+use framefeedback::device::{
+    DeviceRuntime, ModelSelection, Route, RuntimeConfig, SubmitOutcome, Transport,
+};
 use framefeedback::metrics::QosRecord;
 use framefeedback::sim::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -47,6 +49,9 @@ fn config() -> RuntimeConfig {
         controller_period: TICK,
         timeout_window: SimDuration::from_secs(3),
         probe_bytes: FRAME_BYTES,
+        selection: ModelSelection::AlwaysPaper,
+        local_accuracy: 0.68,
+        remote_accuracy: 0.77,
     }
 }
 

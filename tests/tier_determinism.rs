@@ -44,6 +44,13 @@ fn assert_qos_bits_equal(a: &[QosRecord], b: &[QosRecord], what: &str) {
             ),
             ("timeouts_load", (ra.timeouts_load, rb.timeouts_load)),
             ("po_target", (ra.po_target, rb.po_target)),
+            (
+                "accuracy_weighted_throughput",
+                (
+                    ra.accuracy_weighted_throughput,
+                    rb.accuracy_weighted_throughput,
+                ),
+            ),
         ] {
             assert_eq!(
                 va.to_bits(),

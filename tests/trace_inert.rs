@@ -14,9 +14,10 @@
 use framefeedback::baselines::AllOrNothing;
 use framefeedback::controller::FrameFeedback;
 use framefeedback::device::{
-    replay_verify, run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult,
-    ServerOutage,
+    content_scenario, replay_verify, run_experiment, run_experiment_traced, ExperimentConfig,
+    ExperimentResult, ModelSelection, ServerOutage,
 };
+use framefeedback::models::ModelKind;
 use framefeedback::trace::{Trace, TraceEvent};
 use framefeedback::workload::{table_v, table_vi, ReplayFrames};
 
@@ -136,6 +137,98 @@ fn traces_verify_for_every_builtin_controller() {
         assert_eq!(trace.header.controller, controller);
         replay_verify(&trace).unwrap_or_else(|e| panic!("{controller}: {e}"));
     }
+}
+
+/// A content-aware run — scene script, semantic filter, accuracy-aware
+/// selection — records and replay-verifies like any other: skipped
+/// frames never enter the trace (the filter drops them before
+/// `route_frame`), shrunk frames are recorded at their reduced size, and
+/// the schema-v2 header carries the selection policy and Table III
+/// accuracies the replayed runtime needs to re-derive every demotion.
+#[test]
+fn content_aware_run_replay_verifies_bit_for_bit() {
+    let mut config = content_scenario("scene-bursty").expect("named scenario");
+    config.stream.total_frames = 1_200; // 40 s: reaches the collapse window
+    config.selection = ModelSelection::ExpectedAccuracy { margin: 0.04 };
+    let (result, bytes) = run_experiment_traced(config, Box::new(FrameFeedback::new()));
+    let trace = Trace::decode(&bytes).expect("content-aware trace decodes");
+
+    assert_eq!(trace.header.selection, 1, "expected-accuracy policy code");
+    assert_eq!(trace.header.selection_margin.to_bits(), 0.04f64.to_bits());
+    assert_eq!(
+        trace.header.local_accuracy.to_bits(),
+        ModelKind::MobileNetV3Small
+            .profile()
+            .top1_accuracy
+            .to_bits()
+    );
+    assert_eq!(
+        trace.header.remote_accuracy.to_bits(),
+        ModelKind::EfficientNetB0.profile().top1_accuracy.to_bits()
+    );
+    assert_eq!(trace.encode(), bytes, "re-encoding must be byte-identical");
+
+    let report = replay_verify(&trace).expect("content-aware replay must match");
+    let stats = result.filter_stats.expect("scenario carries a filter");
+    assert!(stats.conserved());
+    assert!(stats.skipped > 0, "calm phases must skip frames: {stats:?}");
+    assert_eq!(
+        report.captures,
+        stats.passed + stats.shrunk,
+        "exactly the frames that survived the filter are recorded"
+    );
+}
+
+/// Tampering with a content-aware trace must not verify: neither a
+/// flipped routing decision (the selection policy's demotion verdict)
+/// nor a corrupted accuracy-weighted QoS sample — the schema-v2 field —
+/// survives `replay_verify`.
+#[test]
+fn content_aware_replay_detects_tampered_verdicts() {
+    let mut config = content_scenario("scene-bursty").expect("named scenario");
+    config.stream.total_frames = 1_200;
+    config.selection = ModelSelection::ExpectedAccuracy { margin: 0.04 };
+    let (_, bytes) = run_experiment_traced(config, Box::new(FrameFeedback::new()));
+
+    // Flip one recorded route: the replayed runtime re-derives the
+    // splitter + demotion decision and must disagree.
+    let mut tampered = Trace::decode(&bytes).unwrap();
+    let idx = tampered
+        .events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Capture { .. }))
+        .expect("trace has captures");
+    if let TraceEvent::Capture { route, .. } = &mut tampered.events[idx] {
+        *route = match route {
+            framefeedback::trace::TraceRoute::Offload => framefeedback::trace::TraceRoute::Local,
+            framefeedback::trace::TraceRoute::Local => framefeedback::trace::TraceRoute::Offload,
+        };
+    }
+    let err = replay_verify(&tampered).expect_err("tampered route must not verify");
+    assert!(err.index <= idx + 1);
+
+    // Flip the low mantissa bit of one tick's accuracy-weighted
+    // throughput: the replayed tick recomputes it and the raw-bits
+    // comparison must catch the single-bit lie.
+    let mut tampered = Trace::decode(&bytes).unwrap();
+    let idx = tampered
+        .events
+        .iter()
+        .position(
+            |e| matches!(e, TraceEvent::Tick { qos, .. } if qos.accuracy_weighted_throughput > 0.0),
+        )
+        .expect("a tick with accuracy-weighted throughput");
+    if let TraceEvent::Tick { qos, .. } = &mut tampered.events[idx] {
+        qos.accuracy_weighted_throughput =
+            f64::from_bits(qos.accuracy_weighted_throughput.to_bits() ^ 1);
+    }
+    let err = replay_verify(&tampered).expect_err("tampered QoS must not verify");
+    assert_eq!(err.index, idx, "mismatch must point at the tampered tick");
+    assert!(
+        err.detail.contains("QoS"),
+        "unexpected detail: {}",
+        err.detail
+    );
 }
 
 #[test]
