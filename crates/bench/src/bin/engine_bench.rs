@@ -1,31 +1,43 @@
 //! `ff-bench engine_bench` — benchmarks the simulation **engine** itself
 //! and emits `BENCH_engine.json`, the repo's DES-throughput perf artifact.
 //!
-//! The workload is a fleet-scale run: N identical devices (default 64)
-//! on the Table V network schedule, all contending for the shared
-//! server — large enough that the event calendar holds hundreds of
-//! pending events and the queue backend dominates per-event overhead.
-//! The binary:
+//! Version 2 of the artifact is a **tier array**: the fleet is measured
+//! at several sizes (256 / 1k / 10k / 100k devices, 1M behind `--huge`)
+//! so the committed file records a throughput *trajectory*, not a single
+//! point. Every tier runs the optimized engine single-sharded and at
+//! each requested shard count (`--shards`, default `2,4`), and every
+//! sharded run is **asserted bit-identical** to the single-shard run —
+//! the conservative-window sharded driver must be a pure speedup.
 //!
-//! 1. runs the fleet with the **baseline** engine (binary-heap event
-//!    queue, fresh batch-result allocations per batch),
-//! 2. runs the identical fleet with the **optimized** engine
-//!    (timing-wheel event queue, reused batch buffers) and **verifies
-//!    bit-identical results** — every per-device QoS log, the server
-//!    stats, and the event count must match exactly,
-//! 3. runs a third, informational pass with `fast_loss` on top (single
-//!    binomial draw per loss round). That pass changes how many RNG
-//!    values each frame consumes, so it is *excluded* from the
-//!    bit-identity check and reported separately,
-//! 4. writes the measurements to `BENCH_engine.json` (or `--out PATH`).
+//! The smallest tier additionally runs the full three-way comparison the
+//! v1 artifact carried:
 //!
-//! Each configuration runs `--reps` times (default 5) and the fastest
-//! repetition is reported — min-time measurement keeps the committed
-//! artifact stable on busy or single-core hosts. Repetitions interleave
-//! the configurations round-robin so a transient background-load burst
-//! cannot systematically penalize just one side of the comparison.
+//! 1. the **baseline** engine (binary-heap event queue, fresh batch
+//!    allocations per batch),
+//! 2. the **optimized** engine (timing-wheel event queue, reused batch
+//!    buffers), verified bit-identical to the baseline — every
+//!    per-device QoS log, the server stats, and the event count,
+//! 3. an informational `fast_loss` pass (single binomial draw per loss
+//!    round). That pass changes how many RNG values each frame consumes,
+//!    so it is *excluded* from the bit-identity check.
 //!
-//! Usage: `engine_bench [--devices N] [--frames N] [--reps N] [--out PATH]`
+//! Each configuration runs up to `--reps` times (large tiers cap their
+//! own repetition count) and the fastest repetition is reported —
+//! min-time measurement keeps the committed artifact stable on busy
+//! hosts. Repetitions interleave the configurations round-robin so a
+//! transient background-load burst cannot systematically penalize just
+//! one side of a comparison. `host_cores` is recorded per tier: sharded
+//! rates measured on fewer cores than shards are identity checks, not
+//! scaling claims.
+//!
+//! Usage: `engine_bench [--devices N] [--frames N] [--reps N]
+//! [--shards CSV] [--max-devices N] [--frames-cap N] [--huge]
+//! [--out PATH]`
+//!
+//! `--devices`/`--frames` reshape the smallest (comparison) tier only —
+//! CI uses this for a fast correctness smoke. `--max-devices` skips
+//! larger tiers entirely and `--frames-cap` shortens every tier's run,
+//! so a reduced grid still exercises the full multi-tier code path.
 
 use ff_bench::gate::{engine_fleet_config, optimized_engine};
 use ff_bench::parse_flag;
@@ -35,9 +47,71 @@ use ff_sim::QueueBackend;
 use serde::Serialize;
 use std::time::Instant;
 
+/// The measured fleet sizes. Frames per device shrink as the fleet
+/// grows so every tier stays a few-second measurement; the rate
+/// (events/second) is what the trajectory compares.
+struct TierSpec {
+    name: &'static str,
+    devices: usize,
+    frames: u64,
+    /// Repetition ceiling: the big tiers are slow enough that one or
+    /// two repetitions dominate scheduling noise.
+    reps_cap: usize,
+    /// Only the smallest tier runs the heap-vs-wheel comparison; the
+    /// larger tiers measure the optimized engine and its sharded runs.
+    compare: bool,
+    /// Gated behind `--huge`: the million-device tier allocates several
+    /// GB of device state.
+    huge: bool,
+}
+
+const TIERS: &[TierSpec] = &[
+    TierSpec {
+        name: "256",
+        devices: 256,
+        frames: 4_000,
+        reps_cap: usize::MAX,
+        compare: true,
+        huge: false,
+    },
+    TierSpec {
+        name: "1k",
+        devices: 1_024,
+        frames: 1_000,
+        reps_cap: 3,
+        compare: false,
+        huge: false,
+    },
+    TierSpec {
+        name: "10k",
+        devices: 10_240,
+        frames: 120,
+        reps_cap: 2,
+        compare: false,
+        huge: false,
+    },
+    TierSpec {
+        name: "100k",
+        devices: 102_400,
+        frames: 60,
+        reps_cap: 1,
+        compare: false,
+        huge: false,
+    },
+    TierSpec {
+        name: "1m",
+        devices: 1_048_576,
+        frames: 30,
+        reps_cap: 1,
+        compare: false,
+        huge: true,
+    },
+];
+
 #[derive(Serialize, Clone)]
 struct EngineRun {
     backend: String,
+    shards: usize,
     reuse_batch_buffers: bool,
     fast_loss: bool,
     events_handled: u64,
@@ -46,33 +120,41 @@ struct EngineRun {
 }
 
 #[derive(Serialize)]
-struct EngineReport {
-    scenario: String,
+struct TierReport {
+    name: String,
     devices: usize,
     frames_per_device: u64,
     sim_seconds: f64,
     /// Repetitions per configuration; each run reports its fastest.
     reps: usize,
-    baseline: EngineRun,
+    /// Cores available when *this tier* was measured — sharded rates
+    /// only demonstrate scaling when `host_cores >= shards`.
+    host_cores: usize,
+    /// `null` on the non-comparison tiers.
+    baseline: Option<EngineRun>,
     optimized: EngineRun,
     /// Informational only: changes RNG draw counts, so its results are
-    /// not comparable bit-for-bit with the other two runs.
-    fast_loss: EngineRun,
-    fast_loss_note: String,
+    /// not comparable bit-for-bit with the other runs. `null` on the
+    /// non-comparison tiers.
+    fast_loss: Option<EngineRun>,
+    /// Baseline elapsed / optimized elapsed, on the comparison tier
+    /// (`null` elsewhere).
+    speedup: Option<f64>,
+    /// Heap-vs-wheel identity on the comparison tier; sharded-vs-single
+    /// identity everywhere a sharded run exists. Asserted, so a written
+    /// artifact always carries `true`.
     qos_identical: bool,
-    speedup: f64,
-    host_cores: usize,
+    sharded: Vec<EngineRun>,
 }
 
-fn fleet_config(
-    devices: usize,
-    frames: u64,
-    engine: EngineOptions,
-    fast_loss: bool,
-) -> FleetConfig {
-    // Shared with `ff-bench gate`, which re-measures this exact tier
-    // against the committed baseline.
-    engine_fleet_config(devices, frames, engine, fast_loss)
+#[derive(Serialize)]
+struct EngineReport {
+    /// Artifact schema version (2 = tier array).
+    schema: u32,
+    scenario: String,
+    shard_counts: Vec<usize>,
+    fast_loss_note: String,
+    tiers: Vec<TierReport>,
 }
 
 fn controllers(n: usize) -> Vec<Box<dyn Controller>> {
@@ -85,15 +167,15 @@ fn controllers(n: usize) -> Vec<Box<dyn Controller>> {
 /// bit-identical to the first, so the timing loop doubles as a
 /// determinism check.
 struct TimedConfig {
-    label: &'static str,
+    label: String,
     config: FleetConfig,
     best: Option<(FleetResult, f64)>,
 }
 
 impl TimedConfig {
-    fn new(label: &'static str, config: FleetConfig) -> Self {
+    fn new(label: impl Into<String>, config: FleetConfig) -> Self {
         TimedConfig {
-            label,
+            label: label.into(),
             config,
             best: None,
         }
@@ -127,6 +209,7 @@ impl TimedConfig {
         let (result, elapsed) = self.best.expect("at least one repetition ran");
         let run = EngineRun {
             backend: format!("{:?}", self.config.engine.backend).to_lowercase(),
+            shards: self.config.engine.shards,
             reuse_batch_buffers: self.config.engine.reuse_batch_buffers,
             fast_loss: self.config.link.fast_loss,
             events_handled: result.events_handled,
@@ -134,7 +217,7 @@ impl TimedConfig {
             events_per_sec: result.events_handled as f64 / elapsed,
         };
         println!(
-            "{:<10} {:>10} events in {:6.2}s  ({:>9.0} events/s, best of {reps})",
+            "  {:<12} {:>10} events in {:6.2}s  ({:>9.0} events/s, best of {reps})",
             self.label, run.events_handled, run.elapsed_secs, run.events_per_sec
         );
         (result, run)
@@ -157,6 +240,116 @@ fn results_identical(a: &FleetResult, b: &FleetResult) -> bool {
         })
 }
 
+/// Measure one tier: the optimized engine, its sharded variants, and —
+/// on the comparison tier — the heap baseline and the informational
+/// fast-loss pass.
+fn run_tier(
+    tier: &TierSpec,
+    devices: usize,
+    frames: u64,
+    reps: usize,
+    shard_counts: &[usize],
+) -> TierReport {
+    let baseline_engine = EngineOptions {
+        backend: QueueBackend::Heap,
+        reuse_batch_buffers: false,
+        shards: 1,
+    };
+    let config = |engine, fast_loss| engine_fleet_config(devices, frames, engine, fast_loss);
+    let sim_seconds = config(baseline_engine, false)
+        .stream
+        .stream_duration()
+        .as_secs_f64();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "tier {}: {devices} devices x {frames} frames \
+         ({sim_seconds:.0}s simulated, {reps} reps, {host_cores} cores)",
+        tier.name
+    );
+
+    // Repetitions are interleaved round-robin rather than run
+    // config-by-config: a background-load burst then inflates one
+    // *round* (discarded by the per-config minimum) instead of one
+    // *configuration* (which would skew a speedup ratio).
+    let mut baseline = tier
+        .compare
+        .then(|| TimedConfig::new("baseline", config(baseline_engine, false)));
+    let mut optimized = TimedConfig::new("optimized", config(optimized_engine(), false));
+    // Informational: the opt-in fast loss path on top of the optimized
+    // engine. Different RNG draw counts => different (equally valid)
+    // trajectory, so no identity assertion against the other runs.
+    let mut fast_loss = tier
+        .compare
+        .then(|| TimedConfig::new("fast-loss", config(optimized_engine(), true)));
+    let mut sharded: Vec<TimedConfig> = shard_counts
+        .iter()
+        .filter(|&&k| k > 1 && k <= devices)
+        .map(|&k| {
+            let engine = EngineOptions {
+                shards: k,
+                ..optimized_engine()
+            };
+            TimedConfig::new(format!("wheel x{k}"), config(engine, false))
+        })
+        .collect();
+    for _ in 0..reps.max(1) {
+        if let Some(b) = baseline.as_mut() {
+            b.run_once();
+        }
+        optimized.run_once();
+        if let Some(f) = fast_loss.as_mut() {
+            f.run_once();
+        }
+        for s in &mut sharded {
+            s.run_once();
+        }
+    }
+
+    let base = baseline.map(|b| b.finish(reps));
+    let (opt_result, opt_run) = optimized.finish(reps);
+    let fast_run = fast_loss.map(|f| f.finish(reps).1);
+    let sharded_runs: Vec<EngineRun> = sharded
+        .into_iter()
+        .map(|s| {
+            let label = s.label.clone();
+            let (result, run) = s.finish(reps);
+            assert!(
+                results_identical(&opt_result, &result),
+                "tier {}: the {label} sharded run diverged from the \
+                 single-shard optimized engine",
+                tier.name
+            );
+            run
+        })
+        .collect();
+    let speedup = base.as_ref().map(|(base_result, base_run)| {
+        assert!(
+            results_identical(base_result, &opt_result),
+            "tier {}: the optimized engine diverged from the heap baseline",
+            tier.name
+        );
+        base_run.elapsed_secs / opt_run.elapsed_secs
+    });
+    if let Some(s) = speedup {
+        println!("  identical: true   speedup: {s:.2}x");
+    }
+
+    TierReport {
+        name: tier.name.into(),
+        devices,
+        frames_per_device: frames,
+        sim_seconds,
+        reps,
+        host_cores,
+        baseline: base.map(|(_, run)| run),
+        optimized: opt_run,
+        fast_loss: fast_run,
+        speedup,
+        qos_identical: true,
+        sharded: sharded_runs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let devices: usize = parse_flag(&args, "--devices")
@@ -169,74 +362,72 @@ fn main() {
     let reps: usize = parse_flag(&args, "--reps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
+    let huge = args.iter().any(|a| a == "--huge");
+    let max_devices: usize = parse_flag(&args, "--max-devices")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if huge { 1 << 21 } else { 1 << 17 });
+    let frames_cap: u64 = parse_flag(&args, "--frames-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX);
+    let shard_counts: Vec<usize> = parse_flag(&args, "--shards")
+        .unwrap_or_else(|| "2,4".into())
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--shards: '{s}' is not a shard count"))
+        })
+        .collect();
 
-    let baseline_engine = EngineOptions {
-        backend: QueueBackend::Heap,
-        reuse_batch_buffers: false,
-    };
-    let optimized_engine = optimized_engine();
-    let sim_seconds = fleet_config(devices, frames, baseline_engine, false)
-        .stream
-        .stream_duration()
-        .as_secs_f64();
     println!(
-        "== ff-sim engine benchmark: {devices} devices x {frames} frames \
-         (Table V schedule, {sim_seconds:.0}s simulated) ==\n"
+        "== ff-sim engine benchmark: multi-tier Table V fleet, \
+         shard counts {shard_counts:?} ==\n"
     );
 
-    // Repetitions are interleaved baseline/optimized/fast-loss rather
-    // than run config-by-config: a background-load burst then inflates
-    // one *round* (discarded by the per-config minimum) instead of one
-    // *configuration* (which would skew the speedup ratio).
-    let mut baseline = TimedConfig::new(
-        "baseline",
-        fleet_config(devices, frames, baseline_engine, false),
-    );
-    let mut optimized = TimedConfig::new(
-        "optimized",
-        fleet_config(devices, frames, optimized_engine, false),
-    );
-    // Informational: the opt-in fast loss path on top of the optimized
-    // engine. Different RNG draw counts => different (equally valid)
-    // trajectory, so no identity assertion against the other two.
-    let mut fast_loss = TimedConfig::new(
-        "fast-loss",
-        fleet_config(devices, frames, optimized_engine, true),
-    );
-    for _ in 0..reps.max(1) {
-        baseline.run_once();
-        optimized.run_once();
-        fast_loss.run_once();
+    let mut tiers = Vec::new();
+    for tier in TIERS {
+        if tier.huge && !huge {
+            continue;
+        }
+        // --devices/--frames reshape the comparison tier (CI smoke);
+        // the larger tiers keep their fixed shapes.
+        let (d, f) = if tier.compare {
+            (devices, frames)
+        } else {
+            (tier.devices, tier.frames)
+        };
+        if d > max_devices {
+            println!(
+                "tier {}: skipped ({d} devices > --max-devices {max_devices})",
+                tier.name
+            );
+            continue;
+        }
+        tiers.push(run_tier(
+            tier,
+            d,
+            f.min(frames_cap),
+            reps.min(tier.reps_cap).max(1),
+            &shard_counts,
+        ));
+        println!();
     }
-    let (base_result, base_run) = baseline.finish(reps);
-    let (opt_result, opt_run) = optimized.finish(reps);
-    let (_, fast_run) = fast_loss.finish(reps);
-
-    let qos_identical = results_identical(&base_result, &opt_result);
     assert!(
-        qos_identical,
-        "the optimized engine diverged from the heap baseline"
+        !tiers.is_empty(),
+        "--max-devices excluded every tier; nothing measured"
     );
-    let speedup = base_run.elapsed_secs / opt_run.elapsed_secs;
-    println!("\nidentical: {qos_identical}   speedup: {speedup:.2}x");
 
     let report = EngineReport {
+        schema: 2,
         scenario: "table-v".into(),
-        devices,
-        frames_per_device: frames,
-        sim_seconds,
-        reps,
-        baseline: base_run,
-        optimized: opt_run,
-        fast_loss: fast_run,
+        shard_counts,
         fast_loss_note: "opt-in fast_loss changes RNG draw counts; excluded from the \
                          bit-identity check and the speedup figure"
             .into(),
-        qos_identical,
-        speedup,
-        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        tiers,
     };
     let body = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, body).expect("write benchmark report");
-    println!("\nreport written to {out}");
+    println!("report written to {out}");
 }

@@ -1,16 +1,20 @@
 //! `ff-bench gate` — enforced regression gate over the committed perf
 //! baselines (`BENCH_engine.json`, `BENCH_sweep.json`).
 //!
-//! Re-measures the two bench tiers and exits non-zero when either
-//! measured rate falls more than `--tolerance` (default 0.20) below its
-//! committed baseline. Designed to run in CI after `cargo build
-//! --release`; both rates are throughput figures, so a reduced tier
-//! (`--devices`/`--frames`/`--cells`) stays comparable to the committed
-//! full-tier baselines.
+//! Re-measures every engine tier recorded in the committed v2 artifact
+//! (plus the sweep tier) and exits non-zero when any measured rate falls
+//! more than `--tolerance` (default 0.20) below its committed baseline.
+//! Designed to run in CI after `cargo build --release`. Rates are
+//! throughput figures, so a shortened run (`--frames-cap`) stays
+//! comparable to the committed full-length baselines; fleet *size* is
+//! not reduced because per-event cost varies with it — instead, tiers
+//! larger than `--max-devices` are skipped, as are sharded entries with
+//! more shards than the host has cores. Skips are reported, never
+//! silent.
 //!
 //! Usage: `gate [--tolerance F] [--engine-baseline PATH]
 //! [--sweep-baseline PATH] [--skip-sweep] [--skip-engine]
-//! [--devices N] [--frames N] [--cells N] [--reps N]`
+//! [--max-devices N] [--frames-cap N] [--cells N] [--reps N]`
 
 use ff_bench::gate::{
     measure_engine_events_per_sec, measure_sweep_runs_per_sec, EngineBaseline, GateCheck,
@@ -34,12 +38,12 @@ fn main() {
         parse_flag(&args, "--engine-baseline").unwrap_or_else(|| "BENCH_engine.json".into());
     let sweep_baseline =
         parse_flag(&args, "--sweep-baseline").unwrap_or_else(|| "BENCH_sweep.json".into());
-    let devices: usize = parse_flag(&args, "--devices")
+    let max_devices: usize = parse_flag(&args, "--max-devices")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(256);
-    let frames: u64 = parse_flag(&args, "--frames")
+        .unwrap_or(1 << 17);
+    let frames_cap: u64 = parse_flag(&args, "--frames-cap")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4_000);
+        .unwrap_or(900);
     let cells: usize = parse_flag(&args, "--cells")
         .and_then(|v| v.parse().ok())
         .unwrap_or(32);
@@ -53,8 +57,10 @@ fn main() {
         "gate: --tolerance must be in [0, 1)"
     );
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "== ff-bench gate: tolerance {:.0}% (fail below {:.0}% of baseline) ==\n",
+        "== ff-bench gate: tolerance {:.0}% (fail below {:.0}% of baseline), \
+         {host_cores} cores ==\n",
         tolerance * 100.0,
         (1.0 - tolerance) * 100.0
     );
@@ -62,21 +68,59 @@ fn main() {
     let mut checks: Vec<GateCheck> = Vec::new();
     if !skip_engine {
         let baseline: EngineBaseline = load(&engine_baseline, "engine");
-        println!("measuring engine tier: {devices} devices x {frames} frames, best of {reps}...");
-        let measured = measure_engine_events_per_sec(devices, frames, reps);
-        checks.push(GateCheck {
-            name: "engine",
-            baseline: baseline.optimized.events_per_sec,
-            measured,
-            tolerance,
-        });
+        assert!(
+            !baseline.tiers.is_empty(),
+            "gate: engine baseline {engine_baseline} has an empty tier array"
+        );
+        for tier in &baseline.tiers {
+            if tier.devices > max_devices {
+                println!(
+                    "engine/{}: skipped ({} devices > --max-devices {max_devices})",
+                    tier.name, tier.devices
+                );
+                continue;
+            }
+            let frames = tier.frames_per_device.min(frames_cap);
+            println!(
+                "measuring engine/{}: {} devices x {frames} frames, best of {reps}...",
+                tier.name, tier.devices
+            );
+            let measured = measure_engine_events_per_sec(tier.devices, frames, reps, 1);
+            checks.push(GateCheck {
+                name: format!("engine/{}", tier.name),
+                baseline: tier.optimized.events_per_sec,
+                measured,
+                tolerance,
+            });
+            for entry in &tier.sharded {
+                if entry.shards > host_cores {
+                    println!(
+                        "engine/{} x{}: skipped ({} shards > {host_cores} cores)",
+                        tier.name, entry.shards, entry.shards
+                    );
+                    continue;
+                }
+                println!(
+                    "measuring engine/{} x{}: {} devices x {frames} frames, best of {reps}...",
+                    tier.name, entry.shards, tier.devices
+                );
+                let measured =
+                    measure_engine_events_per_sec(tier.devices, frames, reps, entry.shards);
+                checks.push(GateCheck {
+                    name: format!("engine/{} x{}", tier.name, entry.shards),
+                    baseline: entry.events_per_sec,
+                    measured,
+                    tolerance,
+                });
+            }
+        }
     }
     if !skip_sweep {
         let baseline: SweepBaseline = load(&sweep_baseline, "sweep");
         println!("measuring sweep tier: {cells} cells serial, best of {reps}...");
         let measured = measure_sweep_runs_per_sec(cells, reps);
         checks.push(GateCheck {
-            name: "sweep",
+            name: "sweep".into(),
             baseline: baseline.serial.runs_per_sec,
             measured,
             tolerance,
@@ -90,7 +134,7 @@ fn main() {
         failed |= !c.passed();
     }
     if checks.is_empty() {
-        println!("gate: nothing to check (both tiers skipped)");
+        println!("gate: nothing to check (all tiers skipped)");
     }
     if failed {
         eprintln!("\ngate: FAIL — a measured rate regressed past the tolerance");

@@ -1,18 +1,23 @@
 //! Enforced performance gate over the committed bench artifacts.
 //!
 //! The repo commits two perf baselines at its root — `BENCH_engine.json`
-//! (DES events/second from `engine_bench`) and `BENCH_sweep.json` (sweep
-//! cells/second from `sweep`). The `gate` binary re-measures both tiers
-//! and **fails** (non-zero exit) when a measured rate falls more than a
-//! tolerance below its committed baseline, turning the JSON artifacts
-//! from passive records into an enforced contract.
+//! (DES events/second from `engine_bench`, a v2 **tier array** covering
+//! fleet sizes from 256 to 100k devices with optional sharded entries)
+//! and `BENCH_sweep.json` (sweep cells/second from `sweep`). The `gate`
+//! binary re-measures every applicable tier and **fails** (non-zero
+//! exit) when a measured rate falls more than a tolerance below its
+//! committed baseline, turning the JSON artifacts from passive records
+//! into an enforced contract.
 //!
-//! The baselines are parsed *partially*: the gate only reads the one
-//! rate field it compares against, so regenerating an artifact with
-//! extra fields (host notes, new informational passes) never breaks the
-//! gate. Both rates are throughput figures (work/second), so a reduced
-//! tier (`--devices 64 --frames 1000`) measures the same quantity as the
-//! committed full tier and remains comparable within the tolerance.
+//! The baselines are parsed *partially*: the gate only reads the rate
+//! fields it compares against, so regenerating an artifact with extra
+//! fields (host notes, new informational passes) never breaks the gate.
+//! All rates are throughput figures (work/second), so a shortened run
+//! (`--frames-cap`) measures the same quantity as the committed tier
+//! and remains comparable within the tolerance. Tiers larger than
+//! `--max-devices`, and sharded entries with more shards than the host
+//! has cores, are *skipped* rather than failed — a small CI host gates
+//! what it can measure honestly.
 
 use ff_core::{Controller, FrameFeedback};
 use ff_device::{run_fleet, EngineOptions, ExperimentConfig, FleetConfig, FleetDeviceConfig};
@@ -23,16 +28,46 @@ use ff_workload::table_v;
 use serde::Deserialize;
 use std::time::Instant;
 
-/// Partial view of `BENCH_engine.json`: just the optimized-engine rate.
+/// Partial view of `BENCH_engine.json` (schema v2): the tier array,
+/// each tier reduced to the rates the gate compares against.
 #[derive(Deserialize)]
 pub struct EngineBaseline {
-    /// The optimized (timing-wheel, reused-buffers) engine run.
+    /// Every tier the committed artifact measured.
+    pub tiers: Vec<EngineTierBaseline>,
+}
+
+/// One committed tier: its fleet shape, the single-shard optimized rate,
+/// and any sharded rates recorded alongside it.
+#[derive(Deserialize)]
+pub struct EngineTierBaseline {
+    /// Tier label (`"256"`, `"1k"`, ...), used in gate output.
+    pub name: String,
+    /// Fleet size the tier was measured at; the gate re-measures at the
+    /// same size (rates are only comparable within a tier).
+    pub devices: usize,
+    /// Committed frames per device — the gate may shorten this via
+    /// `--frames-cap`, which preserves the rate being measured.
+    pub frames_per_device: u64,
+    /// The optimized (timing-wheel, reused-buffers) single-shard run.
     pub optimized: RateEntry,
+    /// Sharded runs, if the artifact recorded any. Entries whose shard
+    /// count exceeds the gating host's cores are skipped.
+    #[serde(default)]
+    pub sharded: Vec<ShardedRateEntry>,
 }
 
 /// A run entry that carries an events-per-second figure.
 #[derive(Deserialize)]
 pub struct RateEntry {
+    /// Events handled per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// A sharded run entry: the shard count plus its rate.
+#[derive(Deserialize)]
+pub struct ShardedRateEntry {
+    /// Shard (worker-thread) count of the committed run.
+    pub shards: usize,
     /// Events handled per wall-clock second.
     pub events_per_sec: f64,
 }
@@ -52,10 +87,11 @@ pub struct SerialEntry {
 }
 
 /// One gate comparison: a measured rate against its committed baseline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GateCheck {
-    /// Which tier this check covers (`"engine"` / `"sweep"`).
-    pub name: &'static str,
+    /// Which tier this check covers (`"engine/256"`, `"engine/1k x2"`,
+    /// `"sweep"`, ...).
+    pub name: String,
     /// The committed baseline rate.
     pub baseline: f64,
     /// The freshly measured rate.
@@ -85,7 +121,7 @@ impl std::fmt::Display for GateCheck {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<7} {:>12.0}/s measured vs {:>12.0}/s baseline ({:>5.1}% , floor {:>12.0}/s): {}",
+            "{:<14} {:>12.0}/s measured vs {:>12.0}/s baseline ({:>5.1}% , floor {:>12.0}/s): {}",
             self.name,
             self.measured,
             self.baseline,
@@ -120,11 +156,12 @@ pub fn engine_fleet_config(
 }
 
 /// The optimized engine configuration whose rate `BENCH_engine.json`
-/// commits: timing-wheel queue with reused batch buffers.
+/// commits: timing-wheel queue with reused batch buffers, single shard.
 pub fn optimized_engine() -> EngineOptions {
     EngineOptions {
         backend: QueueBackend::Wheel,
         reuse_batch_buffers: true,
+        shards: 1,
     }
 }
 
@@ -156,12 +193,21 @@ fn fleet_controllers(n: usize) -> Vec<Box<dyn Controller>> {
         .collect()
 }
 
-/// Measure the optimized engine's event throughput: best (fastest) of
-/// `reps` repetitions of the `engine_fleet_config` fleet, in events per
-/// wall-clock second. Min-time measurement matches `engine_bench` and
-/// keeps the figure stable on busy hosts.
-pub fn measure_engine_events_per_sec(devices: usize, frames: u64, reps: usize) -> f64 {
-    let config = engine_fleet_config(devices, frames, optimized_engine(), false);
+/// Measure the optimized engine's event throughput at `shards` shards:
+/// best (fastest) of `reps` repetitions of the `engine_fleet_config`
+/// fleet, in events per wall-clock second. Min-time measurement matches
+/// `engine_bench` and keeps the figure stable on busy hosts.
+pub fn measure_engine_events_per_sec(
+    devices: usize,
+    frames: u64,
+    reps: usize,
+    shards: usize,
+) -> f64 {
+    let engine = EngineOptions {
+        shards,
+        ..optimized_engine()
+    };
+    let config = engine_fleet_config(devices, frames, engine, false);
     let mut best = 0.0f64;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
@@ -194,7 +240,7 @@ mod tests {
     #[test]
     fn gate_check_boundary() {
         let mut c = GateCheck {
-            name: "engine",
+            name: "engine/256".into(),
             baseline: 1_000.0,
             measured: 800.0,
             tolerance: 0.20,
@@ -212,10 +258,21 @@ mod tests {
         // Unknown fields (everything else the bench bins write) must be
         // ignored so artifact regeneration can add fields freely.
         let engine: EngineBaseline = serde_json::from_str(
-            r#"{"scenario":"table-v","optimized":{"backend":"wheel","events_per_sec":123.5},"speedup":1.6}"#,
+            r#"{"schema":2,"scenario":"table-v","tiers":[
+                {"name":"256","devices":256,"frames_per_device":4000,
+                 "optimized":{"backend":"wheel","events_per_sec":123.5},
+                 "speedup":1.6,"sharded":[]},
+                {"name":"1k","devices":1024,"frames_per_device":1000,
+                 "optimized":{"events_per_sec":200.0},
+                 "sharded":[{"shards":2,"events_per_sec":321.0,"extra":true}]}
+            ]}"#,
         )
         .unwrap();
-        assert!((engine.optimized.events_per_sec - 123.5).abs() < 1e-12);
+        assert_eq!(engine.tiers.len(), 2);
+        assert!((engine.tiers[0].optimized.events_per_sec - 123.5).abs() < 1e-12);
+        assert!(engine.tiers[0].sharded.is_empty());
+        assert_eq!(engine.tiers[1].sharded[0].shards, 2);
+        assert!((engine.tiers[1].sharded[0].events_per_sec - 321.0).abs() < 1e-12);
         let sweep: SweepBaseline = serde_json::from_str(
             r#"{"cells":32,"serial":{"workers":1,"runs_per_sec":400.0},"speedup":null}"#,
         )
@@ -224,9 +281,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_field_defaults_to_empty() {
+        // v2 artifacts written before sharding (or hand-reduced ones)
+        // may omit `sharded` entirely.
+        let engine: EngineBaseline = serde_json::from_str(
+            r#"{"tiers":[{"name":"t","devices":4,"frames_per_device":40,
+                 "optimized":{"events_per_sec":1.0}}]}"#,
+        )
+        .unwrap();
+        assert!(engine.tiers[0].sharded.is_empty());
+    }
+
+    #[test]
     fn reduced_tier_measures_a_positive_rate() {
-        let rate = measure_engine_events_per_sec(2, 40, 1);
+        let rate = measure_engine_events_per_sec(2, 40, 1, 1);
         assert!(rate > 0.0);
+        let sharded = measure_engine_events_per_sec(4, 40, 1, 2);
+        assert!(sharded > 0.0);
         let sweep = measure_sweep_runs_per_sec(4, 1);
         assert!(sweep > 0.0);
     }

@@ -11,24 +11,28 @@ fn baseline_file(name: &str, body: &str) -> PathBuf {
     path
 }
 
-/// Run the gate on the reduced tier against fabricated baselines. The
-/// tier is deliberately tiny (and `--skip-sweep`) so the test stays fast
-/// under the debug profile; the verdict only depends on the fabricated
-/// baseline, not on the host's absolute speed.
+/// A v2 (tier-array) engine baseline with one deliberately tiny tier.
+/// The tier shape comes from the baseline itself, so the fabricated
+/// tier keeps the test fast under the debug profile; the verdict only
+/// depends on the fabricated rate, not the host's absolute speed.
+fn tiny_engine_baseline(events_per_sec: f64) -> String {
+    format!(
+        r#"{{"schema":2,"tiers":[{{"name":"tiny","devices":4,"frames_per_device":120,
+            "optimized":{{"events_per_sec":{events_per_sec}}}}}]}}"#
+    )
+}
+
+/// Run the gate on the fabricated tiny tier, `--skip-sweep`.
 fn run_gate(engine_events_per_sec: f64) -> std::process::Output {
     let engine = baseline_file(
         &format!("engine-{engine_events_per_sec:e}.json"),
-        &format!(r#"{{"optimized":{{"events_per_sec":{engine_events_per_sec}}}}}"#),
+        &tiny_engine_baseline(engine_events_per_sec),
     );
     Command::new(env!("CARGO_BIN_EXE_gate"))
         .args([
             "--tolerance",
             "0.20",
             "--skip-sweep",
-            "--devices",
-            "4",
-            "--frames",
-            "120",
             "--reps",
             "1",
             "--engine-baseline",
@@ -67,22 +71,10 @@ fn gate_passes_on_trivial_baseline() {
 
 #[test]
 fn gate_covers_the_sweep_tier_too() {
-    let engine = baseline_file(
-        "engine-tiny.json",
-        r#"{"optimized":{"events_per_sec":1.0}}"#,
-    );
+    let engine = baseline_file("engine-tiny.json", &tiny_engine_baseline(1.0));
     let sweep = baseline_file("sweep-huge.json", r#"{"serial":{"runs_per_sec":1e12}}"#);
     let out = Command::new(env!("CARGO_BIN_EXE_gate"))
-        .args([
-            "--devices",
-            "4",
-            "--frames",
-            "120",
-            "--cells",
-            "4",
-            "--reps",
-            "1",
-        ])
+        .args(["--cells", "4", "--reps", "1"])
         .arg("--engine-baseline")
         .arg(&engine)
         .arg("--sweep-baseline")
@@ -97,5 +89,43 @@ fn gate_covers_the_sweep_tier_too() {
     assert!(
         stdout.contains("engine") && stdout.contains("sweep"),
         "both tiers must be reported:\n{stdout}"
+    );
+}
+
+#[test]
+fn gate_skips_tiers_and_shard_counts_beyond_the_host() {
+    // A huge tier (beyond --max-devices) and a sharded entry requiring
+    // more cores than any plausible host must both be *skipped*, with
+    // the gate still passing on what remains.
+    let engine = baseline_file(
+        "engine-skips.json",
+        r#"{"schema":2,"tiers":[
+            {"name":"tiny","devices":4,"frames_per_device":120,
+             "optimized":{"events_per_sec":1.0},
+             "sharded":[{"shards":4096,"events_per_sec":1.0}]},
+            {"name":"huge","devices":1048576,"frames_per_device":30,
+             "optimized":{"events_per_sec":1e12}}
+        ]}"#,
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_gate"))
+        .args([
+            "--skip-sweep",
+            "--reps",
+            "1",
+            "--max-devices",
+            "1024",
+            "--engine-baseline",
+        ])
+        .arg(&engine)
+        .output()
+        .expect("gate binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "skipped tiers must not fail the gate; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("engine/huge: skipped") && stdout.contains("engine/tiny x4096: skipped"),
+        "skips must be reported:\n{stdout}"
     );
 }

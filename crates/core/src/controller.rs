@@ -64,7 +64,11 @@ pub struct Decision {
 }
 
 /// An offloading policy (FrameFeedback or a baseline).
-pub trait Controller {
+///
+/// `Send` is a supertrait so boxed controllers can move into worker
+/// threads: the sharded fleet driver owns one controller per device
+/// inside per-shard simulation state that lives on its own thread.
+pub trait Controller: Send {
     /// Short name used in experiment output ("framefeedback", "local", ...).
     fn name(&self) -> &'static str;
 

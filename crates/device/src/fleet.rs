@@ -14,12 +14,24 @@
 //! ([`TierOutage`]) fold the crash/epoch machinery in at fleet scale
 //! for rolling-restart scenarios.
 //!
+//! Per-device **hot state** lives in structure-of-arrays form
+//! ([`FleetDevices`]): the scalars every event touches (splitter
+//! credit, offload target, interval counters, timeout windows,
+//! in-flight tables) sit in parallel `Vec`s indexed by the device id
+//! already packed into each tag, so the per-tick loop walks contiguous
+//! memory and tag-keyed lookups are a masked index instead of a hash
+//! probe ([`crate::flight`]). The event-handler bodies are shared with
+//! the sharded driver ([`crate::shard`]) through [`FleetCore`]: the
+//! only difference between the single-threaded engine and a shard is
+//! where a delivered uplink goes ([`UplinkSink`]).
+//!
 //! Tag layout: the shared packing in [`crate::tags`] — the probe flag is
 //! the runtime's `PROBE_TAG_BASE` bit, bits 55..40 the device index,
 //! bits 39..0 the per-device sequence number.
 
+use crate::flight::{FlightTable, ProbeTable};
 use crate::local::{LocalEngine, LocalOutcome};
-use crate::offload::{OffloadResolution, OffloadTracker, TimeoutCause};
+use crate::offload::{OffloadResolution, TimeoutCause};
 use crate::selection::{deadline_risk, ModelSelection};
 use crate::splitter::{FrameSplitter, Route};
 use ff_core::{Controller, Measurement};
@@ -40,9 +52,7 @@ use ff_workload::{
 };
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use std::collections::HashMap;
 
-use crate::taghash::TagHash;
 use crate::tags::{
     fleet_tag as make_tag, fleet_tag_device as tag_device, is_probe_tag as tag_is_probe,
 };
@@ -59,6 +69,12 @@ pub struct EngineOptions {
     /// allocating fresh result vectors per batch. Disabling this exists
     /// only so `engine_bench` can measure the allocating baseline.
     pub reuse_batch_buffers: bool,
+    /// Number of device shards to simulate in parallel (each on its own
+    /// thread with a private event queue). `1` (or `0`) runs the
+    /// single-threaded engine; any value is bit-identical to any other
+    /// (pinned by `tests/shard_determinism.rs`). Shard counts above the
+    /// device count are clamped.
+    pub shards: usize,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +82,7 @@ impl Default for EngineOptions {
         EngineOptions {
             backend: QueueBackend::Heap,
             reuse_batch_buffers: true,
+            shards: 1,
         }
     }
 }
@@ -146,8 +163,8 @@ pub struct FleetConfig {
     /// Per-server maintenance windows (rolling restarts). Empty by
     /// default; scheduling none keeps the event stream unchanged.
     pub outages: Vec<TierOutage>,
-    /// Engine tuning (queue backend, buffer reuse). Results are
-    /// independent of this choice.
+    /// Engine tuning (queue backend, buffer reuse, shard count).
+    /// Results are independent of this choice.
     pub engine: EngineOptions,
     /// Observability pipeline. Disabled by default; enabling it leaves
     /// fleet results bit-identical (asserted by `telemetry_inert.rs`) —
@@ -217,6 +234,12 @@ impl FleetConfig {
             .clone()
             .unwrap_or_else(|| TierConfig::single(self.gpu, self.policy))
     }
+
+    /// The instant the run ends: stream duration plus one deadline of
+    /// drain time.
+    pub(crate) fn end_at(&self) -> SimTime {
+        SimTime::ZERO + self.stream.stream_duration() + self.deadline
+    }
 }
 
 /// Per-device outcome of a fleet run.
@@ -269,47 +292,207 @@ pub struct FleetResult {
     /// Server-side rejections per device index (fairness diagnostics).
     pub rejections_by_device: Vec<u64>,
     /// Total simulation events dispatched during the run (the
-    /// denominator of `engine_bench`'s events/sec figure).
+    /// denominator of `engine_bench`'s events/sec figure). Independent
+    /// of the shard count.
     pub events_handled: u64,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
-struct IntervalCounters {
-    sent: u64,
-    local_done: u64,
-    offload_success: u64,
-    timeouts: u64,
-    timeouts_network: u64,
-    timeouts_load: u64,
+pub(crate) struct IntervalCounters {
+    pub(crate) sent: u64,
+    pub(crate) local_done: u64,
+    pub(crate) offload_success: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) timeouts_network: u64,
+    pub(crate) timeouts_load: u64,
 }
 
-struct DeviceState {
-    controller: Box<dyn Controller>,
-    source: FrameSource<ChaCha8Rng>,
-    splitter: FrameSplitter,
-    engine: LocalEngine<ChaCha8Rng>,
-    link: Link<ChaCha8Rng>,
-    tracker: OffloadTracker,
-    model: ModelKind,
-    /// Model the tier runs for this device's offloads (== `model`
+/// Per-device state that is only touched once per controller period (or
+/// at teardown): boxed controllers, QoS logs, reporting metadata. Kept
+/// as an array-of-structs beside the hot SoA columns so per-frame
+/// handlers never pull these cache lines in.
+pub(crate) struct DeviceCold {
+    pub(crate) controller: Box<dyn Controller>,
+    pub(crate) qos: QosLog,
+    pub(crate) model: ModelKind,
+    pub(crate) device_kind: DeviceKind,
+    pub(crate) local_accuracy: f64,
+    pub(crate) remote_accuracy: f64,
+}
+
+/// Structure-of-arrays per-device hot state. Every column is indexed by
+/// the **local** device index (`global - base`); the single-threaded
+/// engine has `base == 0`, a shard owns the contiguous global range
+/// `[base, base + len)`. Each per-frame handler touches only the
+/// columns it needs — a capture never drags the controller or QoS log
+/// into cache, a completion only the engine column.
+pub(crate) struct FleetDevices {
+    /// Global index of local device 0.
+    pub(crate) base: usize,
+    pub(crate) cold: Vec<DeviceCold>,
+    pub(crate) source: Vec<FrameSource<ChaCha8Rng>>,
+    pub(crate) engine: Vec<LocalEngine<ChaCha8Rng>>,
+    pub(crate) link: Vec<Link<ChaCha8Rng>>,
+    pub(crate) filter: Vec<Option<SemanticFilter>>,
+    /// Model the tier runs for this device's offloads (== its `model`
     /// unless `FleetConfig::remote_model` overrides it).
-    offload_model: ModelKind,
-    filter: Option<SemanticFilter>,
-    local_accuracy: f64,
-    remote_accuracy: f64,
-    device_kind: DeviceKind,
-    probes: HashMap<u64, SimTime, TagHash>,
-    probe_seq: u64,
-    last_heartbeat_ok: bool,
-    po_target: f64,
-    interval: IntervalCounters,
-    timeout_rate: WindowedRate,
-    qos: QosLog,
-    frames_offloaded: u64,
-    frames_local: u64,
+    pub(crate) offload_model: Vec<ModelKind>,
+    pub(crate) splitter: Vec<FrameSplitter>,
+    pub(crate) tracker: Vec<FlightTable>,
+    pub(crate) probes: Vec<ProbeTable>,
+    pub(crate) probe_seq: Vec<u64>,
+    pub(crate) heartbeat: Vec<bool>,
+    pub(crate) po_target: Vec<f64>,
+    /// `po_target / fs`, cached whenever `po_target` is written: the
+    /// splitter credit increment. Same operands as the division the
+    /// splitter would do per frame, so routing stays bit-identical
+    /// while captures skip the `fdiv`.
+    pub(crate) route_incr: Vec<f64>,
+    pub(crate) interval: Vec<IntervalCounters>,
+    pub(crate) timeout_rate: Vec<WindowedRate>,
+    pub(crate) frames_offloaded: Vec<u64>,
+    pub(crate) frames_local: Vec<u64>,
 }
 
-enum FleetEvent {
+impl FleetDevices {
+    /// Build the state for global devices `[base, base + controllers.len())`.
+    ///
+    /// Every RNG stream is derived from the **global** device index, so
+    /// the same device gets bit-identical randomness regardless of how
+    /// the fleet is partitioned into shards.
+    pub(crate) fn build(
+        config: &FleetConfig,
+        controllers: Vec<Box<dyn Controller>>,
+        base: usize,
+    ) -> FleetDevices {
+        let rng = RngFactory::new(config.seed);
+        let fs = config.stream.fps;
+        let n = controllers.len();
+        let mut devs = FleetDevices {
+            base,
+            cold: Vec::with_capacity(n),
+            source: Vec::with_capacity(n),
+            engine: Vec::with_capacity(n),
+            link: Vec::with_capacity(n),
+            filter: Vec::with_capacity(n),
+            offload_model: Vec::with_capacity(n),
+            splitter: Vec::with_capacity(n),
+            tracker: Vec::with_capacity(n),
+            probes: Vec::with_capacity(n),
+            probe_seq: vec![0; n],
+            heartbeat: vec![false; n],
+            po_target: Vec::with_capacity(n),
+            route_incr: Vec::with_capacity(n),
+            interval: vec![IntervalCounters::default(); n],
+            timeout_rate: Vec::with_capacity(n),
+            frames_offloaded: vec![0; n],
+            frames_local: vec![0; n],
+        };
+        for (local, mut controller) in controllers.into_iter().enumerate() {
+            let g = base + local;
+            let dc = &config.devices[g];
+            let initial_conditions = match &config.per_device_network {
+                Some(schedules) => *schedules[g].value_at(0.0),
+                None => *config.network.value_at(0.0),
+            };
+            let po_target = controller
+                .update(&Measurement {
+                    fs,
+                    po_achieved: 0.0,
+                    pl_achieved: 0.0,
+                    timeout_rate: 0.0,
+                    heartbeat_ok: false,
+                    dt_secs: config.controller_period.as_secs_f64(),
+                })
+                .po_target;
+            let offload_model = config.remote_model.unwrap_or(dc.model);
+            let source = match &config.scene {
+                // The scene draws from its own indexed stream, so the
+                // frame/local/link streams are untouched by enabling it.
+                Some(script) => FrameSource::with_scene(
+                    config.stream,
+                    rng.indexed_stream("fleet-frames", g as u64),
+                    script.clone(),
+                    rng.indexed_stream("fleet-scene", g as u64),
+                ),
+                None => {
+                    FrameSource::new(config.stream, rng.indexed_stream("fleet-frames", g as u64))
+                }
+            };
+            devs.cold.push(DeviceCold {
+                controller,
+                qos: QosLog::new(),
+                model: dc.model,
+                device_kind: dc.device,
+                local_accuracy: dc.model.profile().top1_accuracy,
+                remote_accuracy: offload_model.profile().top1_accuracy,
+            });
+            devs.source.push(source);
+            devs.engine.push(LocalEngine::new(
+                dc.device,
+                dc.model,
+                rng.indexed_stream("fleet-local", g as u64),
+            ));
+            devs.link.push(Link::new(
+                config.link,
+                initial_conditions,
+                rng.indexed_stream("fleet-link", g as u64),
+            ));
+            devs.filter.push(config.filter.map(SemanticFilter::new));
+            devs.offload_model.push(offload_model);
+            devs.splitter.push(FrameSplitter::new());
+            devs.tracker.push(FlightTable::new(config.deadline));
+            devs.probes.push(ProbeTable::default());
+            devs.po_target.push(po_target);
+            devs.route_incr.push(route_increment(po_target, fs));
+            devs.timeout_rate
+                .push(WindowedRate::new(config.timeout_window));
+        }
+        devs
+    }
+
+    /// Consume the state into per-device results (local order, which is
+    /// global order for `base == 0`).
+    pub(crate) fn into_results(self) -> Vec<FleetDeviceResult> {
+        self.cold
+            .into_iter()
+            .zip(self.filter)
+            .zip(self.tracker)
+            .zip(self.frames_offloaded)
+            .zip(self.frames_local)
+            .map(
+                |((((cold, filter), tracker), frames_offloaded), frames_local)| FleetDeviceResult {
+                    controller: cold.controller.name().to_string(),
+                    device: cold.device_kind.name().to_string(),
+                    model: cold.model.name().to_string(),
+                    mean_throughput: cold.qos.mean_throughput(),
+                    mean_accuracy_weighted_throughput: cold.qos.mean_accuracy_weighted(),
+                    filter_stats: filter.as_ref().map(|f| f.stats()),
+                    frames_offloaded,
+                    frames_local,
+                    offload_successes: tracker.successes(),
+                    offload_timeouts: tracker.timeouts(),
+                    qos: cold.qos,
+                },
+            )
+            .collect()
+    }
+}
+
+/// The splitter credit increment for a new `po_target`: the same
+/// division (same operands, same result bits) the splitter's checked
+/// `route` would perform per frame, with its validation hoisted to the
+/// once-per-controller-period write.
+fn route_increment(po_target: f64, fs: f64) -> f64 {
+    assert!(fs > 0.0, "F_s must be positive");
+    assert!(
+        (0.0..=fs + 1e-9).contains(&po_target),
+        "P_o target {po_target} outside [0, F_s={fs}]"
+    );
+    po_target / fs
+}
+
+pub(crate) enum FleetEvent {
     Capture(usize),
     LocalDone(usize),
     Uplinked {
@@ -341,6 +524,432 @@ enum FleetEvent {
     },
 }
 
+/// Where a delivered uplink goes. The single-threaded engine schedules
+/// an [`FleetEvent::Uplinked`] on its own calendar; a shard appends a
+/// timestamped submission to its outbox for the tier shard to merge.
+/// This is the only seam between the two execution modes — everything
+/// else in the device handlers is shared code.
+pub(crate) trait UplinkSink {
+    fn delivered(&mut self, ctx: &mut Ctx<'_, FleetEvent>, sent_at: SimTime, at: SimTime, tag: u64);
+}
+
+/// The single-threaded engine's sink: an in-calendar `Uplinked` event.
+pub(crate) struct ScheduleUplink;
+
+impl UplinkSink for ScheduleUplink {
+    #[inline]
+    fn delivered(
+        &mut self,
+        ctx: &mut Ctx<'_, FleetEvent>,
+        _sent_at: SimTime,
+        at: SimTime,
+        tag: u64,
+    ) {
+        ctx.schedule_at(at, FleetEvent::Uplinked { tag });
+    }
+}
+
+/// One controller period's observations, handed back to the host world
+/// for telemetry (the core itself never records).
+pub(crate) struct TickReport {
+    pub(crate) po: f64,
+    pub(crate) pl: f64,
+    pub(crate) t_windowed: f64,
+    pub(crate) interval: IntervalCounters,
+}
+
+/// The device-side simulation core shared by [`FleetWorld`] (single
+/// thread, `base == 0`, all devices) and [`crate::shard`]'s per-shard
+/// worlds (a contiguous device range each). Handlers take **global**
+/// device indices / tags and translate through `devs.base`.
+pub(crate) struct FleetCore {
+    pub(crate) config: FleetConfig,
+    pub(crate) devs: FleetDevices,
+    pub(crate) end_at: SimTime,
+}
+
+impl FleetCore {
+    pub(crate) fn capture<S: UplinkSink>(
+        &mut self,
+        ctx: &mut Ctx<'_, FleetEvent>,
+        sink: &mut S,
+        g: usize,
+    ) {
+        let now = ctx.now();
+        let deadline = self.config.deadline;
+        let selection = self.config.selection;
+        let FleetDevices {
+            base,
+            cold,
+            source,
+            engine,
+            link,
+            filter,
+            splitter,
+            tracker,
+            interval,
+            timeout_rate,
+            po_target,
+            route_incr,
+            frames_offloaded,
+            frames_local,
+            ..
+        } = &mut self.devs;
+        let i = g - *base;
+        let src = &mut source[i];
+        let Some(frame) = src.next_frame() else {
+            return;
+        };
+        // Semantic filter: drop or shrink low-information frames
+        // before they cost routing, uplink, or local compute.
+        let mut frame_bytes = frame.bytes;
+        if let (Some(filter), Some(info)) = (&mut filter[i], src.last_info()) {
+            match filter.verdict(info, frame.bytes) {
+                FilterVerdict::Pass => {}
+                FilterVerdict::Shrink { bytes } => frame_bytes = bytes,
+                FilterVerdict::Skip => {
+                    if !src.exhausted() {
+                        let next = src.next_capture_time();
+                        ctx.schedule_at(next, FleetEvent::Capture(g));
+                    }
+                    return;
+                }
+            }
+        }
+        let mut route = splitter[i].advance(route_incr[i]);
+        if route == Route::Offload && selection != ModelSelection::AlwaysPaper {
+            // Accuracy-aware demotion: keep the frame local when
+            // the deadline risk eats the remote model's accuracy
+            // edge. Guarded so `AlwaysPaper` never touches the
+            // timeout-rate window outside ticks (bit-inert).
+            let d = &cold[i];
+            let risk = deadline_risk(timeout_rate[i].rate_at(now), po_target[i]);
+            if selection.prefers_local(d.local_accuracy, d.remote_accuracy, risk) {
+                route = Route::Local;
+            }
+        }
+        match route {
+            Route::Offload => {
+                let tag = make_tag(g, frame.id.0, false);
+                tracker[i].sent(tag, now);
+                interval[i].sent += 1;
+                frames_offloaded[i] += 1;
+                match link[i].send(now, frame_bytes) {
+                    SendOutcome::Delivered { at } => sink.delivered(ctx, now, at, tag),
+                    SendOutcome::Dropped(_) => tracker[i].network_dropped(tag),
+                }
+                ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag });
+            }
+            Route::Local => {
+                if let LocalOutcome::Started { done_at } = engine[i].offer(now) {
+                    ctx.schedule_at(done_at, FleetEvent::LocalDone(g));
+                }
+                frames_local[i] += 1;
+            }
+        }
+        if !src.exhausted() {
+            let next = src.next_capture_time();
+            ctx.schedule_at(next, FleetEvent::Capture(g));
+        }
+    }
+
+    pub(crate) fn local_done(&mut self, ctx: &mut Ctx<'_, FleetEvent>, g: usize) {
+        let i = g - self.devs.base;
+        self.devs.interval[i].local_done += 1;
+        if let Some(next_done) = self.devs.engine[i].complete(ctx.now()) {
+            ctx.schedule_at(next_done, FleetEvent::LocalDone(g));
+        }
+    }
+
+    pub(crate) fn tick<S: UplinkSink>(
+        &mut self,
+        ctx: &mut Ctx<'_, FleetEvent>,
+        sink: &mut S,
+        g: usize,
+    ) -> TickReport {
+        let now = ctx.now();
+        let dt = self.config.controller_period.as_secs_f64();
+        let fs = self.config.stream.fps;
+        let bytes = self.config.stream.compression.mean_frame_bytes();
+        let deadline = self.config.deadline;
+        let FleetDevices {
+            base,
+            cold,
+            link,
+            probes,
+            probe_seq,
+            heartbeat,
+            po_target,
+            route_incr,
+            interval,
+            timeout_rate,
+            ..
+        } = &mut self.devs;
+        let i = g - *base;
+
+        let d = &mut cold[i];
+        let po = interval[i].sent as f64 / dt;
+        let pl = interval[i].local_done as f64 / dt;
+        let t_windowed = timeout_rate[i].rate_at(now);
+
+        let decision = d.controller.update(&Measurement {
+            fs,
+            po_achieved: po,
+            pl_achieved: pl,
+            timeout_rate: t_windowed,
+            heartbeat_ok: heartbeat[i],
+            dt_secs: dt,
+        });
+        po_target[i] = decision.po_target;
+        route_incr[i] = route_increment(decision.po_target, fs);
+        let accuracy_weighted = (d.local_accuracy * interval[i].local_done as f64
+            + d.remote_accuracy * interval[i].offload_success as f64)
+            / dt;
+        d.qos.push_at(
+            now,
+            pl,
+            po,
+            interval[i].timeouts_network as f64 / dt,
+            interval[i].timeouts_load as f64 / dt,
+            po_target[i],
+            accuracy_weighted,
+        );
+        let report = interval[i];
+        interval[i] = IntervalCounters::default();
+
+        // Heartbeat probe through this device's own link.
+        heartbeat[i] = false;
+        let ptag = make_tag(g, probe_seq[i], true);
+        probe_seq[i] += 1;
+        probes[i].insert(ptag, now);
+        match link[i].send(now, bytes) {
+            SendOutcome::Delivered { at } => sink.delivered(ctx, now, at, ptag),
+            SendOutcome::Dropped(_) => {}
+        }
+        ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag: ptag });
+
+        let next = now + self.config.controller_period;
+        if next <= self.end_at {
+            ctx.schedule_at(next, FleetEvent::Tick(g));
+        }
+
+        TickReport {
+            po,
+            pl,
+            t_windowed,
+            interval: report,
+        }
+    }
+
+    pub(crate) fn deadline(&mut self, now: SimTime, tag: u64) {
+        let i = tag_device(tag) - self.devs.base;
+        if tag_is_probe(tag) {
+            self.devs.probes[i].remove(tag);
+            return;
+        }
+        if let Some(OffloadResolution::Timeout { cause }) =
+            self.devs.tracker[i].deadline_expired(tag, now)
+        {
+            note_timeout(
+                &mut self.devs.timeout_rate[i],
+                &mut self.devs.interval[i],
+                now,
+                cause,
+            );
+        }
+    }
+
+    /// The request reached the tier at `at` (and, when
+    /// `admission_rejected`, was turned away at the door). Never called
+    /// for probes — a probe's only feedback is its response.
+    pub(crate) fn apply_arrival(&mut self, tag: u64, at: SimTime, admission_rejected: bool) {
+        let i = tag_device(tag) - self.devs.base;
+        let tracker = &mut self.devs.tracker[i];
+        tracker.arrived_at_server(tag, at);
+        if admission_rejected {
+            tracker.rejected_by_server(tag);
+        }
+    }
+
+    /// The server's batch-formation overflow rejected the request.
+    pub(crate) fn apply_batch_rejection(&mut self, tag: u64) {
+        let i = tag_device(tag) - self.devs.base;
+        self.devs.tracker[i].rejected_by_server(tag);
+    }
+
+    /// A response (probe or frame) reached the device at `now`.
+    pub(crate) fn apply_response(&mut self, tag: u64, now: SimTime) {
+        let i = tag_device(tag) - self.devs.base;
+        let deadline = self.config.deadline;
+        if tag_is_probe(tag) {
+            if let Some(sent_at) = self.devs.probes[i].remove(tag) {
+                if now.saturating_since(sent_at) <= deadline {
+                    self.devs.heartbeat[i] = true;
+                }
+            }
+            return;
+        }
+        match self.devs.tracker[i].response_arrived(tag, now) {
+            Some(OffloadResolution::Success { .. }) => self.devs.interval[i].offload_success += 1,
+            Some(OffloadResolution::Timeout { cause }) => note_timeout(
+                &mut self.devs.timeout_rate[i],
+                &mut self.devs.interval[i],
+                now,
+                cause,
+            ),
+            None => {}
+        }
+    }
+
+    pub(crate) fn network_change(&mut self, dev: Option<usize>, step: usize) {
+        match dev {
+            None => {
+                let conditions = self.config.network.steps()[step].1;
+                for link in &mut self.devs.link {
+                    link.set_conditions(conditions);
+                }
+            }
+            Some(dev) => {
+                let schedules = self
+                    .config
+                    .per_device_network
+                    .as_ref()
+                    .expect("per-device event requires per-device schedules");
+                let conditions = schedules[dev].steps()[step].1;
+                self.devs.link[dev - self.devs.base].set_conditions(conditions);
+            }
+        }
+    }
+}
+
+fn note_timeout(
+    timeout_rate: &mut WindowedRate,
+    interval: &mut IntervalCounters,
+    now: SimTime,
+    cause: TimeoutCause,
+) {
+    timeout_rate.record(now);
+    interval.timeouts += 1;
+    match cause {
+        TimeoutCause::Network => interval.timeouts_network += 1,
+        TimeoutCause::ServerLoad => interval.timeouts_load += 1,
+    }
+}
+
+/// Emit one device's controller-period metrics. Shared by the
+/// single-threaded engine and the shard worlds so "device/{i}" scopes
+/// carry the same gauges either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn observe_device_tick(
+    rec: &mut Recorder,
+    scope: Scope,
+    t: u64,
+    fs: f64,
+    rep: &TickReport,
+    po_target: f64,
+    in_flight: usize,
+    probes: usize,
+    heartbeat_ok: bool,
+) {
+    rec.gauge(scope, Metric::Po, rep.po, t);
+    rec.gauge(scope, Metric::Pl, rep.pl, t);
+    rec.gauge(scope, Metric::TimeoutRate, rep.t_windowed, t);
+    rec.gauge(scope, Metric::PoTarget, po_target, t);
+    rec.gauge(scope, Metric::ControllerError, fs - (rep.po + rep.pl), t);
+    rec.gauge(scope, Metric::InFlight, in_flight as f64, t);
+    rec.gauge(scope, Metric::ProbesInFlight, probes as f64, t);
+    rec.counter(scope, Metric::FramesOffloaded, rep.interval.sent, t);
+    rec.counter(scope, Metric::FramesLocal, rep.interval.local_done, t);
+    rec.counter(
+        scope,
+        Metric::TimeoutsNetwork,
+        rep.interval.timeouts_network,
+        t,
+    );
+    rec.counter(scope, Metric::TimeoutsLoad, rep.interval.timeouts_load, t);
+    rec.counter(scope, Metric::HeartbeatOk, heartbeat_ok as u64, t);
+}
+
+/// Tier-side observability: the aggregate "server" scope plus
+/// per-server scopes (N > 1 only), with previous-tick counter values
+/// for delta emission. Used by the single-threaded engine from device
+/// 0's tick and by the sharded driver's coordinator at each controller
+/// period.
+pub(crate) struct TierObs {
+    /// Tier-aggregate scope; stays named "server" so single-server
+    /// dashboards and pinned scope ids keep working at any N.
+    server: Scope,
+    /// Per-server scopes ("server/{i}"), interned only for N > 1 tiers.
+    servers: Vec<Scope>,
+    last_server: ServerStats,
+    last_servers: Vec<ServerStats>,
+    last_admission: u64,
+}
+
+impl TierObs {
+    pub(crate) fn new(telemetry: &Telemetry, n_servers: usize) -> TierObs {
+        let servers: Vec<Scope> = if n_servers > 1 {
+            (0..n_servers)
+                .map(|i| telemetry.scope(&format!("server/{i}")))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        TierObs {
+            server: telemetry.scope("server"),
+            last_servers: vec![ServerStats::default(); servers.len()],
+            servers,
+            last_server: ServerStats::default(),
+            last_admission: 0,
+        }
+    }
+
+    pub(crate) fn report(&mut self, rec: &mut Recorder, tier: &ServerTier, t: u64) {
+        let server = self.server;
+        let stats = tier.total_stats();
+        let last = self.last_server;
+        let queue_depth: usize = (0..tier.len()).map(|i| tier.server(i).queue_len()).sum();
+        rec.gauge(server, Metric::ServerQueueDepth, queue_depth as f64, t);
+        let occupancy: usize = (0..tier.len())
+            .map(|i| tier.server(i).running_batch_size().unwrap_or(0))
+            .sum();
+        rec.gauge(server, Metric::BatchOccupancy, occupancy as f64, t);
+        let d = stats.requests_received - last.requests_received;
+        rec.counter(server, Metric::ServerRequests, d, t);
+        let d = stats.completions - last.completions;
+        rec.counter(server, Metric::ServerCompletions, d, t);
+        let d = stats.rejections - last.rejections;
+        rec.counter(server, Metric::ServerRejections, d, t);
+        let d = stats.batches_executed - last.batches_executed;
+        rec.counter(server, Metric::ServerBatches, d, t);
+        let admission = tier.admission_rejections();
+        let d = admission - self.last_admission;
+        rec.counter(server, Metric::AdmissionRejections, d, t);
+        self.last_admission = admission;
+        self.last_server = stats;
+
+        // Per-server scopes, only interned for multi-server tiers.
+        for (i, &scope) in self.servers.iter().enumerate() {
+            let s = tier.server(i);
+            let stats = s.stats();
+            let last = self.last_servers[i];
+            rec.gauge(scope, Metric::ServerUp, tier.is_up(i) as u64 as f64, t);
+            rec.gauge(scope, Metric::ServerQueueDepth, s.queue_len() as f64, t);
+            let occupancy = s.running_batch_size().unwrap_or(0);
+            rec.gauge(scope, Metric::BatchOccupancy, occupancy as f64, t);
+            let d = stats.requests_received - last.requests_received;
+            rec.counter(scope, Metric::ServerRequests, d, t);
+            let d = stats.completions - last.completions;
+            rec.counter(scope, Metric::ServerCompletions, d, t);
+            let d = stats.rejections - last.rejections;
+            rec.counter(scope, Metric::ServerRejections, d, t);
+            let d = stats.batches_executed - last.batches_executed;
+            rec.counter(scope, Metric::ServerBatches, d, t);
+            self.last_servers[i] = stats;
+        }
+    }
+}
+
 /// Fleet-side observability state: one recorder for the (single)
 /// simulation thread, plus the interned scopes it reports under.
 ///
@@ -352,56 +961,32 @@ struct FleetObs {
     telemetry: Telemetry,
     recorder: Recorder,
     engine: Scope,
-    /// Tier-aggregate scope; stays named "server" so single-server
-    /// dashboards and pinned scope ids keep working at any N.
-    server: Scope,
-    /// Per-server scopes ("server/{i}"), interned only for N > 1 tiers.
-    servers: Vec<Scope>,
     devices: Vec<Scope>,
-    /// Tier-aggregate counter values at the previous tick, for delta
-    /// emission.
-    last_server: ServerStats,
-    /// Per-server counter values at the previous tick (N > 1 only).
-    last_servers: Vec<ServerStats>,
-    /// Admission-rejection counter at the previous tick.
-    last_admission: u64,
+    tier_obs: TierObs,
 }
 
 impl FleetObs {
     fn new(telemetry: &Telemetry, n_devices: usize, n_servers: usize) -> FleetObs {
-        let servers: Vec<Scope> = if n_servers > 1 {
-            (0..n_servers)
-                .map(|i| telemetry.scope(&format!("server/{i}")))
-                .collect()
-        } else {
-            Vec::new()
-        };
         FleetObs {
             recorder: telemetry.recorder(),
             engine: telemetry.scope("engine"),
-            server: telemetry.scope("server"),
-            last_servers: vec![ServerStats::default(); servers.len()],
-            servers,
             devices: (0..n_devices)
                 .map(|i| telemetry.scope(&format!("device/{i}")))
                 .collect(),
-            last_server: ServerStats::default(),
-            last_admission: 0,
+            tier_obs: TierObs::new(telemetry, n_servers),
             telemetry: telemetry.clone(),
         }
     }
 }
 
 struct FleetWorld {
-    config: FleetConfig,
-    devices: Vec<DeviceState>,
+    core: FleetCore,
     tier: ServerTier,
     /// The tier's routing stream ("routing"); consumed only by
     /// power-of-two-choices routing with two or more live servers, so
     /// legacy single-server runs never advance it.
     routing_rng: ChaCha8Rng,
     batch_out: BatchOutput,
-    end_at: SimTime,
     obs: FleetObs,
 }
 
@@ -423,97 +1008,28 @@ impl FleetWorld {
         outcome
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_, FleetEvent>, dev: usize) {
-        let now = ctx.now();
-        let dt = self.config.controller_period.as_secs_f64();
-        let fs = self.config.stream.fps;
-        let bytes = self.config.stream.compression.mean_frame_bytes();
-        let deadline = self.config.deadline;
-
-        let d = &mut self.devices[dev];
-        let po = d.interval.sent as f64 / dt;
-        let pl = d.interval.local_done as f64 / dt;
-        let t_windowed = d.timeout_rate.rate_at(now);
-
-        let decision = d.controller.update(&Measurement {
-            fs,
-            po_achieved: po,
-            pl_achieved: pl,
-            timeout_rate: t_windowed,
-            heartbeat_ok: d.last_heartbeat_ok,
-            dt_secs: dt,
-        });
-        d.po_target = decision.po_target;
-        let accuracy_weighted = (d.local_accuracy * d.interval.local_done as f64
-            + d.remote_accuracy * d.interval.offload_success as f64)
-            / dt;
-        d.qos.push_at(
-            now,
-            pl,
-            po,
-            d.interval.timeouts_network as f64 / dt,
-            d.interval.timeouts_load as f64 / dt,
-            d.po_target,
-            accuracy_weighted,
-        );
-        let interval = d.interval;
-        d.interval = IntervalCounters::default();
-
-        // Heartbeat probe through this device's own link.
-        d.last_heartbeat_ok = false;
-        let ptag = make_tag(dev, d.probe_seq, true);
-        d.probe_seq += 1;
-        d.probes.insert(ptag, now);
-        match d.link.send(now, bytes) {
-            SendOutcome::Delivered { at } => {
-                ctx.schedule_at(at, FleetEvent::Uplinked { tag: ptag })
-            }
-            SendOutcome::Dropped(_) => {}
-        }
-        ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag: ptag });
-
-        let next = now + self.config.controller_period;
-        if next <= self.end_at {
-            ctx.schedule_at(next, FleetEvent::Tick(dev));
-        }
-
-        self.observe_tick(ctx, dev, po, pl, t_windowed, interval);
-    }
-
     /// Report this device's controller-period observations (and, from
     /// device 0, the shared engine and server state), then poll the
     /// collector. Purely observational: emits into the recorder's ring
     /// and never schedules events, so it cannot perturb the run.
-    fn observe_tick(
-        &mut self,
-        ctx: &Ctx<'_, FleetEvent>,
-        dev: usize,
-        po: f64,
-        pl: f64,
-        t_windowed: f64,
-        interval: IntervalCounters,
-    ) {
+    fn observe_tick(&mut self, ctx: &Ctx<'_, FleetEvent>, dev: usize, rep: &TickReport) {
         if !self.obs.recorder.is_enabled() {
             return;
         }
         let t = ctx.now().as_micros();
         let rec = &mut self.obs.recorder;
-        let scope = self.obs.devices[dev];
-        let d = &self.devices[dev];
-        let fs = self.config.stream.fps;
-
-        rec.gauge(scope, Metric::Po, po, t);
-        rec.gauge(scope, Metric::Pl, pl, t);
-        rec.gauge(scope, Metric::TimeoutRate, t_windowed, t);
-        rec.gauge(scope, Metric::PoTarget, d.po_target, t);
-        rec.gauge(scope, Metric::ControllerError, fs - (po + pl), t);
-        rec.gauge(scope, Metric::InFlight, d.tracker.in_flight() as f64, t);
-        rec.gauge(scope, Metric::ProbesInFlight, d.probes.len() as f64, t);
-        rec.counter(scope, Metric::FramesOffloaded, interval.sent, t);
-        rec.counter(scope, Metric::FramesLocal, interval.local_done, t);
-        rec.counter(scope, Metric::TimeoutsNetwork, interval.timeouts_network, t);
-        rec.counter(scope, Metric::TimeoutsLoad, interval.timeouts_load, t);
-        rec.counter(scope, Metric::HeartbeatOk, d.last_heartbeat_ok as u64, t);
+        let devs = &self.core.devs;
+        observe_device_tick(
+            rec,
+            self.obs.devices[dev],
+            t,
+            self.core.config.stream.fps,
+            rep,
+            devs.po_target[dev],
+            devs.tracker[dev].in_flight(),
+            devs.probes[dev].len(),
+            devs.heartbeat[dev],
+        );
 
         // Shared state is reported once per controller period, by the
         // first device to tick in it.
@@ -531,56 +1047,10 @@ impl FleetWorld {
                 ctx.pending_events() as f64,
                 t,
             );
-            let wheel = self.config.engine.backend == QueueBackend::Wheel;
+            let wheel = self.core.config.engine.backend == QueueBackend::Wheel;
             rec.gauge(engine, Metric::QueueBackendWheel, wheel as u64 as f64, t);
 
-            // Tier aggregate under the legacy "server" scope: for a
-            // single-server tier these are exactly the old values.
-            let server = self.obs.server;
-            let stats = self.tier.total_stats();
-            let last = self.obs.last_server;
-            let queue_depth: usize = (0..self.tier.len())
-                .map(|i| self.tier.server(i).queue_len())
-                .sum();
-            rec.gauge(server, Metric::ServerQueueDepth, queue_depth as f64, t);
-            let occupancy: usize = (0..self.tier.len())
-                .map(|i| self.tier.server(i).running_batch_size().unwrap_or(0))
-                .sum();
-            rec.gauge(server, Metric::BatchOccupancy, occupancy as f64, t);
-            let d = stats.requests_received - last.requests_received;
-            rec.counter(server, Metric::ServerRequests, d, t);
-            let d = stats.completions - last.completions;
-            rec.counter(server, Metric::ServerCompletions, d, t);
-            let d = stats.rejections - last.rejections;
-            rec.counter(server, Metric::ServerRejections, d, t);
-            let d = stats.batches_executed - last.batches_executed;
-            rec.counter(server, Metric::ServerBatches, d, t);
-            let admission = self.tier.admission_rejections();
-            let d = admission - self.obs.last_admission;
-            rec.counter(server, Metric::AdmissionRejections, d, t);
-            self.obs.last_admission = admission;
-            self.obs.last_server = stats;
-
-            // Per-server scopes, only interned for multi-server tiers.
-            for (i, &scope) in self.obs.servers.iter().enumerate() {
-                let s = self.tier.server(i);
-                let stats = s.stats();
-                let last = self.obs.last_servers[i];
-                rec.gauge(scope, Metric::ServerUp, self.tier.is_up(i) as u64 as f64, t);
-                rec.gauge(scope, Metric::ServerQueueDepth, s.queue_len() as f64, t);
-                let occupancy = s.running_batch_size().unwrap_or(0);
-                rec.gauge(scope, Metric::BatchOccupancy, occupancy as f64, t);
-                let d = stats.requests_received - last.requests_received;
-                rec.counter(scope, Metric::ServerRequests, d, t);
-                let d = stats.completions - last.completions;
-                rec.counter(scope, Metric::ServerCompletions, d, t);
-                let d = stats.rejections - last.rejections;
-                rec.counter(scope, Metric::ServerRejections, d, t);
-                let d = stats.batches_executed - last.batches_executed;
-                rec.counter(scope, Metric::ServerBatches, d, t);
-                self.obs.last_servers[i] = stats;
-            }
-
+            self.obs.tier_obs.report(rec, &self.tier, t);
             self.obs.telemetry.poll();
         }
     }
@@ -591,84 +1061,14 @@ impl SimModel for FleetWorld {
 
     fn handle(&mut self, ctx: &mut Ctx<'_, FleetEvent>, event: FleetEvent) {
         match event {
-            FleetEvent::Capture(dev) => {
-                let now = ctx.now();
-                let fs = self.config.stream.fps;
-                let deadline = self.config.deadline;
-                let d = &mut self.devices[dev];
-                let Some(frame) = d.source.next_frame() else {
-                    return;
-                };
-                // Semantic filter: drop or shrink low-information frames
-                // before they cost routing, uplink, or local compute.
-                let mut frame_bytes = frame.bytes;
-                if let (Some(filter), Some(info)) = (&mut d.filter, d.source.last_info()) {
-                    match filter.verdict(info, frame.bytes) {
-                        FilterVerdict::Pass => {}
-                        FilterVerdict::Shrink { bytes } => frame_bytes = bytes,
-                        FilterVerdict::Skip => {
-                            if !d.source.exhausted() {
-                                let next = d.source.next_capture_time();
-                                ctx.schedule_at(next, FleetEvent::Capture(dev));
-                            }
-                            return;
-                        }
-                    }
-                }
-                let mut route = d.splitter.route(d.po_target, fs);
-                if route == Route::Offload && self.config.selection != ModelSelection::AlwaysPaper {
-                    // Accuracy-aware demotion: keep the frame local when
-                    // the deadline risk eats the remote model's accuracy
-                    // edge. Guarded so `AlwaysPaper` never touches the
-                    // timeout-rate window outside ticks (bit-inert).
-                    let risk = deadline_risk(d.timeout_rate.rate_at(now), d.po_target);
-                    if self.config.selection.prefers_local(
-                        d.local_accuracy,
-                        d.remote_accuracy,
-                        risk,
-                    ) {
-                        route = Route::Local;
-                    }
-                }
-                match route {
-                    Route::Offload => {
-                        let tag = make_tag(dev, frame.id.0, false);
-                        d.tracker.sent(tag, now);
-                        d.interval.sent += 1;
-                        d.frames_offloaded += 1;
-                        match d.link.send(now, frame_bytes) {
-                            SendOutcome::Delivered { at } => {
-                                ctx.schedule_at(at, FleetEvent::Uplinked { tag })
-                            }
-                            SendOutcome::Dropped(_) => d.tracker.network_dropped(tag),
-                        }
-                        ctx.schedule_at(now + deadline, FleetEvent::Deadline { tag });
-                    }
-                    Route::Local => {
-                        if let LocalOutcome::Started { done_at } = d.engine.offer(now) {
-                            ctx.schedule_at(done_at, FleetEvent::LocalDone(dev));
-                        }
-                        d.frames_local += 1;
-                    }
-                }
-                if !d.source.exhausted() {
-                    let next = d.source.next_capture_time();
-                    ctx.schedule_at(next, FleetEvent::Capture(dev));
-                }
-            }
+            FleetEvent::Capture(dev) => self.core.capture(ctx, &mut ScheduleUplink, dev),
 
-            FleetEvent::LocalDone(dev) => {
-                let d = &mut self.devices[dev];
-                d.interval.local_done += 1;
-                if let Some(next_done) = d.engine.complete(ctx.now()) {
-                    ctx.schedule_at(next_done, FleetEvent::LocalDone(dev));
-                }
-            }
+            FleetEvent::LocalDone(dev) => self.core.local_done(ctx, dev),
 
             FleetEvent::Uplinked { tag } => {
                 let now = ctx.now();
                 let dev = tag_device(tag);
-                let model = self.devices[dev].offload_model;
+                let model = self.core.devs.offload_model[dev];
                 let probe = tag_is_probe(tag);
                 let request = Request {
                     tenant: TenantId(dev as u32),
@@ -690,13 +1090,9 @@ impl SimModel for FleetWorld {
                     // Turned away at the door: the server saw it, so
                     // this is a ServerLoad-cause timeout at the
                     // deadline, same as a batch-formation rejection.
-                    TierSubmit::AdmissionRejected => {
-                        let d = &mut self.devices[dev];
-                        d.tracker.arrived_at_server(tag, now);
-                        d.tracker.rejected_by_server(tag);
-                    }
+                    TierSubmit::AdmissionRejected => self.core.apply_arrival(tag, now, true),
                     TierSubmit::Queued { .. } | TierSubmit::BatchStarted { .. } => {
-                        self.devices[dev].tracker.arrived_at_server(tag, now);
+                        self.core.apply_arrival(tag, now, false)
                     }
                 }
             }
@@ -708,8 +1104,8 @@ impl SimModel for FleetWorld {
                     return;
                 }
                 let now = ctx.now();
-                let propagation = self.config.link.propagation;
-                if !self.config.engine.reuse_batch_buffers {
+                let propagation = self.core.config.link.propagation;
+                if !self.core.config.engine.reuse_batch_buffers {
                     // Allocating baseline for `engine_bench`: fresh result
                     // vectors for every batch, like the pre-reuse code.
                     self.batch_out = BatchOutput::default();
@@ -723,8 +1119,7 @@ impl SimModel for FleetWorld {
                 }
                 for r in &self.batch_out.rejections {
                     if !tag_is_probe(r.request.tag) {
-                        let dev = tag_device(r.request.tag);
-                        self.devices[dev].tracker.rejected_by_server(r.request.tag);
+                        self.core.apply_batch_rejection(r.request.tag);
                     }
                 }
                 if let Some(done_at) = self.batch_out.next_done {
@@ -732,80 +1127,25 @@ impl SimModel for FleetWorld {
                 }
             }
 
-            FleetEvent::Response { tag } => {
-                let now = ctx.now();
-                let dev = tag_device(tag);
-                let deadline = self.config.deadline;
-                let d = &mut self.devices[dev];
-                if tag_is_probe(tag) {
-                    if let Some(sent_at) = d.probes.remove(&tag) {
-                        if now.saturating_since(sent_at) <= deadline {
-                            d.last_heartbeat_ok = true;
-                        }
-                    }
-                    return;
-                }
-                match d.tracker.response_arrived(tag, now) {
-                    Some(OffloadResolution::Success { .. }) => d.interval.offload_success += 1,
-                    Some(OffloadResolution::Timeout { cause }) => record_timeout(d, now, cause),
-                    None => {}
-                }
-            }
+            FleetEvent::Response { tag } => self.core.apply_response(tag, ctx.now()),
 
-            FleetEvent::Deadline { tag } => {
-                let now = ctx.now();
-                let dev = tag_device(tag);
-                let d = &mut self.devices[dev];
-                if tag_is_probe(tag) {
-                    d.probes.remove(&tag);
-                    return;
-                }
-                if let Some(OffloadResolution::Timeout { cause }) =
-                    d.tracker.deadline_expired(tag, now)
-                {
-                    record_timeout(d, now, cause);
-                }
-            }
+            FleetEvent::Deadline { tag } => self.core.deadline(ctx.now(), tag),
 
-            FleetEvent::Tick(dev) => self.tick(ctx, dev),
+            FleetEvent::Tick(dev) => {
+                let rep = self.core.tick(ctx, &mut ScheduleUplink, dev);
+                self.observe_tick(ctx, dev, &rep);
+            }
 
             FleetEvent::ServerCrash(server) => self.tier.crash(server),
 
             FleetEvent::ServerRecover(server) => self.tier.recover(server),
 
-            FleetEvent::NetworkChange { dev, step } => match dev {
-                None => {
-                    let conditions = self.config.network.steps()[step].1;
-                    for d in &mut self.devices {
-                        d.link.set_conditions(conditions);
-                    }
-                }
-                Some(dev) => {
-                    let schedules = self
-                        .config
-                        .per_device_network
-                        .as_ref()
-                        .expect("per-device event requires per-device schedules");
-                    let conditions = schedules[dev].steps()[step].1;
-                    self.devices[dev].link.set_conditions(conditions);
-                }
-            },
+            FleetEvent::NetworkChange { dev, step } => self.core.network_change(dev, step),
         }
     }
 }
 
-fn record_timeout(d: &mut DeviceState, now: SimTime, cause: TimeoutCause) {
-    d.timeout_rate.record(now);
-    d.interval.timeouts += 1;
-    match cause {
-        TimeoutCause::Network => d.interval.timeouts_network += 1,
-        TimeoutCause::ServerLoad => d.interval.timeouts_load += 1,
-    }
-}
-
-/// Run a fleet of devices, one controller per device (same order as
-/// `config.devices`).
-pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> FleetResult {
+pub(crate) fn validate_fleet(config: &FleetConfig, controllers: &[Box<dyn Controller>]) {
     assert_eq!(
         config.devices.len(),
         controllers.len(),
@@ -822,81 +1162,12 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
             "one network schedule per device"
         );
     }
-    let rng = RngFactory::new(config.seed);
-    let fs = config.stream.fps;
-    let end_at = SimTime::ZERO + config.stream.stream_duration() + config.deadline;
+}
 
-    let devices: Vec<DeviceState> = config
-        .devices
-        .iter()
-        .zip(controllers)
-        .enumerate()
-        .map(|(i, (dc, mut controller))| {
-            let initial_conditions = match &config.per_device_network {
-                Some(schedules) => *schedules[i].value_at(0.0),
-                None => *config.network.value_at(0.0),
-            };
-            let po_target = controller
-                .update(&Measurement {
-                    fs,
-                    po_achieved: 0.0,
-                    pl_achieved: 0.0,
-                    timeout_rate: 0.0,
-                    heartbeat_ok: false,
-                    dt_secs: config.controller_period.as_secs_f64(),
-                })
-                .po_target;
-            let offload_model = config.remote_model.unwrap_or(dc.model);
-            let source = match &config.scene {
-                // The scene draws from its own indexed stream, so the
-                // frame/local/link streams are untouched by enabling it.
-                Some(script) => FrameSource::with_scene(
-                    config.stream,
-                    rng.indexed_stream("fleet-frames", i as u64),
-                    script.clone(),
-                    rng.indexed_stream("fleet-scene", i as u64),
-                ),
-                None => {
-                    FrameSource::new(config.stream, rng.indexed_stream("fleet-frames", i as u64))
-                }
-            };
-            DeviceState {
-                controller,
-                source,
-                splitter: FrameSplitter::new(),
-                engine: LocalEngine::new(
-                    dc.device,
-                    dc.model,
-                    rng.indexed_stream("fleet-local", i as u64),
-                ),
-                link: Link::new(
-                    config.link,
-                    initial_conditions,
-                    rng.indexed_stream("fleet-link", i as u64),
-                ),
-                tracker: OffloadTracker::new(config.deadline),
-                model: dc.model,
-                offload_model,
-                filter: config.filter.map(SemanticFilter::new),
-                local_accuracy: dc.model.profile().top1_accuracy,
-                remote_accuracy: offload_model.profile().top1_accuracy,
-                device_kind: dc.device,
-                probes: HashMap::default(),
-                probe_seq: 0,
-                last_heartbeat_ok: false,
-                po_target,
-                interval: IntervalCounters::default(),
-                timeout_rate: WindowedRate::new(config.timeout_window),
-                qos: QosLog::new(),
-                frames_offloaded: 0,
-                frames_local: 0,
-            }
-        })
-        .collect();
-
-    let n = devices.len();
-    let controller_period = config.controller_period;
-    let change_events: Vec<(f64, Option<usize>, usize)> = match &config.per_device_network {
+/// The flattened network-change schedule: `(t_secs, device, step)` per
+/// applied step, in the order the single-threaded engine schedules them.
+pub(crate) fn network_change_events(config: &FleetConfig) -> Vec<(f64, Option<usize>, usize)> {
+    match &config.per_device_network {
         Some(schedules) => schedules
             .iter()
             .enumerate()
@@ -917,24 +1188,69 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
             .skip(1)
             .map(|(step, &(t, _))| (t, None, step))
             .collect(),
-    };
+    }
+}
+
+/// Assemble the fleet-wide result from per-device results plus the
+/// tier's final state. Shared by the single-threaded and sharded
+/// drivers so the aggregation is one piece of code.
+pub(crate) fn finish_fleet(
+    devices: Vec<FleetDeviceResult>,
+    tier: &ServerTier,
+    events_handled: u64,
+) -> FleetResult {
+    let successes: Vec<f64> = devices.iter().map(|d| d.offload_successes as f64).collect();
+    let rejections_by_device: Vec<u64> = (0..devices.len())
+        .map(|i| tier.rejections_for(TenantId(i as u32)))
+        .collect();
+    FleetResult {
+        offload_fairness: jain_fairness_index(&successes),
+        total_mean_throughput: devices.iter().map(|d| d.mean_throughput).sum(),
+        server_stats: tier.total_stats(),
+        per_server_stats: tier.per_server_stats(),
+        admission_rejections: tier.admission_rejections(),
+        rejections_by_device,
+        events_handled,
+        devices,
+    }
+}
+
+/// Run a fleet of devices, one controller per device (same order as
+/// `config.devices`).
+///
+/// `config.engine.shards > 1` dispatches to the sharded driver
+/// ([`run_fleet_sharded`](crate::shard::run_fleet_sharded)); results
+/// are bit-identical at any shard count.
+pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> FleetResult {
+    validate_fleet(&config, &controllers);
+    if config.engine.shards > 1 {
+        let shards = config.engine.shards;
+        return crate::shard::run_fleet_sharded(config, controllers, shards);
+    }
+    let n = controllers.len();
+    let end_at = config.end_at();
+    let change_events = network_change_events(&config);
     let tier_config = config.tier_config();
     let tier = ServerTier::new(&tier_config);
     for outage in &config.outages {
         outage.validate(tier.len());
     }
-    let routing_rng = rng.stream("routing");
+    let routing_rng = RngFactory::new(config.seed).stream("routing");
 
     let backend = config.engine.backend;
+    let controller_period = config.controller_period;
     let obs = FleetObs::new(&config.telemetry, n, tier.len());
     let outages = config.outages.clone();
+    let devs = FleetDevices::build(&config, controllers, 0);
     let world = FleetWorld {
-        config,
-        devices,
+        core: FleetCore {
+            config,
+            devs,
+            end_at,
+        },
         tier,
         routing_rng,
         batch_out: BatchOutput::default(),
-        end_at,
         obs,
     };
     let mut sim = Simulation::with_queue(world, EventQueue::with_backend(backend));
@@ -966,41 +1282,8 @@ pub fn run_fleet(config: FleetConfig, controllers: Vec<Box<dyn Controller>>) -> 
     // can span several runs (e.g. a sweep).
     world.obs.telemetry.poll();
 
-    let device_results: Vec<FleetDeviceResult> = world
-        .devices
-        .into_iter()
-        .map(|d| FleetDeviceResult {
-            controller: d.controller.name().to_string(),
-            device: d.device_kind.name().to_string(),
-            model: d.model.name().to_string(),
-            mean_throughput: d.qos.mean_throughput(),
-            mean_accuracy_weighted_throughput: d.qos.mean_accuracy_weighted(),
-            filter_stats: d.filter.as_ref().map(|f| f.stats()),
-            frames_offloaded: d.frames_offloaded,
-            frames_local: d.frames_local,
-            offload_successes: d.tracker.successes(),
-            offload_timeouts: d.tracker.timeouts(),
-            qos: d.qos,
-        })
-        .collect();
-
-    let successes: Vec<f64> = device_results
-        .iter()
-        .map(|d| d.offload_successes as f64)
-        .collect();
-    let rejections_by_device: Vec<u64> = (0..device_results.len())
-        .map(|i| world.tier.rejections_for(TenantId(i as u32)))
-        .collect();
-    FleetResult {
-        offload_fairness: jain_fairness_index(&successes),
-        total_mean_throughput: device_results.iter().map(|d| d.mean_throughput).sum(),
-        server_stats: world.tier.total_stats(),
-        per_server_stats: world.tier.per_server_stats(),
-        admission_rejections: world.tier.admission_rejections(),
-        rejections_by_device,
-        events_handled,
-        devices: device_results,
-    }
+    let device_results = world.core.devs.into_results();
+    finish_fleet(device_results, &world.tier, events_handled)
 }
 
 #[cfg(test)]
@@ -1063,17 +1346,40 @@ mod tests {
         baseline.engine = EngineOptions {
             backend: QueueBackend::Heap,
             reuse_batch_buffers: false,
+            shards: 1,
         };
         let mut optimized = short_fleet();
         optimized.engine = EngineOptions {
             backend: QueueBackend::Wheel,
             reuse_batch_buffers: true,
+            shards: 1,
         };
         let a = run_fleet(baseline, ff_controllers(3));
         let b = run_fleet(optimized, ff_controllers(3));
         for (da, db) in a.devices.iter().zip(&b.devices) {
             assert_eq!(da.qos.records(), db.qos.records());
             assert_eq!(da.frames_offloaded, db.frames_offloaded);
+            assert_eq!(da.offload_successes, db.offload_successes);
+            assert_eq!(da.offload_timeouts, db.offload_timeouts);
+        }
+        assert_eq!(a.server_stats, b.server_stats);
+        assert_eq!(a.rejections_by_device, b.rejections_by_device);
+        assert_eq!(a.events_handled, b.events_handled);
+    }
+
+    #[test]
+    fn sharded_engine_option_reproduces_the_serial_fleet() {
+        // The full differential suite lives in tests/shard_determinism.rs;
+        // this is the in-module smoke: three devices on three shards,
+        // dispatched through the public `run_fleet` entry point.
+        let mut sharded = short_fleet();
+        sharded.engine.shards = 3;
+        let a = run_fleet(short_fleet(), ff_controllers(3));
+        let b = run_fleet(sharded, ff_controllers(3));
+        for (da, db) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(da.qos.records(), db.qos.records());
+            assert_eq!(da.frames_offloaded, db.frames_offloaded);
+            assert_eq!(da.frames_local, db.frames_local);
             assert_eq!(da.offload_successes, db.offload_successes);
             assert_eq!(da.offload_timeouts, db.offload_timeouts);
         }

@@ -1,0 +1,437 @@
+//! Slab-indexed in-flight bookkeeping for the fleet hot path.
+//!
+//! [`FlightTable`] is a drop-in replacement for the fleet's former
+//! per-device `HashMap<u64, …, TagHash>` in [`crate::offload`]: same
+//! life-cycle, same resolutions, same counters, but keyed by the
+//! per-device sequence number already packed into the tag
+//! (`fleet_tag_seq`) instead of hashing the whole tag. In-flight tags
+//! of one device span at most the frames captured within one deadline
+//! window (every entry is removed by its deadline event), so an
+//! open-addressed ring indexed by `seq & mask` almost never collides;
+//! when it would, the ring doubles and re-seats its entries. Lookups
+//! are one masked index plus one compare — no hashing, no probing.
+//!
+//! [`ProbeTable`] plays the same role for heartbeat probes: at most
+//! `ceil(deadline / controller_period)` probes are ever outstanding
+//! (one per tick), so a tiny linear-scanned vec beats any map.
+//!
+//! The genuinely unordered maps (e.g. the live path's tag tables) keep
+//! `TagHash`; this module is only for the fleet, where the tag encodes
+//! its own index.
+
+use crate::offload::{LatencyBreakdown, OffloadResolution, TimeoutCause};
+use ff_sim::{SimDuration, SimTime};
+
+/// Life-cycle stage of one in-flight offloaded frame (mirrors the
+/// states of [`crate::offload::OffloadTracker`] exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    InNetwork,
+    DroppedByNetwork,
+    AtServer { arrived_at: SimTime },
+    RejectedByServer,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u64,
+    captured_at: SimTime,
+    stage: Stage,
+}
+
+/// Deadline tracker for one fleet device, slab-indexed by the tag's
+/// sequence bits. Semantically identical to
+/// [`crate::offload::OffloadTracker`] (asserted by a differential
+/// proptest below): `sent` panics on duplicates, stage updates on
+/// missing tags are no-ops, resolutions are reported exactly once.
+#[derive(Debug, Clone)]
+pub struct FlightTable {
+    deadline: SimDuration,
+    /// Open-addressed ring, `slots.len()` a power of two. A tag lives
+    /// at `seq & mask`; the build invariant is that no two live tags
+    /// share a slot (we grow instead of probing).
+    slots: Vec<Option<Entry>>,
+    mask: u64,
+    len: usize,
+    resolved_success: u64,
+    resolved_timeout: u64,
+}
+
+/// Initial ring capacity: at 30 fps and a 250 ms deadline at most
+/// ~9 frames are ever in flight, so 32 slots absorb 4x that before the
+/// first (re-seating) growth.
+const INITIAL_SLOTS: usize = 32;
+
+impl FlightTable {
+    /// A table enforcing the given end-to-end deadline.
+    pub fn new(deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        FlightTable {
+            deadline,
+            slots: vec![None; INITIAL_SLOTS],
+            mask: (INITIAL_SLOTS - 1) as u64,
+            len: 0,
+            resolved_success: 0,
+            resolved_timeout: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, tag: u64) -> usize {
+        // The sequence number occupies the tag's low bits, so masking
+        // the tag is masking the sequence.
+        (tag & self.mask) as usize
+    }
+
+    /// Double the ring until every live entry has a private slot.
+    #[cold]
+    fn grow(&mut self) {
+        let mut next = self.slots.len();
+        'double: loop {
+            next *= 2;
+            let mask = (next - 1) as u64;
+            let mut slots = vec![None; next];
+            for e in self.slots.iter().flatten() {
+                let s = &mut slots[(e.tag & mask) as usize];
+                if s.is_some() {
+                    // Live sequence numbers congruent at this size too:
+                    // keep doubling.
+                    continue 'double;
+                }
+                *s = Some(*e);
+            }
+            self.slots = slots;
+            self.mask = mask;
+            return;
+        }
+    }
+
+    /// Register a frame the device just offloaded.
+    pub fn sent(&mut self, tag: u64, captured_at: SimTime) {
+        loop {
+            let i = self.slot_of(tag);
+            match &self.slots[i] {
+                Some(e) if e.tag == tag => panic!("tag {tag} offloaded twice"),
+                Some(_) => self.grow(),
+                None => {
+                    self.slots[i] = Some(Entry {
+                        tag,
+                        captured_at,
+                        stage: Stage::InNetwork,
+                    });
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, tag: u64) -> Option<&mut Entry> {
+        let i = self.slot_of(tag);
+        match &mut self.slots[i] {
+            Some(e) if e.tag == tag => Some(e),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, tag: u64) -> Option<Entry> {
+        let i = self.slot_of(tag);
+        match &self.slots[i] {
+            Some(e) if e.tag == tag => {
+                let e = *e;
+                self.slots[i] = None;
+                self.len -= 1;
+                Some(e)
+            }
+            _ => None,
+        }
+    }
+
+    /// The uplink dropped the frame; the cause is known early but the
+    /// resolution still waits for the deadline event.
+    pub fn network_dropped(&mut self, tag: u64) {
+        if let Some(e) = self.get_mut(tag) {
+            e.stage = Stage::DroppedByNetwork;
+        }
+    }
+
+    /// The frame arrived at the server.
+    pub fn arrived_at_server(&mut self, tag: u64, at: SimTime) {
+        if let Some(e) = self.get_mut(tag) {
+            e.stage = Stage::AtServer { arrived_at: at };
+        }
+    }
+
+    /// The server rejected the request (admission or batch overflow).
+    pub fn rejected_by_server(&mut self, tag: u64) {
+        if let Some(e) = self.get_mut(tag) {
+            e.stage = Stage::RejectedByServer;
+        }
+    }
+
+    /// A response reached the device at `now`; `None` if the frame was
+    /// already resolved by its deadline event.
+    pub fn response_arrived(&mut self, tag: u64, now: SimTime) -> Option<OffloadResolution> {
+        let e = self.remove(tag)?;
+        let latency = now.saturating_since(e.captured_at);
+        if latency <= self.deadline {
+            self.resolved_success += 1;
+            let breakdown = match e.stage {
+                Stage::AtServer { arrived_at } => LatencyBreakdown {
+                    uplink: Some(arrived_at.saturating_since(e.captured_at)),
+                    server_and_down: Some(now.saturating_since(arrived_at)),
+                },
+                _ => LatencyBreakdown::default(),
+            };
+            Some(OffloadResolution::Success { latency, breakdown })
+        } else {
+            self.resolved_timeout += 1;
+            Some(OffloadResolution::Timeout {
+                cause: attribute(&e, self.deadline),
+            })
+        }
+    }
+
+    /// The deadline event for `tag` fired; `None` if the frame already
+    /// succeeded.
+    pub fn deadline_expired(&mut self, tag: u64, now: SimTime) -> Option<OffloadResolution> {
+        let e = self.remove(tag)?;
+        debug_assert!(now >= e.captured_at + self.deadline);
+        self.resolved_timeout += 1;
+        Some(OffloadResolution::Timeout {
+            cause: attribute(&e, self.deadline),
+        })
+    }
+
+    /// Requests still unresolved.
+    pub fn in_flight(&self) -> usize {
+        self.len
+    }
+
+    /// Offloads resolved as successes.
+    pub fn successes(&self) -> u64 {
+        self.resolved_success
+    }
+
+    /// Offloads resolved as timeouts.
+    pub fn timeouts(&self) -> u64 {
+        self.resolved_timeout
+    }
+}
+
+fn attribute(e: &Entry, deadline: SimDuration) -> TimeoutCause {
+    match e.stage {
+        Stage::InNetwork | Stage::DroppedByNetwork => TimeoutCause::Network,
+        Stage::RejectedByServer => TimeoutCause::ServerLoad,
+        Stage::AtServer { arrived_at } => {
+            let network_share = arrived_at.saturating_since(e.captured_at);
+            if network_share > deadline / 2 {
+                TimeoutCause::Network
+            } else {
+                TimeoutCause::ServerLoad
+            }
+        }
+    }
+}
+
+/// Outstanding heartbeat probes for one device: a linear-scanned vec of
+/// `(tag, sent_at)`. One probe leaves per controller period and dies at
+/// its deadline, so the live set holds at most a couple of entries.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeTable {
+    live: Vec<(u64, SimTime)>,
+}
+
+impl ProbeTable {
+    /// Record a probe sent at `sent_at`.
+    pub fn insert(&mut self, tag: u64, sent_at: SimTime) {
+        debug_assert!(self.live.iter().all(|&(t, _)| t != tag));
+        self.live.push((tag, sent_at));
+    }
+
+    /// Remove a probe, returning when it was sent (or `None` if its
+    /// deadline already reaped it).
+    pub fn remove(&mut self, tag: u64) -> Option<SimTime> {
+        let i = self.live.iter().position(|&(t, _)| t == tag)?;
+        Some(self.live.swap_remove(i).1)
+    }
+
+    /// Probes still awaiting a response or deadline.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no probes are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::OffloadTracker;
+    use proptest::prelude::*;
+
+    fn table() -> FlightTable {
+        FlightTable::new(SimDuration::from_millis(250))
+    }
+
+    #[test]
+    fn timely_response_is_a_success_with_latency() {
+        let mut t = table();
+        t.sent(1, SimTime::ZERO);
+        t.arrived_at_server(1, SimTime::from_millis(40));
+        let r = t.response_arrived(1, SimTime::from_millis(100)).unwrap();
+        assert_eq!(
+            r,
+            OffloadResolution::Success {
+                latency: SimDuration::from_millis(100),
+                breakdown: LatencyBreakdown {
+                    uplink: Some(SimDuration::from_millis(40)),
+                    server_and_down: Some(SimDuration::from_millis(60)),
+                },
+            }
+        );
+        assert_eq!(t.successes(), 1);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn late_response_after_deadline_event_is_ignored() {
+        let mut t = table();
+        t.sent(3, SimTime::ZERO);
+        assert!(t.deadline_expired(3, SimTime::from_millis(250)).is_some());
+        assert!(t.response_arrived(3, SimTime::from_millis(400)).is_none());
+        assert_eq!(t.timeouts(), 1);
+        assert_eq!(t.successes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_send_panics() {
+        let mut t = table();
+        t.sent(9, SimTime::ZERO);
+        t.sent(9, SimTime::ZERO);
+    }
+
+    #[test]
+    fn congruent_tags_force_growth_not_corruption() {
+        // Tags 5, 5+32, 5+64 all land on slot 5 of the initial ring.
+        let mut t = table();
+        t.sent(5, SimTime::ZERO);
+        t.sent(5 + 32, SimTime::from_millis(10));
+        t.sent(5 + 64, SimTime::from_millis(20));
+        assert_eq!(t.in_flight(), 3);
+        t.arrived_at_server(5 + 32, SimTime::from_millis(30));
+        assert!(t.response_arrived(5, SimTime::from_millis(40)).is_some());
+        assert!(t
+            .response_arrived(5 + 32, SimTime::from_millis(50))
+            .is_some());
+        assert!(t
+            .deadline_expired(5 + 64, SimTime::from_millis(270))
+            .is_some());
+        assert_eq!(t.successes(), 2);
+        assert_eq!(t.timeouts(), 1);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn probe_table_round_trips_and_reaps() {
+        let mut p = ProbeTable::default();
+        assert!(p.is_empty());
+        p.insert(7, SimTime::from_millis(5));
+        p.insert(9, SimTime::from_millis(10));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.remove(7), Some(SimTime::from_millis(5)));
+        assert_eq!(p.remove(7), None);
+        assert_eq!(p.remove(9), Some(SimTime::from_millis(10)));
+        assert!(p.is_empty());
+    }
+
+    /// One randomized operation against both trackers.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Sent(u8),
+        Dropped(u8),
+        Arrived(u8),
+        Rejected(u8),
+        Response(u8),
+        Deadline(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u8..24, 0u8..6).prop_map(|(tag, kind)| match kind {
+            0 => Op::Sent(tag),
+            1 => Op::Dropped(tag),
+            2 => Op::Arrived(tag),
+            3 => Op::Rejected(tag),
+            4 => Op::Response(tag),
+            _ => Op::Deadline(tag),
+        })
+    }
+
+    proptest! {
+        /// Differential: any operation sequence drives `FlightTable`
+        /// and the hash-map `OffloadTracker` to identical resolutions
+        /// and counters. Time advances monotonically per step so both
+        /// success and timeout paths are exercised.
+        #[test]
+        fn flight_table_matches_offload_tracker(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let deadline = SimDuration::from_millis(250);
+            let mut slab = FlightTable::new(deadline);
+            let mut map = OffloadTracker::new(deadline);
+            let mut live: Vec<(u64, SimTime)> = Vec::new();
+            for (step, op) in ops.into_iter().enumerate() {
+                let now = SimTime::from_millis(step as u64 * 40);
+                match op {
+                    Op::Sent(tag) => {
+                        let tag = tag as u64;
+                        if !live.iter().any(|&(t, _)| t == tag) {
+                            slab.sent(tag, now);
+                            map.sent(tag, now);
+                            live.push((tag, now));
+                        }
+                    }
+                    Op::Dropped(tag) => {
+                        slab.network_dropped(tag as u64);
+                        map.network_dropped(tag as u64);
+                    }
+                    Op::Arrived(tag) => {
+                        slab.arrived_at_server(tag as u64, now);
+                        map.arrived_at_server(tag as u64, now);
+                    }
+                    Op::Rejected(tag) => {
+                        slab.rejected_by_server(tag as u64);
+                        map.rejected_by_server(tag as u64);
+                    }
+                    Op::Response(tag) => {
+                        let a = slab.response_arrived(tag as u64, now);
+                        let b = map.response_arrived(tag as u64, now);
+                        prop_assert_eq!(a, b);
+                        live.retain(|&(t, _)| t != tag as u64);
+                    }
+                    Op::Deadline(tag) => {
+                        // Only fire deadlines that are actually due, to
+                        // respect the trackers' debug assertions.
+                        let due = match live.iter().find(|&&(t, _)| t == tag as u64) {
+                            Some(&(_, captured)) => now >= map.deadline_for(captured),
+                            None => true,
+                        };
+                        if due {
+                            let a = slab.deadline_expired(tag as u64, now);
+                            let b = map.deadline_expired(tag as u64, now);
+                            prop_assert_eq!(a, b);
+                            live.retain(|&(t, _)| t != tag as u64);
+                        }
+                    }
+                }
+                prop_assert_eq!(slab.in_flight(), map.in_flight());
+                prop_assert_eq!(slab.successes(), map.successes());
+                prop_assert_eq!(slab.timeouts(), map.timeouts());
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@ mod content;
 mod cpu;
 mod experiment;
 mod fleet;
+mod flight;
 mod local;
 mod offload;
 mod quality;
@@ -31,6 +32,7 @@ mod replay;
 pub mod runtime;
 mod selection;
 mod selector;
+pub mod shard;
 mod splitter;
 pub mod taghash;
 pub mod tags;
@@ -46,6 +48,7 @@ pub use fleet::{
     run_fleet, EngineOptions, FleetConfig, FleetDeviceConfig, FleetDeviceResult, FleetResult,
     TierOutage,
 };
+pub use flight::{FlightTable, ProbeTable};
 pub use local::{LocalEngine, LocalOutcome};
 pub use offload::{LatencyBreakdown, OffloadResolution, OffloadTracker, TimeoutCause};
 pub use quality::{QualityAdapter, QualityConfig};
@@ -58,5 +61,6 @@ pub use runtime::{
 };
 pub use selection::{deadline_risk, ModelSelection};
 pub use selector::{ModelSelector, SelectorConfig};
+pub use shard::run_fleet_sharded;
 pub use splitter::{FrameSplitter, Route};
 pub use trace::{FrameFate, FrameRecord, FrameTrace, TraceSummary};

@@ -35,7 +35,16 @@ impl FrameSplitter {
             (0.0..=fs + 1e-9).contains(&po_target),
             "P_o target {po_target} outside [0, F_s={fs}]"
         );
-        self.credit += po_target / fs;
+        self.advance(po_target / fs)
+    }
+
+    /// Route one captured frame from a pre-computed credit increment
+    /// (`po_target / fs`). Callers that route at frame rate can compute
+    /// the division once per target update and validate it there; the
+    /// result is bit-identical to [`FrameSplitter::route`] with the same
+    /// operands.
+    pub fn advance(&mut self, incr: f64) -> Route {
+        self.credit += incr;
         if self.credit >= 1.0 {
             self.credit -= 1.0;
             Route::Offload

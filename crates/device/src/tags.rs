@@ -10,13 +10,15 @@
 //! - **Probes** — heartbeat frames at `>= PROBE_TAG_BASE`.
 //!
 //! The fleet additionally packs a device index into its frame tags:
-//! bits 39..0 carry the per-device sequence, bits 55..40 the device
-//! index, and probe tags set the [`PROBE_TAG_BASE`] bit on top of the
-//! same layout. Because the packed frame part tops out at bit 55, fleet
-//! frame tags can never wander into the background (bit 61) or probe
-//! (bit 62) ranges — a property `fleet_tags_never_alias_reserved_ranges`
-//! pins below. Historically `fleet.rs` kept a private copy of this
-//! layout; this module is now the single definition.
+//! bits 35..0 carry the per-device sequence, bits 56..36 the device
+//! index (21 bits — room for the two-million-device tier of the sharded
+//! engine benchmark), and probe tags set the [`PROBE_TAG_BASE`] bit on
+//! top of the same layout. Because the packed frame part tops out at
+//! bit 56, fleet frame tags can never wander into the background
+//! (bit 61) or probe (bit 62) ranges — a property
+//! `fleet_tags_never_alias_reserved_ranges` pins below. Historically
+//! `fleet.rs` kept a private copy of this layout; this module is now
+//! the single definition.
 
 /// First tag of the heartbeat-probe range. Also used as the probe *bit*
 /// in the fleet layout, so `is_probe_tag` gives one answer for both
@@ -32,13 +34,14 @@ pub fn is_probe_tag(tag: u64) -> bool {
 }
 
 /// Bit position of the fleet device index within a packed tag.
-pub const FLEET_DEV_SHIFT: u32 = 40;
+pub const FLEET_DEV_SHIFT: u32 = 36;
 
-/// Mask of the per-device sequence field in a packed fleet tag.
+/// Mask of the per-device sequence field in a packed fleet tag
+/// (36 bits — a device would need 72 years at 30 fps to overflow it).
 pub const FLEET_SEQ_MASK: u64 = (1 << FLEET_DEV_SHIFT) - 1;
 
-/// Exclusive upper bound on the fleet device index (16 bits).
-pub const FLEET_MAX_DEVICES: usize = 1 << 16;
+/// Exclusive upper bound on the fleet device index (21 bits).
+pub const FLEET_MAX_DEVICES: usize = 1 << 21;
 
 // The packed frame layout must stay strictly below the reserved ranges;
 // if anyone widens a field, this fails the build rather than aliasing.

@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod par;
 mod queue;
 mod rng;
 mod time;
 mod wheel;
 
 pub use engine::{Ctx, RunOutcome, SimModel, Simulation};
+pub use par::run_phased;
 pub use queue::{EventQueue, Popped, QueueBackend};
 pub use rng::RngFactory;
 pub use time::{round_nonneg_f64, SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

@@ -2,10 +2,11 @@
 //!
 //! A classic O(1) alternative to the binary heap for discrete-event
 //! simulation: pending events live in `LEVELS` wheels of `SLOTS` slots
-//! each, where level `l` buckets times by bits `6l..6(l+1)` of their
-//! absolute integer-microsecond value. Push files an entry at the level
-//! of the highest bit in which its time differs from the wheel cursor;
-//! pop lazily cascades the earliest occupied slot down until the exact
+//! each, where level `l` buckets times by bits
+//! `LEVEL_BITS·l..LEVEL_BITS·(l+1)` of their absolute
+//! integer-microsecond value. Push files an entry at the level of the
+//! highest bit in which its time differs from the wheel cursor; pop
+//! lazily cascades the earliest occupied slot down until the exact
 //! firing time surfaces at level 0. Each entry cascades at most
 //! `LEVELS − 1` times over its lifetime, so push/pop are amortized O(1)
 //! regardless of the pending-set size.
@@ -24,7 +25,15 @@
 //!   instead of moving `(time, seq, event)` tuples between vectors;
 //! * the slot table and occupancy bitmaps are fixed-size inline arrays —
 //!   finding the next occupied slot is a shift-mask-`trailing_zeros` on
-//!   a single `u64` per level.
+//!   a per-level word-summary bitmap plus one `u64` word.
+//!
+//! `LEVEL_BITS = 10` makes level 1 span `2^20` µs ≈ 1.05 s, so every
+//! horizon a frame-loop simulation schedules at — the ~33 ms frame
+//! interval, local service times, the 250 ms offload deadline, the 1 s
+//! controller tick — files one level up and pays exactly **one** cascade
+//! before surfacing. The narrow classic layout (64-slot levels) put all
+//! of those two to three cascades deep, and the cascade relinks were the
+//! single largest queue cost at fleet scale.
 //!
 //! ## Determinism
 //!
@@ -48,7 +57,7 @@
 //! Two small side heaps keep the structure total: `past` holds pushes
 //! behind the cursor (legal for a standalone queue, never produced by
 //! the causality-checked simulator), and `overflow` holds times beyond
-//! the 2⁴⁸ µs (~8.9 year) wheel horizon, e.g. `SimTime::MAX` sentinels.
+//! the 2⁵⁰ µs (~35 year) wheel horizon, e.g. `SimTime::MAX` sentinels.
 //! Every peek/pop compares the staged batch against both heaps by
 //! `(time, seq)`, so ordering is exact across all three stores.
 
@@ -56,11 +65,13 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Bits of absolute time resolved per wheel level.
-const LEVEL_BITS: usize = 6;
+const LEVEL_BITS: usize = 10;
 /// Slots per level (2^LEVEL_BITS).
 const SLOTS: usize = 1 << LEVEL_BITS;
 /// Number of levels; the wheel spans `2^(LEVEL_BITS·LEVELS)` µs.
-const LEVELS: usize = 8;
+const LEVELS: usize = 5;
+/// `u64` words per level's occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
 /// Slot-index mask.
 const MASK: u64 = (SLOTS as u64) - 1;
 /// Null slab index (end of a slot list / free list).
@@ -117,7 +128,7 @@ const EMPTY_SLOT: Slot = Slot {
 
 /// The wheel proper. See the module docs for the invariants:
 /// * `cursor` ≤ the time of every entry filed in the slot table;
-/// * every level-0 entry lies in the cursor's aligned 64 µs window
+/// * every level-0 entry lies in the cursor's aligned `SLOTS` µs window
 ///   (so one level-0 slot holds exactly one firing instant);
 /// * while `current` is non-empty it holds the earliest wheel batch
 ///   (one instant, ascending `seq`) and `cursor == current_time`.
@@ -129,10 +140,15 @@ pub(crate) struct TimerWheel<E> {
     free_head: u32,
     /// Per-level, per-slot FIFO lists of slab indices.
     slots: [[Slot; SLOTS]; LEVELS],
-    /// Bit `s` of `occupied[l]` set ⇔ `slots[l][s]` is non-empty.
-    occupied: [u64; LEVELS],
-    /// Bit `l` set ⇔ `occupied[l] != 0`: lets the staging loops visit
-    /// only non-empty levels instead of probing all of them.
+    /// Bit `s & 63` of `occupied[l][s / 64]` set ⇔ `slots[l][s]` is
+    /// non-empty.
+    occupied: [[u64; WORDS]; LEVELS],
+    /// Bit `w` of `summary[l]` set ⇔ `occupied[l][w] != 0`: next-slot
+    /// scans read one summary word plus one bitmap word instead of
+    /// walking all `WORDS` words.
+    summary: [u64; LEVELS],
+    /// Bit `l` set ⇔ level `l` has an occupied slot: lets the staging
+    /// loops visit only non-empty levels instead of probing all of them.
     active: u8,
     /// Entries filed in the slot table (excludes `current`/`past`/`overflow`).
     wheel_len: usize,
@@ -153,7 +169,8 @@ impl<E> TimerWheel<E> {
             nodes: Vec::new(),
             free_head: NIL,
             slots: [[EMPTY_SLOT; SLOTS]; LEVELS],
-            occupied: [0; LEVELS],
+            occupied: [[0; WORDS]; LEVELS],
+            summary: [0; LEVELS],
             active: 0,
             wheel_len: 0,
             past: BinaryHeap::new(),
@@ -268,13 +285,19 @@ impl<E> TimerWheel<E> {
     /// times are still ordered correctly via the `past` heap.
     pub(crate) fn clear(&mut self) {
         for l in 0..LEVELS {
-            let mut occ = self.occupied[l];
-            while occ != 0 {
-                let s = occ.trailing_zeros() as usize;
-                self.slots[l][s] = EMPTY_SLOT;
-                occ &= occ - 1;
+            let mut sum = self.summary[l];
+            while sum != 0 {
+                let w = sum.trailing_zeros() as usize;
+                let mut occ = self.occupied[l][w];
+                while occ != 0 {
+                    let s = (w << 6) + occ.trailing_zeros() as usize;
+                    self.slots[l][s] = EMPTY_SLOT;
+                    occ &= occ - 1;
+                }
+                self.occupied[l][w] = 0;
+                sum &= sum - 1;
             }
-            self.occupied[l] = 0;
+            self.summary[l] = 0;
         }
         self.active = 0;
         // Dropping the slab drops every parked payload with it.
@@ -323,6 +346,53 @@ impl<E> TimerWheel<E> {
         }
     }
 
+    /// Mark `slots[level][slot]` occupied in the two-level bitmap.
+    #[inline]
+    fn mark_occupied(&mut self, level: usize, slot: usize) {
+        self.occupied[level][slot >> 6] |= 1u64 << (slot & 63);
+        self.summary[level] |= 1u64 << (slot >> 6);
+        self.active |= 1u8 << level;
+    }
+
+    /// Mark `slots[level][slot]` empty, folding the word and level
+    /// summaries as they drain.
+    #[inline]
+    fn mark_empty(&mut self, level: usize, slot: usize) {
+        let w = slot >> 6;
+        self.occupied[level][w] &= !(1u64 << (slot & 63));
+        if self.occupied[level][w] == 0 {
+            self.summary[level] &= !(1u64 << w);
+            if self.summary[level] == 0 {
+                self.active &= !(1u8 << level);
+            }
+        }
+    }
+
+    /// Is `slots[level][slot]` occupied?
+    #[inline]
+    fn is_occupied(&self, level: usize, slot: usize) -> bool {
+        self.occupied[level][slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// First occupied slot of `level` at index `from` or later, if any:
+    /// one masked bitmap word for `from`'s own word, then the summary
+    /// for everything after it.
+    #[inline]
+    fn next_occupied(&self, level: usize, from: usize) -> Option<usize> {
+        let w = from >> 6;
+        let first = self.occupied[level][w] & (!0u64 << (from & 63));
+        if first != 0 {
+            return Some((w << 6) + first.trailing_zeros() as usize);
+        }
+        // `w + 1` ≤ WORDS = 16, so the shift never overflows a u64.
+        let rest = self.summary[level] & (!0u64 << (w + 1));
+        if rest == 0 {
+            return None;
+        }
+        let w = rest.trailing_zeros() as usize;
+        Some((w << 6) + self.occupied[level][w].trailing_zeros() as usize)
+    }
+
     /// Append node `idx` (with `next` already `NIL`) to a slot's FIFO.
     #[inline]
     fn link(&mut self, level: usize, slot: usize, idx: u32) {
@@ -332,8 +402,7 @@ impl<E> TimerWheel<E> {
                 head: idx,
                 tail: idx,
             };
-            self.occupied[level] |= 1u64 << slot;
-            self.active |= 1u8 << level;
+            self.mark_occupied(level, slot);
         } else {
             self.nodes[s.tail as usize].next = idx;
             self.slots[level][slot].tail = idx;
@@ -375,10 +444,7 @@ impl<E> TimerWheel<E> {
     fn cascade_slot(&mut self, level: usize, slot: usize) {
         let s = self.slots[level][slot];
         self.slots[level][slot] = EMPTY_SLOT;
-        self.occupied[level] &= !(1u64 << slot);
-        if self.occupied[level] == 0 {
-            self.active &= !(1u8 << level);
-        }
+        self.mark_empty(level, slot);
         let mut idx = s.head;
         while idx != NIL {
             let next = self.nodes[idx as usize].next;
@@ -400,13 +466,11 @@ impl<E> TimerWheel<E> {
     fn stage_earliest(&mut self) {
         debug_assert!(self.current.is_empty());
         loop {
-            // All level-0 entries share the cursor's aligned 64 µs
+            // All level-0 entries share the cursor's aligned `SLOTS` µs
             // window, so slots at or after the cursor's own index cover
             // every pending level-0 time.
-            let s0 = (self.cursor & MASK) as u32;
-            let mask0 = self.occupied[0] & (!0u64 << s0);
-            if mask0 != 0 {
-                let s = mask0.trailing_zeros() as usize;
+            let s0 = (self.cursor & MASK) as usize;
+            if let Some(s) = self.next_occupied(0, s0) {
                 let t = self.nodes[self.slots[0][s].head as usize].time;
                 self.cursor = t;
                 // Pull down same-time entries parked in cursor-colliding
@@ -418,7 +482,7 @@ impl<E> TimerWheel<E> {
                     let l = pending.trailing_zeros() as usize;
                     pending &= pending - 1;
                     let sl = ((t >> (LEVEL_BITS * l)) & MASK) as usize;
-                    if self.occupied[l] & (1u64 << sl) != 0 {
+                    if self.is_occupied(l, sl) {
                         self.cascade_slot(l, sl);
                     }
                 }
@@ -426,10 +490,7 @@ impl<E> TimerWheel<E> {
                 // moving each payload out of the slab exactly once.
                 let slot = self.slots[0][s];
                 self.slots[0][s] = EMPTY_SLOT;
-                self.occupied[0] &= !(1u64 << s);
-                if self.occupied[0] == 0 {
-                    self.active &= !1u8;
-                }
+                self.mark_empty(0, s);
                 let mut idx = slot.head;
                 while idx != NIL {
                     let node = &mut self.nodes[idx as usize];
@@ -462,13 +523,11 @@ impl<E> TimerWheel<E> {
             while pending != 0 {
                 let l = pending.trailing_zeros() as usize;
                 pending &= pending - 1;
-                let sl = ((self.cursor >> (LEVEL_BITS * l)) & MASK) as u32;
-                let mask = self.occupied[l] & (!0u64 << sl);
-                if mask == 0 {
+                let sl = ((self.cursor >> (LEVEL_BITS * l)) & MASK) as usize;
+                let Some(s) = self.next_occupied(l, sl) else {
                     continue;
-                }
-                let s = mask.trailing_zeros() as usize;
-                if s as u32 != sl {
+                };
+                if s != sl {
                     // Jump the cursor to the start of that slot's
                     // window; everything below it is provably empty.
                     let shift = LEVEL_BITS * l;
@@ -550,9 +609,9 @@ mod tests {
     #[test]
     fn pops_across_level_boundaries_in_time_order() {
         let mut w = TimerWheel::new();
-        // 63 / 64 straddle the level-0/1 boundary; 4095 / 4096 the
-        // level-1/2 boundary; 2^48 lies beyond the wheel horizon.
-        let times = [64u64, 4096, 63, 4095, 1u64 << 48, 0, 1];
+        // 1023 / 1024 straddle the level-0/1 boundary; 2^20−1 / 2^20
+        // the level-1/2 boundary; 2^51 lies beyond the wheel horizon.
+        let times = [1024u64, 1 << 20, 1023, (1 << 20) - 1, 1u64 << 51, 0, 1];
         for (i, &t) in times.iter().enumerate() {
             w.push(t, i as u64, i as u32);
         }
