@@ -1,24 +1,27 @@
 //! `ff-bench gate` — enforced regression gate over the committed perf
-//! baselines (`BENCH_engine.json`, `BENCH_sweep.json`).
+//! baselines (`BENCH_engine.json`, `BENCH_sweep.json`,
+//! `BENCH_live.json`).
 //!
 //! Re-measures every engine tier recorded in the committed v2 artifact
-//! (plus the sweep tier) and exits non-zero when any measured rate falls
-//! more than `--tolerance` (default 0.20) below its committed baseline.
-//! Designed to run in CI after `cargo build --release`. Rates are
-//! throughput figures, so a shortened run (`--frames-cap`) stays
-//! comparable to the committed full-length baselines; fleet *size* is
-//! not reduced because per-event cost varies with it — instead, tiers
-//! larger than `--max-devices` are skipped, as are sharded entries with
-//! more shards than the host has cores. Skips are reported, never
-//! silent.
+//! (plus the sweep tier and the reactor live tier) and exits non-zero
+//! when any measured rate falls more than `--tolerance` (default 0.20)
+//! below its committed baseline. Designed to run in CI after
+//! `cargo build --release`. Rates are throughput figures, so a
+//! shortened run (`--frames-cap` for the DES, `--live-secs` for the
+//! wall-clock soak) stays comparable to the committed full-length
+//! baselines; fleet *size* is not reduced because per-event cost varies
+//! with it — instead, tiers larger than `--max-devices` are skipped, as
+//! are sharded entries with more shards than the host has cores. Skips
+//! are reported, never silent.
 //!
 //! Usage: `gate [--tolerance F] [--engine-baseline PATH]
-//! [--sweep-baseline PATH] [--skip-sweep] [--skip-engine]
-//! [--max-devices N] [--frames-cap N] [--cells N] [--reps N]`
+//! [--sweep-baseline PATH] [--live-baseline PATH] [--skip-sweep]
+//! [--skip-engine] [--skip-live] [--max-devices N] [--frames-cap N]
+//! [--cells N] [--reps N] [--live-secs S]`
 
 use ff_bench::gate::{
-    measure_engine_events_per_sec, measure_sweep_runs_per_sec, EngineBaseline, GateCheck,
-    SweepBaseline,
+    measure_engine_events_per_sec, measure_live_frames_per_sec, measure_sweep_runs_per_sec,
+    EngineBaseline, GateCheck, LiveBaseline, SweepBaseline,
 };
 use ff_bench::parse_flag;
 
@@ -50,8 +53,14 @@ fn main() {
     let reps: usize = parse_flag(&args, "--reps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let live_baseline =
+        parse_flag(&args, "--live-baseline").unwrap_or_else(|| "BENCH_live.json".into());
+    let live_secs: u64 = parse_flag(&args, "--live-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
     let skip_sweep = args.iter().any(|a| a == "--skip-sweep");
     let skip_engine = args.iter().any(|a| a == "--skip-engine");
+    let skip_live = args.iter().any(|a| a == "--skip-live");
     assert!(
         (0.0..1.0).contains(&tolerance),
         "gate: --tolerance must be in [0, 1)"
@@ -125,6 +134,27 @@ fn main() {
             measured,
             tolerance,
         });
+    }
+    if !skip_live {
+        let baseline: LiveBaseline = load(&live_baseline, "live");
+        if baseline.devices > max_devices {
+            println!(
+                "live: skipped ({} devices > --max-devices {max_devices})",
+                baseline.devices
+            );
+        } else {
+            println!(
+                "measuring live tier: {} devices x {live_secs} s wall-clock soak...",
+                baseline.devices
+            );
+            let measured = measure_live_frames_per_sec(baseline.devices, live_secs);
+            checks.push(GateCheck {
+                name: "live".into(),
+                baseline: baseline.live.sustained_frames_per_sec,
+                measured,
+                tolerance,
+            });
+        }
     }
 
     println!();

@@ -1,0 +1,83 @@
+//! Reactor live-tier fleet soak: N in-process devices against one
+//! reactor server over loopback for a sustained wall-clock window, with
+//! a DES twin cross-check. Emits `BENCH_live.json`, the live tier's
+//! perf artifact (enforced by `gate`).
+//!
+//! Usage: `soak [--devices N] [--secs S] [--out PATH] [--skip-sim]`
+//!
+//! The committed artifact is regenerated with the defaults
+//! (`1024 devices × 75 s`); CI smoke runs a reduced shape.
+
+use ff_bench::soak::{run_soak, SoakOptions};
+use ff_bench::{parse_flag, soak};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = SoakOptions::default();
+    let opts = SoakOptions {
+        devices: parse_flag(&args, "--devices")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.devices),
+        secs: parse_flag(&args, "--secs")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.secs),
+        skip_sim: args.iter().any(|a| a == "--skip-sim"),
+    };
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_live.json".into());
+
+    println!(
+        "== reactor fleet soak: {} devices x {} s over loopback ==",
+        opts.devices, opts.secs
+    );
+    let report = run_soak(&opts).expect("soak run");
+
+    let l = &report.live;
+    println!(
+        "captured {} frames; offloaded {} (ok {} / timeout {} / instant-fail {}), \
+         local {} (skipped {})",
+        l.frames_captured,
+        l.frames_offloaded,
+        l.offload_successes,
+        l.offload_timeouts,
+        l.instant_failures,
+        l.local_completed,
+        l.local_skipped
+    );
+    println!(
+        "sustained {:.1} frames/s over {:.1} s; p99 offload latency {}; \
+         reconnects {}, paced drops {}, late backpressure {}",
+        l.sustained_frames_per_sec,
+        l.elapsed_secs,
+        l.offload_p99_latency_ms
+            .map_or("n/a".into(), |v| format!("{v:.1} ms")),
+        l.reconnects,
+        l.paced_drops,
+        l.late_backpressure
+    );
+    println!(
+        "conservation: {}/{} devices, {} in flight at end; server open connections {}",
+        l.devices_conserved, report.devices, l.in_flight_at_end, report.server.open_connections
+    );
+    match &report.sim {
+        Some(s) => println!(
+            "live-vs-sim fleet mean: {:.2} vs {:.2} frames/s/device \
+             (delta {:+.2}, tolerance {:.2}) -> {}",
+            l.mean_device_throughput_fps,
+            s.mean_device_throughput_fps,
+            s.delta_fps,
+            s.tolerance_fps,
+            if s.within_tolerance { "OK" } else { "FAIL" }
+        ),
+        None => println!("sim cross-check skipped (--skip-sim)"),
+    }
+
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, body).expect("write soak report");
+    let mirror = soak::export_soak(&report).expect("export report");
+    println!("report written to {out} (mirror {})", mirror.display());
+
+    if !report.passed() {
+        eprintln!("SOAK FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,13 +1,14 @@
 //! Enforced performance gate over the committed bench artifacts.
 //!
-//! The repo commits two perf baselines at its root — `BENCH_engine.json`
+//! The repo commits three perf baselines at its root — `BENCH_engine.json`
 //! (DES events/second from `engine_bench`, a v2 **tier array** covering
-//! fleet sizes from 256 to 100k devices with optional sharded entries)
-//! and `BENCH_sweep.json` (sweep cells/second from `sweep`). The `gate`
-//! binary re-measures every applicable tier and **fails** (non-zero
-//! exit) when a measured rate falls more than a tolerance below its
-//! committed baseline, turning the JSON artifacts from passive records
-//! into an enforced contract.
+//! fleet sizes from 256 to 100k devices with optional sharded entries),
+//! `BENCH_sweep.json` (sweep cells/second from `sweep`), and
+//! `BENCH_live.json` (sustained completed-inferences/second of the
+//! reactor live tier from `soak`). The `gate` binary re-measures every
+//! applicable tier and **fails** (non-zero exit) when a measured rate
+//! falls more than a tolerance below its committed baseline, turning
+//! the JSON artifacts from passive records into an enforced contract.
 //!
 //! The baselines are parsed *partially*: the gate only reads the rate
 //! fields it compares against, so regenerating an artifact with extra
@@ -70,6 +71,24 @@ pub struct ShardedRateEntry {
     pub shards: usize,
     /// Events handled per wall-clock second.
     pub events_per_sec: f64,
+}
+
+/// Partial view of `BENCH_live.json`: the fleet shape plus the
+/// sustained live-tier rate the gate compares against.
+#[derive(Deserialize)]
+pub struct LiveBaseline {
+    /// Device count the committed soak ran at; the gate re-measures at
+    /// the same count (the rate scales with fleet size).
+    pub devices: usize,
+    /// The live-side aggregates, reduced to the gated rate.
+    pub live: LiveRateEntry,
+}
+
+/// The live-side rate entry of `BENCH_live.json`.
+#[derive(Deserialize)]
+pub struct LiveRateEntry {
+    /// Completed inferences (local + offload) per wall-clock second.
+    pub sustained_frames_per_sec: f64,
 }
 
 /// Partial view of `BENCH_sweep.json`: just the serial reference rate.
@@ -218,6 +237,23 @@ pub fn measure_engine_events_per_sec(
     best
 }
 
+/// Measure the live reactor tier's sustained completed-inference rate
+/// at the committed device count over a (shortened) wall-clock window.
+/// The figure is a throughput, so a shorter `secs` measures the same
+/// quantity as the committed soak; the device count is *not* reduced
+/// because per-device rates depend on fleet-wide server contention.
+/// Unlike the DES measurements this one runs in real time — `secs` of
+/// wall-clock per call — so the gate measures it once, not best-of-N.
+pub fn measure_live_frames_per_sec(devices: usize, secs: u64) -> f64 {
+    let (live, _server) = crate::soak::run_soak_live(devices, secs).expect("gate: live soak run");
+    assert!(
+        live.frames_conserved,
+        "gate: live measurement lost frames ({} devices conserved, {} in flight)",
+        live.devices_conserved, live.in_flight_at_end
+    );
+    live.sustained_frames_per_sec
+}
+
 /// Measure the sweep engine's serial cell throughput: best of `reps`
 /// serial runs of the `bench_sweep_spec` grid, in cells per wall-clock
 /// second. `cells` scales the seed dimension (cells = 4 × seeds).
@@ -278,6 +314,14 @@ mod tests {
         )
         .unwrap();
         assert!((sweep.serial.runs_per_sec - 400.0).abs() < 1e-12);
+        let live: LiveBaseline = serde_json::from_str(
+            r#"{"schema":1,"devices":1024,"duration_secs":75,
+                "live":{"sustained_frames_per_sec":13000.5,"reconnects":0},
+                "server":{"requests":1},"sim":null}"#,
+        )
+        .unwrap();
+        assert_eq!(live.devices, 1024);
+        assert!((live.live.sustained_frames_per_sec - 13000.5).abs() < 1e-12);
     }
 
     #[test]

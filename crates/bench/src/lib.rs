@@ -14,6 +14,7 @@
 //! | `cpu_usage`           | §II-A CPU usage observation |
 //! | `combined_stress`     | §IV-C combined network × load (extension X2) |
 //! | `sweep`               | `ff-sweep` engine benchmark → `BENCH_sweep.json` |
+//! | `soak`                | reactor live-tier fleet soak → `BENCH_live.json` |
 //! | `dashboard`           | live terminal fleet view over telemetry export |
 //!
 //! Each binary prints a human-readable table and exports the raw series
@@ -25,6 +26,7 @@
 
 mod dashboard;
 pub mod gate;
+pub mod soak;
 
 pub use dashboard::Dashboard;
 

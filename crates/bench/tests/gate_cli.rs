@@ -33,6 +33,7 @@ fn run_gate(engine_events_per_sec: f64) -> std::process::Output {
             "--tolerance",
             "0.20",
             "--skip-sweep",
+            "--skip-live",
             "--reps",
             "1",
             "--engine-baseline",
@@ -74,7 +75,7 @@ fn gate_covers_the_sweep_tier_too() {
     let engine = baseline_file("engine-tiny.json", &tiny_engine_baseline(1.0));
     let sweep = baseline_file("sweep-huge.json", r#"{"serial":{"runs_per_sec":1e12}}"#);
     let out = Command::new(env!("CARGO_BIN_EXE_gate"))
-        .args(["--cells", "4", "--reps", "1"])
+        .args(["--cells", "4", "--reps", "1", "--skip-live"])
         .arg("--engine-baseline")
         .arg(&engine)
         .arg("--sweep-baseline")
@@ -94,8 +95,9 @@ fn gate_covers_the_sweep_tier_too() {
 
 #[test]
 fn gate_skips_tiers_and_shard_counts_beyond_the_host() {
-    // A huge tier (beyond --max-devices) and a sharded entry requiring
-    // more cores than any plausible host must both be *skipped*, with
+    // A huge tier (beyond --max-devices), a sharded entry requiring
+    // more cores than any plausible host, and a live baseline recorded
+    // on a fleet larger than --max-devices must all be *skipped*, with
     // the gate still passing on what remains.
     let engine = baseline_file(
         "engine-skips.json",
@@ -107,6 +109,11 @@ fn gate_skips_tiers_and_shard_counts_beyond_the_host() {
              "optimized":{"events_per_sec":1e12}}
         ]}"#,
     );
+    let live = baseline_file(
+        "live-skips.json",
+        r#"{"schema":1,"devices":1048576,
+            "live":{"sustained_frames_per_sec":1e12}}"#,
+    );
     let out = Command::new(env!("CARGO_BIN_EXE_gate"))
         .args([
             "--skip-sweep",
@@ -117,6 +124,8 @@ fn gate_skips_tiers_and_shard_counts_beyond_the_host() {
             "--engine-baseline",
         ])
         .arg(&engine)
+        .arg("--live-baseline")
+        .arg(&live)
         .output()
         .expect("gate binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -125,7 +134,9 @@ fn gate_skips_tiers_and_shard_counts_beyond_the_host() {
         "skipped tiers must not fail the gate; stdout:\n{stdout}"
     );
     assert!(
-        stdout.contains("engine/huge: skipped") && stdout.contains("engine/tiny x4096: skipped"),
+        stdout.contains("engine/huge: skipped")
+            && stdout.contains("engine/tiny x4096: skipped")
+            && stdout.contains("live: skipped"),
         "skips must be reported:\n{stdout}"
     );
 }

@@ -1,0 +1,87 @@
+//! Blocking-tier → reactor-tier adapters.
+//!
+//! The reactor (`ff_reactor`, re-exported as [`crate::reactor`]) is the
+//! forward path for live devices: same `DeviceRuntime`, same QoS schema,
+//! one event-loop thread instead of four threads per device. These
+//! helpers let hosts written against [`LiveDeviceConfig`] move over
+//! without re-deriving their scenario parameters.
+
+use crate::client::LiveDeviceConfig;
+use ff_core::Controller;
+use ff_reactor::{
+    run_reactor_device, FleetClientConfig, PacerConditions, ReactorDeviceConfig,
+    ReactorDeviceSummary,
+};
+use std::io;
+use std::net::SocketAddr;
+
+/// Map a blocking-client config onto the reactor client.
+///
+/// `io_timeout` has no reactor counterpart (nonblocking sockets never
+/// park in a read), and trace recording is not yet wired through the
+/// reactor; everything else carries over field by field.
+pub fn reactor_device_config(config: &LiveDeviceConfig) -> ReactorDeviceConfig {
+    ReactorDeviceConfig {
+        fs: config.fs,
+        duration: config.duration,
+        deadline: config.deadline,
+        frame_bytes: config.frame_bytes,
+        local_rate_fps: config.local_rate_fps,
+        tick: config.tick,
+        timeout_window: config.timeout_window,
+        reconnect: ff_reactor::ReconnectPolicy {
+            initial_backoff: config.reconnect.initial_backoff,
+            max_backoff: config.reconnect.max_backoff,
+            multiplier: config.reconnect.multiplier,
+            jitter: config.reconnect.jitter,
+        },
+        pacer: PacerConditions::ideal(),
+    }
+}
+
+/// Run one device through the reactor client using a blocking-tier
+/// config: the drop-in replacement for [`crate::run_live_device`].
+pub fn run_live_device_reactor(
+    addr: SocketAddr,
+    config: &LiveDeviceConfig,
+    controller: Box<dyn Controller>,
+) -> io::Result<ReactorDeviceSummary> {
+    let fleet = FleetClientConfig {
+        device: reactor_device_config(config),
+        ..FleetClientConfig::default()
+    };
+    run_reactor_device(addr, &fleet, controller)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn config_mapping_carries_every_shared_field() {
+        let live = LiveDeviceConfig {
+            fs: 17.0,
+            duration: Duration::from_secs(7),
+            deadline: Duration::from_millis(123),
+            frame_bytes: 9_999,
+            local_rate_fps: 4.5,
+            tick: Duration::from_millis(750),
+            timeout_window: Duration::from_secs(5),
+            ..LiveDeviceConfig::default()
+        };
+        let reactor = reactor_device_config(&live);
+        assert_eq!(reactor.fs, live.fs);
+        assert_eq!(reactor.duration, live.duration);
+        assert_eq!(reactor.deadline, live.deadline);
+        assert_eq!(reactor.frame_bytes, live.frame_bytes);
+        assert_eq!(reactor.local_rate_fps, live.local_rate_fps);
+        assert_eq!(reactor.tick, live.tick);
+        assert_eq!(reactor.timeout_window, live.timeout_window);
+        assert_eq!(
+            reactor.reconnect.initial_backoff,
+            live.reconnect.initial_backoff
+        );
+        assert_eq!(reactor.reconnect.max_backoff, live.reconnect.max_backoff);
+    }
+}

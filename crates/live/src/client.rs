@@ -11,7 +11,7 @@
 //! connection and impairment shim, and a sleep-based local inference
 //! worker.
 
-use crate::proto::{encode_request, poll_response, Poll, Status, WireRequest};
+use crate::proto::{encode_request_into, poll_response, Poll, Status, WireRequest};
 use crate::shim::{ImpairmentShim, ShimVerdict};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
@@ -256,6 +256,9 @@ fn open_connection(
     let sender = thread::Builder::new()
         .name("ff-live-dev-sender".into())
         .spawn(move || {
+            // One encode buffer for the connection's lifetime: the
+            // steady-state send path allocates nothing per message.
+            let mut encode_buf = bytes::BytesMut::new();
             while let Ok((tag, bytes, send_at)) = send_rx.recv() {
                 let now = Instant::now();
                 if send_at > now {
@@ -267,7 +270,8 @@ fn open_connection(
                     Bytes::from(vec![0u8; bytes as usize])
                 };
                 let req = WireRequest { tag, payload };
-                if io::Write::write_all(&mut writer_stream, &encode_request(&req)).is_err() {
+                encode_request_into(&req, &mut encode_buf);
+                if io::Write::write_all(&mut writer_stream, &encode_buf).is_err() {
                     sender_alive.store(false, Ordering::Relaxed);
                     break;
                 }

@@ -13,23 +13,40 @@
 //! async runtime: the protocol is one small framed request/response per
 //! frame at ≤30 Hz, where thread-per-connection is the simplest correct
 //! design (see DESIGN.md §6).
+//!
+//! **The thread-per-device client is in compat mode.** The readiness-
+//! driven tier in [`reactor`] (one epoll thread multiplexing thousands
+//! of devices, binary `FFLP` framing, bounded write buffers) is the
+//! forward path; the blocking client remains available behind the
+//! default-on `blocking-compat` feature for one release, with
+//! [`run_live_device_reactor`] as the drop-in migration shim.
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "blocking-compat")]
+mod adapter;
+#[cfg(feature = "blocking-compat")]
 mod client;
 mod export;
 mod proto;
 mod server;
 mod shim;
 
+/// The readiness-driven live tier (re-export of `ff_reactor`): reactor
+/// server, fleet client, `FFLP` framed connections, deadline wheel.
+pub use ff_reactor as reactor;
+
+#[cfg(feature = "blocking-compat")]
+pub use adapter::{reactor_device_config, run_live_device_reactor};
+#[cfg(feature = "blocking-compat")]
 pub use client::{
     run_live_device, run_live_device_with_telemetry, LiveDeviceConfig, LiveRunSummary,
     ReconnectPolicy,
 };
 pub use export::TcpExportSink;
 pub use proto::{
-    encode_request, poll_request, poll_response, read_request, read_response, write_response, Poll,
-    Status, WireRequest, WireResponse,
+    encode_request, encode_request_into, encode_response_into, poll_request, poll_response,
+    read_request, read_response, write_response, Poll, Status, WireRequest, WireResponse,
 };
 pub use server::{ChaosConfig, ChaosHandle, LiveServer, LiveServerConfig, LiveServerStats};
 pub use shim::{Impairment, ImpairmentShim, ShimVerdict};

@@ -67,17 +67,36 @@ const TAG_SIZE: usize = 8;
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
 /// Encode a request into a buffer ready for one `write_all`.
+///
+/// Allocates per call; hot paths that send many requests should hold a
+/// `BytesMut` and use [`encode_request_into`] instead.
 pub fn encode_request(req: &WireRequest) -> BytesMut {
+    let mut buf = BytesMut::new();
+    encode_request_into(req, &mut buf);
+    buf
+}
+
+/// Encode a request into `buf`, clearing it first but keeping its
+/// allocation — the per-message-allocation-free path for senders that
+/// reuse one buffer across a connection's lifetime.
+pub fn encode_request_into(req: &WireRequest, buf: &mut BytesMut) {
     let body_len = TAG_SIZE + req.payload.len();
     assert!(
         body_len as u64 <= MAX_FRAME as u64,
         "request payload too large"
     );
-    let mut buf = BytesMut::with_capacity(LEN_PREFIX + body_len);
+    buf.clear();
     buf.put_u32(body_len as u32);
     buf.put_u64(req.tag);
     buf.extend_from_slice(&req.payload);
-    buf
+}
+
+/// Encode a response into `buf`, clearing it first but keeping its
+/// allocation (the fixed-size twin of [`encode_request_into`]).
+pub fn encode_response_into(resp: WireResponse, buf: &mut BytesMut) {
+    buf.clear();
+    buf.put_u64(resp.tag);
+    buf.put_u8(resp.status.to_byte());
 }
 
 /// Read one request from a blocking stream. `Ok(None)` means clean EOF
@@ -365,6 +384,28 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_reuses_the_buffer_and_matches_fresh_encoding() {
+        let mut buf = BytesMut::with_capacity(4096);
+        for len in [0usize, 1, 100, 3000] {
+            let req = WireRequest {
+                tag: len as u64,
+                payload: Bytes::from(vec![0xAB; len]),
+            };
+            encode_request_into(&req, &mut buf);
+            assert_eq!(&buf[..], &encode_request(&req)[..]);
+        }
+        let mut buf = BytesMut::new();
+        let resp = WireResponse {
+            tag: 77,
+            status: Status::Rejected,
+        };
+        encode_response_into(resp, &mut buf);
+        let mut via_writer = Vec::new();
+        write_response(&mut via_writer, resp).unwrap();
+        assert_eq!(&buf[..], &via_writer[..]);
+    }
+
+    #[test]
     fn back_to_back_frames_parse_sequentially() {
         let a = WireRequest {
             tag: 1,
@@ -381,5 +422,77 @@ mod tests {
         assert_eq!(read_request(&mut cursor).unwrap().unwrap(), a);
         assert_eq!(read_request(&mut cursor).unwrap().unwrap(), b);
         assert!(read_request(&mut cursor).unwrap().is_none());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Encode → decode → re-encode is byte-identical, and the
+        /// reusable-buffer encoder agrees with the allocating one.
+        #[test]
+        fn prop_request_round_trip_is_byte_identical(
+            tag in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let req = WireRequest {
+                tag,
+                payload: Bytes::from(payload),
+            };
+            let mut reused = BytesMut::new();
+            encode_request_into(&req, &mut reused);
+            let fresh = encode_request(&req);
+            prop_assert_eq!(&reused[..], &fresh[..]);
+            let decoded = read_request(&mut Cursor::new(reused.to_vec()))
+                .expect("decodes")
+                .expect("one frame");
+            prop_assert_eq!(&encode_request(&decoded)[..], &fresh[..]);
+        }
+
+        /// Any strict truncation of a request frame is a clean error
+        /// (or `None` at the empty boundary) — never a panic, never a
+        /// phantom frame.
+        #[test]
+        fn prop_truncated_request_never_yields_a_frame(
+            tag in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            cut in any::<u64>(),
+        ) {
+            let bytes = encode_request(&WireRequest {
+                tag,
+                payload: Bytes::from(payload),
+            });
+            let cut = (cut % bytes.len() as u64) as usize;
+            match read_request(&mut Cursor::new(bytes[..cut].to_vec())) {
+                Ok(None) => prop_assert_eq!(cut, 0),
+                Ok(Some(_)) => prop_assert!(false, "phantom frame at cut {}", cut),
+                Err(_) => {}
+            }
+        }
+
+        /// Flipping any bit anywhere in a frame never panics the
+        /// decoder; a flip in the header either errors or changes the
+        /// decoded identity, but decoding stays total.
+        #[test]
+        fn prop_bit_flips_never_panic(
+            tag in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            pos in any::<u64>(),
+            bit in 0u8..8,
+        ) {
+            let mut bytes = encode_request(&WireRequest {
+                tag,
+                payload: Bytes::from(payload),
+            })
+            .to_vec();
+            let pos = (pos % bytes.len() as u64) as usize;
+            bytes[pos] ^= 1 << bit;
+            let _ = read_request(&mut Cursor::new(bytes));
+
+            let mut resp = Vec::new();
+            write_response(&mut resp, WireResponse { tag, status: Status::Ok }).unwrap();
+            let pos = pos % resp.len();
+            resp[pos] ^= 1 << bit;
+            let _ = read_response(&mut Cursor::new(resp));
+        }
     }
 }

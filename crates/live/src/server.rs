@@ -8,7 +8,7 @@
 //! `crossbeam` channels fan requests in and responses out.
 
 use crate::proto::{poll_request, write_response, Poll, Status, WireResponse};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use ff_telemetry::{Level, LogCode, Metric, Recorder, Scope, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -68,6 +68,9 @@ pub struct LiveServerStats {
     pub chaos_disconnects: AtomicU64,
     /// Replies delayed by chaos.
     pub chaos_stalls: AtomicU64,
+    /// Replies dropped because a connection's bounded reply queue was
+    /// full (the peer stopped reading while batches kept completing).
+    pub writer_drops: AtomicU64,
 }
 
 /// Fault-injection settings for resilience testing.
@@ -434,7 +437,16 @@ fn connection_loop(
     // Writer thread: serializes responses onto this connection, applying
     // any chaos-injected stall before the write. (Stalls are counted at
     // the verdict site in the reader, alongside the telemetry event.)
-    let (reply_tx, reply_rx) = unbounded::<(WireResponse, Option<Duration>)>();
+    //
+    // The reply queue is bounded: a peer that stops reading (or a chaos
+    // stall pile-up) previously grew this queue without limit while the
+    // writer blocked in `write_response`. Now the batcher's `try_send`
+    // drops the reply and counts it (`writer_drops`) — the same
+    // drop-don't-buffer discipline as the telemetry `TcpExportSink` and
+    // the reactor tier's bounded write buffers. The client side already
+    // treats a missing reply as a deadline timeout, so a dropped reply
+    // degrades exactly like a lost response on the wire.
+    let (reply_tx, reply_rx) = bounded::<(WireResponse, Option<Duration>)>(REPLY_QUEUE_CAP);
     let writer_handle = thread::Builder::new()
         .name("ff-live-writer".into())
         .spawn(move || {
@@ -510,6 +522,33 @@ fn connection_loop(
     }
 }
 
+/// Per-connection bound on queued-but-unwritten replies. At nine bytes
+/// a reply this caps writer memory near 9 KiB per connection; a healthy
+/// peer drains far faster than batches complete, so the cap only binds
+/// when the peer has stopped reading.
+const REPLY_QUEUE_CAP: usize = 1024;
+
+/// Offer one reply to the connection's bounded writer queue; a full
+/// queue drops the reply and accounts for it instead of buffering
+/// without bound.
+fn send_reply(
+    item: &BatchItem,
+    status: Status,
+    stats: &LiveServerStats,
+    rec: &mut Recorder,
+    scope: Scope,
+    t0: Instant,
+) {
+    let resp = WireResponse {
+        tag: item.tag,
+        status,
+    };
+    if let Err(TrySendError::Full(_)) = item.reply.try_send((resp, item.stall)) {
+        stats.writer_drops.fetch_add(1, Ordering::Relaxed);
+        rec.counter(scope, Metric::WriterDrops, 1, micros_since(t0));
+    }
+}
+
 fn batcher_loop(
     rx: Receiver<BatchItem>,
     config: LiveServerConfig,
@@ -546,13 +585,7 @@ fn batcher_loop(
         }
         for rejected in queue.drain(..) {
             stats.rejections.fetch_add(1, Ordering::Relaxed);
-            let _ = rejected.reply.send((
-                WireResponse {
-                    tag: rejected.tag,
-                    status: Status::Rejected,
-                },
-                rejected.stall,
-            ));
+            send_reply(&rejected, Status::Rejected, &stats, &mut rec, scope, t0);
         }
 
         // "Execute" the batch on the simulated GPU.
@@ -564,13 +597,7 @@ fn batcher_loop(
         rec.counter(scope, Metric::ServerCompletions, batch.len() as u64, t);
         for item in batch {
             stats.completions.fetch_add(1, Ordering::Relaxed);
-            let _ = item.reply.send((
-                WireResponse {
-                    tag: item.tag,
-                    status: Status::Ok,
-                },
-                item.stall,
-            ));
+            send_reply(&item, Status::Ok, &stats, &mut rec, scope, t0);
         }
 
         // Requests that arrived during execution form the next batch.

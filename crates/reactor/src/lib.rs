@@ -1,0 +1,44 @@
+//! `ff-reactor` — the readiness-driven live tier.
+//!
+//! The blocking live path (`ff-live`) spends two OS threads per device
+//! plus four per server connection; a few hundred devices exhaust a small
+//! host. This crate replaces threads with *readiness*: one epoll instance
+//! (via the vendored `mio` shim), one timer wheel (the same hierarchical
+//! layout `ff-sim` schedules millions of events on), and one thread
+//! multiplexing every socket and every [`DeviceRuntime`] in the process.
+//!
+//! Three design rules carry over from the rest of the repo:
+//!
+//! * **The control loop is the sim's control loop.** Devices run the
+//!   shared [`DeviceRuntime`]; the reactor only supplies wall-clock
+//!   capture pacing, socket transport, and timer-driven local inference —
+//!   exactly the seams the blocking client supplies with threads.
+//! * **Backpressure is a verdict, not a stall.** Writes coalesce into a
+//!   bounded per-connection buffer; when the buffer is full the transport
+//!   reports [`SubmitOutcome::FailedInstantly`](ff_device::SubmitOutcome)
+//!   and the controller parks at the §III-A.1 probe floor — the same
+//!   contract a lost connection has had since PR 1. No unbounded queues,
+//!   no blocking `write_all`.
+//! * **Frames are length-prefixed binary.** The [`frame`] module defines
+//!   the `FFLP` codec (magic + varint length + opcode) shared by client
+//!   and server; decoding arbitrary bytes never panics.
+
+pub mod conn;
+pub mod fleet;
+pub mod frame;
+pub mod pacer;
+pub mod server;
+pub mod timer;
+
+pub use conn::{ConnStatus, EnqueueOutcome, FramedConn, InboundFrame, DEFAULT_WRITE_BUF_CAP};
+pub use fleet::{
+    run_reactor_device, run_reactor_fleet, FleetClientConfig, FleetSummary, ReactorDeviceConfig,
+    ReactorDeviceSummary, ReconnectPolicy,
+};
+pub use frame::{
+    decode_frame, decode_frame_exact, encode_request_into, encode_response_into, Frame, FrameError,
+    MAX_FRAME_BYTES,
+};
+pub use pacer::{Pacer, PacerConditions, PacerVerdict};
+pub use server::{ReactorChaos, ReactorServer, ReactorServerConfig, ReactorServerStats};
+pub use timer::DeadlineWheel;

@@ -50,3 +50,4 @@ pub use par::run_phased;
 pub use queue::{EventQueue, Popped, QueueBackend};
 pub use rng::RngFactory;
 pub use time::{round_nonneg_f64, SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};
+pub use wheel::{PopBefore, TimerWheel};

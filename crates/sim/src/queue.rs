@@ -110,7 +110,7 @@ impl<E> EventQueue<E> {
         match backend {
             QueueBackend::Heap => Self::new(),
             QueueBackend::Wheel => EventQueue {
-                backend: Backend::Wheel(Box::new(TimerWheel::new())),
+                backend: Backend::Wheel(Box::default()),
                 next_seq: 0,
             },
         }

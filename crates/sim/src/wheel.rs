@@ -132,7 +132,7 @@ const EMPTY_SLOT: Slot = Slot {
 ///   (so one level-0 slot holds exactly one firing instant);
 /// * while `current` is non-empty it holds the earliest wheel batch
 ///   (one instant, ascending `seq`) and `cursor == current_time`.
-pub(crate) struct TimerWheel<E> {
+pub struct TimerWheel<E> {
     /// All filed entries. Slot lists thread through it by index; freed
     /// indices chain from `free_head` and are recycled LIFO, so the
     /// steady-state working set stays cache-resident.
@@ -163,8 +163,15 @@ pub(crate) struct TimerWheel<E> {
     len: usize,
 }
 
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<E> TimerWheel<E> {
-    pub(crate) fn new() -> Self {
+    /// An empty wheel with its cursor at time zero.
+    pub fn new() -> Self {
         TimerWheel {
             nodes: Vec::new(),
             free_head: NIL,
@@ -182,17 +189,27 @@ impl<E> TimerWheel<E> {
         }
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Number of pending entries across all stores.
+    pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Capacity of the staging buffer (slab and slot storage are
     /// retained independently across pops).
-    pub(crate) fn staging_capacity(&self) -> usize {
+    pub fn staging_capacity(&self) -> usize {
         self.current.capacity()
     }
 
-    pub(crate) fn push(&mut self, time: u64, seq: u64, event: E) {
+    /// File `event` to fire at absolute time `time` (µs). `seq` must be
+    /// a monotone insertion counter; same-time entries pop in `seq`
+    /// order. Pushing behind the cursor is legal (it lands in the `past`
+    /// side heap) — wall-clock users see this on backward clock jumps.
+    pub fn push(&mut self, time: u64, seq: u64, event: E) {
         self.len += 1;
         if !self.current.is_empty() {
             if time == self.current_time {
@@ -213,7 +230,8 @@ impl<E> TimerWheel<E> {
         self.file_new(time, seq, event);
     }
 
-    pub(crate) fn pop(&mut self) -> Option<(u64, u64, E)> {
+    /// Remove and return the earliest `(time, seq, event)` entry.
+    pub fn pop(&mut self) -> Option<(u64, u64, E)> {
         match self.min_source()? {
             Source::Current => {
                 self.len -= 1;
@@ -233,7 +251,7 @@ impl<E> TimerWheel<E> {
     /// Pop the earliest entry only if it fires at or before `horizon` —
     /// the fused peek-then-pop the simulation loop runs per event, which
     /// pays the minimum-source bookkeeping once instead of twice.
-    pub(crate) fn pop_before(&mut self, horizon: u64) -> PopBefore<E> {
+    pub fn pop_before(&mut self, horizon: u64) -> PopBefore<E> {
         let Some(source) = self.min_source() else {
             return PopBefore::Empty;
         };
@@ -267,7 +285,7 @@ impl<E> TimerWheel<E> {
 
     /// `(time, seq)` of the next pop. Mutates: staging the earliest
     /// batch is what makes the subsequent pop O(1).
-    pub(crate) fn peek(&mut self) -> Option<(u64, u64)> {
+    pub fn peek(&mut self) -> Option<(u64, u64)> {
         self.min_source()?;
         let mut best: Option<(u64, u64)> = self.current.front().map(|e| (e.time, e.seq));
         for heap in [&self.past, &self.overflow] {
@@ -283,7 +301,7 @@ impl<E> TimerWheel<E> {
 
     /// Drop everything. The cursor is retained: later pushes at earlier
     /// times are still ordered correctly via the `past` heap.
-    pub(crate) fn clear(&mut self) {
+    pub fn clear(&mut self) {
         for l in 0..LEVELS {
             let mut sum = self.summary[l];
             while sum != 0 {
@@ -585,7 +603,7 @@ enum Source {
 }
 
 /// Outcome of [`TimerWheel::pop_before`].
-pub(crate) enum PopBefore<E> {
+pub enum PopBefore<E> {
     /// The earliest entry fired at or before the horizon.
     Event(u64, u64, E),
     /// The earliest pending entry lies beyond the horizon.

@@ -50,6 +50,11 @@ pub enum Metric {
     // Server tier (appended so earlier metric ids stay stable).
     AdmissionRejections,
     ServerUp,
+    // Reactor live tier (appended so earlier metric ids stay stable).
+    ReadyEvents,
+    WriteBufferBytes,
+    CoalescedWrites,
+    WriterDrops,
 }
 
 impl Metric {
@@ -88,6 +93,10 @@ impl Metric {
             Metric::Reconnects => "reconnects",
             Metric::AdmissionRejections => "admission_rejections",
             Metric::ServerUp => "server_up",
+            Metric::ReadyEvents => "ready_events",
+            Metric::WriteBufferBytes => "write_buffer_bytes",
+            Metric::CoalescedWrites => "coalesced_writes",
+            Metric::WriterDrops => "writer_drops",
         }
     }
 

@@ -82,6 +82,14 @@ pub mod live {
     pub use ff_live::*;
 }
 
+/// The readiness-driven live tier (`ff-reactor`): one epoll thread
+/// multiplexing thousands of `DeviceRuntime`s and server connections,
+/// length-prefixed `FFLP` binary framing, bounded write buffers with
+/// backpressure verdicts, and the fleet soak client.
+pub mod reactor {
+    pub use ff_reactor::*;
+}
+
 /// Binary record/replay traces of the device control loop (`ff-trace`):
 /// the schema-versioned event codec, the `TraceWriter` the runtime
 /// records through, and the decoded `Trace` that `device::replay_verify`

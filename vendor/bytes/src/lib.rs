@@ -156,6 +156,16 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Drop all contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shorten the buffer to at most `len` bytes, keeping the allocation.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
 }
 
 impl Deref for BytesMut {

@@ -1,0 +1,472 @@
+//! Minimal in-tree replacement for the `mio` crate: an epoll-backed
+//! readiness poller with the familiar `Poll`/`Registry`/`Events`/`Token`
+//! surface.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin API slice `ff-reactor` actually needs. The shim talks
+//! to the kernel through direct `epoll(7)` FFI (std already links libc, so
+//! no new dependency is introduced) and supports both edge-triggered
+//! (mio's default, `EPOLLET`) and level-triggered registrations — the
+//! reactor uses edge triggering, the shim's tests exercise both.
+//!
+//! Linux-only by construction, like the hermetic CI image this repo
+//! targets; other platforms fail the build with an explicit message
+//! instead of silently degrading.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("the vendored mio shim is epoll-based and only builds on Linux");
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+mod sys {
+    use std::os::raw::c_int;
+
+    // x86-64 packs epoll_event to 4-byte alignment; other architectures
+    // use natural C layout.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLPRI: u32 = 0x002;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Caller-chosen identifier echoed back on every readiness event for the
+/// registered source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness classes a registration subscribes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readable readiness (`EPOLLIN`, plus peer-close via `EPOLLRDHUP`).
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+
+    /// Combine two interests (mirrors `mio::Interest::add`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether the readable class is included.
+    pub const fn is_readable(self) -> bool {
+        self.0 & sys::EPOLLIN != 0
+    }
+
+    /// Whether the writable class is included.
+    pub const fn is_writable(self) -> bool {
+        self.0 & sys::EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Wakeup discipline for a registration.
+///
+/// mio is edge-triggered only; the shim exposes the choice so the
+/// reactor's tests can pin down the semantic difference explicitly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Trigger {
+    /// Report a readiness transition once (`EPOLLET`); the consumer must
+    /// drain until `WouldBlock` before the next wakeup. mio's default.
+    #[default]
+    Edge,
+    /// Report readiness on every poll while the condition holds.
+    Level,
+}
+
+/// A single readiness event delivered by [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    mask: u32,
+    token: Token,
+}
+
+impl Event {
+    /// The token supplied at registration.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable data (or a pending peer close) is available.
+    pub fn is_readable(&self) -> bool {
+        self.mask & (sys::EPOLLIN | sys::EPOLLPRI) != 0
+    }
+
+    /// The source can accept writes without blocking.
+    pub fn is_writable(&self) -> bool {
+        self.mask & sys::EPOLLOUT != 0
+    }
+
+    /// An error condition is pending on the source.
+    pub fn is_error(&self) -> bool {
+        self.mask & sys::EPOLLERR != 0
+    }
+
+    /// The peer closed its write half (or the whole connection).
+    pub fn is_read_closed(&self) -> bool {
+        self.mask & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// A reusable buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        assert!(capacity > 0, "events capacity must be positive");
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity],
+            len: 0,
+        }
+    }
+
+    /// Number of events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last poll delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the delivered events.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy out of the (possibly packed) struct before use.
+            let mask = raw.events;
+            let data = raw.data;
+            Event {
+                mask,
+                token: Token(data as usize),
+            }
+        })
+    }
+}
+
+/// Handle used to (de)register event sources with the poller.
+///
+/// Owned by [`Poll`]; obtained via [`Poll::registry`].
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<&mut sys::EpollEvent>) -> io::Result<()> {
+        let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut sys::EpollEvent);
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn mask(interests: Interest, trigger: Trigger) -> u32 {
+        interests.0
+            | match trigger {
+                Trigger::Edge => sys::EPOLLET,
+                Trigger::Level => 0,
+            }
+    }
+
+    /// Register `source`, edge-triggered (mio semantics).
+    pub fn register<S: AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.register_with(source, token, interests, Trigger::Edge)
+    }
+
+    /// Register `source` with an explicit trigger discipline.
+    pub fn register_with<S: AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: Self::mask(interests, trigger),
+            data: token.0 as u64,
+        };
+        self.ctl(sys::EPOLL_CTL_ADD, source.as_raw_fd(), Some(&mut ev))
+    }
+
+    /// Change the interests/token of an already registered source
+    /// (edge-triggered).
+    pub fn reregister<S: AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.reregister_with(source, token, interests, Trigger::Edge)
+    }
+
+    /// Change the interests/token/trigger of an already registered source.
+    pub fn reregister_with<S: AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interests: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: Self::mask(interests, trigger),
+            data: token.0 as u64,
+        };
+        self.ctl(sys::EPOLL_CTL_MOD, source.as_raw_fd(), Some(&mut ev))
+    }
+
+    /// Stop delivering events for `source`.
+    pub fn deregister<S: AsRawFd>(&self, source: &S) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+}
+
+/// The readiness poller: an `epoll` instance plus its [`Registry`].
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// A fresh `epoll` instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle for this poller.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Block until at least one event is ready or `timeout` elapses
+    /// (`None` blocks indefinitely). `EINTR` is treated as a spurious
+    /// wakeup: the call returns `Ok` with zero events, which consumers
+    /// must tolerate anyway.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.len = 0;
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 100µs timeout still sleeps instead of spinning.
+            Some(d) => {
+                let extra = u128::from(d.subsec_nanos() % 1_000_000 != 0);
+                d.as_millis().saturating_add(extra).min(i32::MAX as u128) as i32
+            }
+            None => -1,
+        };
+        let n = unsafe {
+            sys::epoll_wait(
+                self.registry.epfd,
+                events.buf.as_mut_ptr(),
+                events.buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(())
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+impl AsRawFd for Poll {
+    fn as_raw_fd(&self) -> RawFd {
+        self.registry.epfd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        client.set_nonblocking(true).expect("nonblocking");
+        server.set_nonblocking(true).expect("nonblocking");
+        (client, server)
+    }
+
+    fn poll_tokens(poll: &mut Poll, events: &mut Events, ms: u64) -> Vec<Token> {
+        poll.poll(events, Some(Duration::from_millis(ms)))
+            .expect("poll");
+        events.iter().map(|e| e.token()).collect()
+    }
+
+    #[test]
+    fn registration_delivers_readable_and_deregistration_silences() {
+        let (mut client, server) = pair();
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        poll.registry()
+            .register_with(&server, Token(7), Interest::READABLE, Trigger::Level)
+            .expect("register");
+
+        client.write_all(b"ping").expect("write");
+        let tokens = poll_tokens(&mut poll, &mut events, 1000);
+        assert_eq!(tokens, vec![Token(7)]);
+        assert!(events.iter().all(|e| e.is_readable()));
+
+        poll.registry().deregister(&server).expect("deregister");
+        client.write_all(b"more").expect("write");
+        let tokens = poll_tokens(&mut poll, &mut events, 50);
+        assert!(
+            tokens.is_empty(),
+            "deregistered source still delivered {tokens:?}"
+        );
+    }
+
+    #[test]
+    fn level_trigger_reports_until_drained_edge_reports_once() {
+        let (mut client, mut server) = pair();
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+
+        // Level: pending data keeps firing poll after poll.
+        poll.registry()
+            .register_with(&server, Token(1), Interest::READABLE, Trigger::Level)
+            .expect("register");
+        client.write_all(b"data").expect("write");
+        assert_eq!(poll_tokens(&mut poll, &mut events, 1000).len(), 1);
+        assert_eq!(
+            poll_tokens(&mut poll, &mut events, 1000).len(),
+            1,
+            "level-triggered readiness must persist while data is pending"
+        );
+
+        // Edge: the same pending data fires exactly once after reregister.
+        poll.registry()
+            .reregister_with(&server, Token(1), Interest::READABLE, Trigger::Edge)
+            .expect("reregister");
+        assert_eq!(
+            poll_tokens(&mut poll, &mut events, 1000).len(),
+            1,
+            "reregister re-arms the edge"
+        );
+        assert!(
+            poll_tokens(&mut poll, &mut events, 50).is_empty(),
+            "edge-triggered readiness must not re-fire without a transition"
+        );
+
+        // A new transition (more bytes) re-fires the edge.
+        client.write_all(b"more").expect("write");
+        assert_eq!(poll_tokens(&mut poll, &mut events, 1000).len(), 1);
+
+        let mut sink = [0u8; 16];
+        let _ = server.read(&mut sink);
+    }
+
+    #[test]
+    fn writable_is_edge_reported_once_for_an_idle_socket() {
+        let (client, _server) = pair();
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        poll.registry()
+            .register(&client, Token(3), Interest::READABLE | Interest::WRITABLE)
+            .expect("register");
+
+        // A fresh socket has buffer space: one writable edge on registration.
+        let tokens = poll_tokens(&mut poll, &mut events, 1000);
+        assert_eq!(tokens, vec![Token(3)]);
+        assert!(events.iter().any(|e| e.is_writable()));
+        assert!(
+            poll_tokens(&mut poll, &mut events, 50).is_empty(),
+            "writable edge must not re-fire while the buffer stays writable"
+        );
+    }
+
+    #[test]
+    fn empty_poll_times_out_cleanly() {
+        // Spurious-wakeup tolerance: zero events is a normal return, not an
+        // error, and the buffer is reset each call.
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .expect("poll");
+        assert!(events.is_empty());
+        assert_eq!(events.len(), 0);
+    }
+
+    #[test]
+    fn read_closed_is_reported_when_peer_disconnects() {
+        let (client, server) = pair();
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        poll.registry()
+            .register_with(&server, Token(9), Interest::READABLE, Trigger::Level)
+            .expect("register");
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_millis(1000)))
+            .expect("poll");
+        assert!(
+            events.iter().any(|e| e.is_read_closed()),
+            "peer close must surface as read-closed"
+        );
+    }
+}
